@@ -1,0 +1,79 @@
+"""Shared machinery for the benchmark/reproduction harness.
+
+Every module in this directory regenerates one artifact of the paper
+(a table, a figure, or a Section 4.2 claim), asserts its *shape* — who
+wins, by roughly what factor, what the generated code looks like — and
+times the relevant operation with pytest-benchmark.  Each regenerated
+artifact is also written to ``benchmarks/out/`` so EXPERIMENTS.md can
+quote it.
+"""
+
+import os
+
+import pytest
+
+#: The paper's Fig. 3 input (same as tests/conftest.py, duplicated so the
+#: benchmark tree is runnable standalone).
+PAPER_IDL = """\
+module Heidi {
+  // External declaration of Heidi::S
+  interface S;
+  // Heidi::Status
+  enum Status {Start, Stop};
+  // Heidi::SSequence
+  typedef sequence<S> SSequence;
+  // Heidi::A
+  interface A : S
+  {
+    void f(in A a);
+    void g(incopy S s);
+    void p(in long l = 0);
+    void q(in Status s = Heidi::Start);
+    readonly attribute Status button;
+    void s(in boolean b = TRUE);
+    void t(in SSequence s);
+  };
+  interface S { };
+};
+"""
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_artifact(name, text):
+    """Persist a regenerated table/figure under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+def make_interface_idl(n_methods, name_length=24, interface="Wide",
+                       module="Bench"):
+    """A synthetic interface with *n_methods* long-named operations.
+
+    This is the workload for the dispatch-cost claim: "interfaces with a
+    large number of methods with long names" (paper §2).
+    """
+    stem = "operation_with_a_long_name_"
+    methods = []
+    for index in range(n_methods):
+        name = (stem + f"{index:04d}").ljust(name_length, "x")
+        methods.append(f"    void {name}(in long value);")
+    body = "\n".join(methods)
+    return (
+        f"module {module} {{\n  interface {interface} {{\n{body}\n  }};\n}};\n"
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_idl():
+    return PAPER_IDL
+
+
+@pytest.fixture(scope="session")
+def paper_spec():
+    from repro.idl import parse
+
+    return parse(PAPER_IDL, filename="A.idl")

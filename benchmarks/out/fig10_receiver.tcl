@@ -1,0 +1,28 @@
+if {[info vars {IDL:Receiver:1.0}] ne ""} return
+set {IDL:Receiver:1.0} 1
+BOA::addIdlMapping ::Receiver "IDL:Receiver:1.0"
+class ReceiverStub {
+    inherit Stub
+    constructor {ior connector} {
+        Stub::constructor $ior $connector
+    } {}
+    public method print {text} {
+        set c [$pb_connector_ getRequestCall $this "print" 0]
+        $c insertString $text
+        $c send
+        # void return
+        $c release
+    }
+}
+
+class ReceiverSkel {
+    inherit Skel
+    constructor {implObj} {
+        Skel::constructor $implObj
+    } {}
+    public method print {c} {
+        set text [$c extractString]
+        $pb_obj_ print $text
+        # void return
+    }
+}

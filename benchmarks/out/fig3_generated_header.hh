@@ -1,0 +1,27 @@
+/* File A.hh */
+class HdA;
+class HdS;
+// IDL:Heidi/Status:1.0
+enum HdStatus { Start, Stop };
+// IDL:Heidi/SSequence:1.0
+typedef HdList<HdS> HdSSequence;
+typedef HdListIterator<HdS> HdSSequenceIter;
+// IDL:Heidi/S:1.0
+class HdS
+{
+public:
+  virtual ~HdS() { }
+};
+// IDL:Heidi/A:1.0
+class HdA : virtual public HdS
+{
+public:
+  virtual void f(HdA*) = 0;
+  virtual void g(HdS*) = 0;
+  virtual void p(long l = 0) = 0;
+  virtual void q(HdStatus s = Start) = 0;
+  virtual void s(XBool b = XTrue) = 0;
+  virtual void t(HdSSequence*) = 0;
+  virtual HdStatus GetButton() = 0;
+  virtual ~HdA() { }
+};

@@ -1,0 +1,57 @@
+# Code generator produced by repro.templates.compiler (step 1 of the
+# paper's two-step code-generation process) from template 'fig9'.
+# Execute step 2 by calling generate(rt) with a repro.templates.runtime
+# Runtime bound to an EST.
+
+def generate(rt):
+
+    rt.open_file(rt.var('basename') + '.hh')
+    rt.line('/* File ', rt.var('basename'), '.hh */', newline=True)
+    for _iter1 in rt.foreach('allInterfaceList', maps={'interfaceName': 'CPP::MapClassName'}, line=4):
+        rt.line('class ', rt.var('interfaceName'), ';', newline=True)
+    for _iter2 in rt.foreach('allEnumList', maps={'enumName': 'CPP::MapClassName'}, line=7):
+        rt.line('// ', rt.var('repoId'), newline=True)
+        rt.line('enum ', rt.var('enumName'), ' { ', newline=False)
+        for _iter3 in rt.foreach('members', if_more=', ', line=10):
+            rt.line(rt.var('member'), rt.var('ifMore'), newline=False)
+        rt.line(' };', newline=True)
+    for _iter4 in rt.foreach('allAliasList', maps={'aliasName': 'CPP::MapClassName'}, line=15):
+        rt.line('// ', rt.var('repoId'), newline=True)
+        if (rt.var('type')) == ('sequence'):
+            for _iter5 in rt.foreach('sequenceList', maps={'elementType': 'CPP::MapClassName'}, line=18):
+                rt.line('typedef HdList<', rt.var('elementType'), '> ', rt.var('aliasName'), ';', newline=True)
+                rt.line('typedef HdListIterator<', rt.var('elementType'), '> ', rt.var('aliasName'), 'Iter;', newline=True)
+        else:
+            rt.line('typedef ', rt.var('aliasedType'), ' ', rt.var('aliasName'), ';', newline=True)
+    for _iter6 in rt.foreach('allStructList', maps={'structName': 'CPP::MapClassName'}, line=26):
+        rt.line('// ', rt.var('repoId'), newline=True)
+        rt.line('struct ', rt.var('structName'), ' {', newline=True)
+        for _iter7 in rt.foreach('memberList', maps={'memberType': 'CPP::MapType'}, line=29):
+            rt.line('  ', rt.var('memberType'), ' ', rt.var('memberName'), ';', newline=True)
+        rt.line('};', newline=True)
+    for _iter8 in rt.foreach('topoInterfaceList', maps={'interfaceName': 'CPP::MapClassName'}, line=34):
+        rt.line('// ', rt.var('repoId'), newline=True)
+        rt.line('class ', rt.var('interfaceName'), newline=False)
+        for _iter9 in rt.foreach('inheritedList', maps={'inheritedName': 'CPP::MapClassName'}, line=37):
+            if rt.truth(rt.var('first')):
+                rt.line(' : virtual public ', rt.var('inheritedName'), newline=False)
+            else:
+                rt.line(', virtual public ', rt.var('inheritedName'), newline=False)
+        rt.line(newline=True)
+        rt.line('{', newline=True)
+        rt.line('public:', newline=True)
+        for _iter10 in rt.foreach('methodList', maps={'returnType': 'CPP::MapReturnType'}, line=47):
+            rt.line('  virtual ', rt.var('returnType'), ' ', rt.var('methodName'), '(', newline=False)
+            for _iter11 in rt.foreach('paramList', maps={'paramType': 'CPP::MapType', 'defaultParam': 'CPP::MapDefault'}, if_more=', ', line=49):
+                if (rt.var('defaultParam')) == (''):
+                    rt.line(rt.var('paramType'), rt.var('ifMore'), newline=False)
+                else:
+                    rt.line(rt.var('paramType'), ' ', rt.var('paramName'), ' = ', rt.var('defaultParam'), rt.var('ifMore'), newline=False)
+            rt.line(') = 0;', newline=True)
+        for _iter12 in rt.foreach('attributeList', maps={'attributeType': 'CPP::MapType', 'attributeName': 'CapFirst'}, line=58):
+            rt.line('  virtual ', rt.var('attributeType'), ' Get', rt.var('attributeName'), '() = 0;', newline=True)
+            if (rt.var('attributeQualifier')) != ('readonly'):
+                rt.line('  virtual void Set', rt.var('attributeName'), '(', rt.var('attributeType'), ') = 0;', newline=True)
+        rt.line('  virtual ~', rt.var('interfaceName'), '() { }', newline=True)
+        rt.line('};', newline=True)
+    rt.close_file()

@@ -1,0 +1,147 @@
+"""C4 — §3.1 claims: connections "are cached and reused", and "both
+stubs and skeletons are cached in each address-space in order to
+minimize the overhead of their creation".
+
+Measured by running the same call series with each cache enabled and
+disabled.  Expected shape: cached ≪ uncached for connections (a TCP
+connect per call is the dominant cost), and the stub/skeleton caches
+eliminate per-call allocation.
+"""
+
+import time
+
+import pytest
+
+from repro.heidirmi import Orb
+from repro.idl import parse
+from repro.mappings.python_rmi import generate_module
+
+from benchmarks.conftest import write_artifact
+
+IDL = "interface Counter { long next(); };"
+
+
+class CounterImpl:
+    _hd_type_id_ = "IDL:Counter:1.0"
+
+    def __init__(self):
+        self.value = 0
+
+    def next(self):
+        self.value += 1
+        return self.value
+
+
+@pytest.fixture(scope="module", autouse=True)
+def generated():
+    return generate_module(parse(IDL, filename="Counter.idl"))
+
+
+def run_calls(cache_connections, calls=50, transport="tcp"):
+    server = Orb(transport=transport, protocol="text").start()
+    client = Orb(transport=transport, protocol="text",
+                 cache_connections=cache_connections)
+    try:
+        stub = client.resolve(server.register(CounterImpl()).stringify())
+        stub.next()  # warm up
+        start = time.perf_counter()
+        for _ in range(calls):
+            stub.next()
+        elapsed = time.perf_counter() - start
+        opened = client.connections.stats["opened"]
+        return elapsed / calls, opened
+    finally:
+        client.stop()
+        server.stop()
+
+
+class TestConnectionCache:
+    def test_cached_calls_open_one_connection(self):
+        _, opened = run_calls(cache_connections=True)
+        assert opened == 1
+
+    def test_uncached_calls_open_one_per_call(self):
+        _, opened = run_calls(cache_connections=False, calls=10)
+        assert opened == 11  # warm-up + 10
+
+    def test_shape_cached_faster_than_uncached(self):
+        cached, _ = run_calls(cache_connections=True)
+        uncached, _ = run_calls(cache_connections=False)
+        assert uncached > cached, (uncached, cached)
+
+    def test_cached_call_bench(self, benchmark):
+        server = Orb(transport="tcp", protocol="text").start()
+        client = Orb(transport="tcp", protocol="text")
+        stub = client.resolve(server.register(CounterImpl()).stringify())
+        try:
+            benchmark(stub.next)
+        finally:
+            client.stop()
+            server.stop()
+
+    def test_uncached_call_bench(self, benchmark):
+        server = Orb(transport="tcp", protocol="text").start()
+        client = Orb(transport="tcp", protocol="text",
+                     cache_connections=False)
+        stub = client.resolve(server.register(CounterImpl()).stringify())
+        try:
+            benchmark(stub.next)
+        finally:
+            client.stop()
+            server.stop()
+
+
+class TestStubAndSkeletonCaches:
+    def test_stub_cache_returns_same_object(self):
+        server = Orb(transport="inproc", protocol="text").start()
+        client = Orb(transport="inproc", protocol="text")
+        try:
+            ref = server.register(CounterImpl())
+            resolved = [client.resolve(ref) for _ in range(100)]
+            assert all(stub is resolved[0] for stub in resolved)
+            assert client.stats["stub_created"] == 1
+            assert client.stats["stub_hits"] == 99
+        finally:
+            client.stop()
+            server.stop()
+
+    def test_skeleton_created_once_across_calls(self):
+        server = Orb(transport="inproc", protocol="text").start()
+        client = Orb(transport="inproc", protocol="text")
+        try:
+            stub = client.resolve(server.register(CounterImpl()).stringify())
+            for _ in range(25):
+                stub.next()
+            assert server.stats["skeleton_created"] == 1
+            assert server.stats["skeleton_hits"] == 24
+        finally:
+            client.stop()
+            server.stop()
+
+    def test_disabled_skeleton_cache_recreates(self):
+        server = Orb(transport="inproc", protocol="text",
+                     cache_skeletons=False).start()
+        client = Orb(transport="inproc", protocol="text")
+        try:
+            stub = client.resolve(server.register(CounterImpl()).stringify())
+            for _ in range(5):
+                stub.next()
+            assert server.stats["skeleton_created"] == 5
+        finally:
+            client.stop()
+            server.stop()
+
+
+def test_c4_artifact():
+    cached, cached_opened = run_calls(cache_connections=True)
+    uncached, uncached_opened = run_calls(cache_connections=False)
+    lines = [
+        "C4 — caching effect on a TCP text-protocol call",
+        f"  connection cache ON : {cached:.3e} s/call, "
+        f"{cached_opened} connection(s) opened",
+        f"  connection cache OFF: {uncached:.3e} s/call, "
+        f"{uncached_opened} connection(s) opened",
+        f"  speedup             : {uncached / cached:.1f}x",
+        "  expected shape: cached well below uncached (connect per call)",
+    ]
+    write_artifact("claim_c4_caching.txt", "\n".join(lines) + "\n")

@@ -1,0 +1,95 @@
+"""C6 — §4.1 claim: "evaluating a perl program that directly rebuilds
+the EST, as we do in the second code-generation step, is certainly more
+efficient than parsing an external representation of the EST."
+
+Measured with three hand-off alternatives for the same EST:
+
+- evaluating the emitted EST program (the paper's chosen design),
+- parsing a neutral external text representation of the EST,
+- re-running the whole IDL front-end (for context).
+
+Expected shape: program evaluation beats parsing the external
+representation at every size.
+"""
+
+import time
+
+import pytest
+
+from repro.est import build_est, emit_program, load_program
+from repro.est.emit import dump_external, parse_external
+from repro.idl import parse
+
+from benchmarks.conftest import make_interface_idl, write_artifact
+
+SIZES = [4, 16, 64]
+
+
+def prepared(n_methods):
+    source = make_interface_idl(n_methods)
+    spec = parse(source, filename="bench.idl")
+    est = build_est(spec)
+    return source, est, emit_program(est), dump_external(est)
+
+
+def time_of(func, rounds=20, trials=3):
+    """Best-of-*trials* per-call time (minimum damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(trials):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            func()
+        best = min(best, (time.perf_counter() - start) / rounds)
+    return best
+
+
+@pytest.mark.parametrize("n_methods", SIZES)
+def test_load_program_bench(benchmark, n_methods):
+    _, est, program, _ = prepared(n_methods)
+    rebuilt = benchmark(lambda: load_program(program))
+    assert rebuilt.structurally_equal(est)
+
+
+@pytest.mark.parametrize("n_methods", SIZES)
+def test_parse_external_bench(benchmark, n_methods):
+    _, est, _, external = prepared(n_methods)
+    rebuilt = benchmark(lambda: parse_external(external))
+    assert rebuilt.structurally_equal(est)
+
+
+@pytest.mark.parametrize("n_methods", SIZES)
+def test_reparse_idl_bench(benchmark, n_methods):
+    source, _, _, _ = prepared(n_methods)
+    benchmark(lambda: build_est(parse(source, filename="bench.idl")))
+
+
+@pytest.mark.parametrize("n_methods", SIZES)
+def test_shape_program_eval_beats_external_parse(n_methods):
+    _, _, program, external = prepared(n_methods)
+    program_time = time_of(lambda: load_program(program))
+    external_time = time_of(lambda: parse_external(external))
+    assert program_time < external_time, (n_methods, program_time, external_time)
+
+
+def test_all_three_hand_offs_agree():
+    _, est, program, external = prepared(16)
+    assert load_program(program).structurally_equal(est)
+    assert parse_external(external).structurally_equal(est)
+
+
+def test_c6_artifact():
+    lines = ["C6 — EST hand-off cost (seconds): three alternatives"]
+    lines.append(
+        f"  {'methods':>8s} {'eval program':>14s} {'parse external':>15s} "
+        f"{'re-parse IDL':>14s}"
+    )
+    for n_methods in SIZES:
+        source, _, program, external = prepared(n_methods)
+        lines.append(
+            f"  {n_methods:>8d} {time_of(lambda: load_program(program)):>14.3e} "
+            f"{time_of(lambda: parse_external(external)):>15.3e} "
+            f"{time_of(lambda: build_est(parse(source))):>14.3e}"
+        )
+    lines.append("  expected shape: evaluating the emitted program beats")
+    lines.append("  parsing the external EST representation (paper §4.1).")
+    write_artifact("claim_c6_est_program.txt", "\n".join(lines) + "\n")

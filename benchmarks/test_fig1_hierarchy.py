@@ -1,0 +1,68 @@
+"""F1 — Fig. 1: the CORBA stub/skeleton inheritance hierarchy.
+
+Regenerates the class graph of the prescribed mapping and checks the
+figure's relations: stub and skeleton classes *inherit* from the
+generated interface class; the implementation either inherits the
+skeleton or bridges through the tie.
+"""
+
+from repro.idl import parse
+from repro.mappings import get_pack
+from repro.mappings.corba_cpp import class_hierarchy
+
+from benchmarks.conftest import write_artifact
+
+IDL = "interface A { void f(); };"
+
+
+def generate_hierarchy():
+    files = get_pack("corba_cpp").generate(parse(IDL, filename="A.idl")).files()
+    edges = {}
+    for text in files.values():
+        edges.update(class_hierarchy(text))
+    return edges
+
+
+def render(edges):
+    lines = ["Fig. 1 class graph (CORBA-prescribed mapping)"]
+    for cls in sorted(edges):
+        for base in edges[cls]:
+            lines.append(f"  {cls} --inherits--> {base}")
+    return "\n".join(lines) + "\n"
+
+
+def test_interface_rooted_at_corba_object():
+    edges = generate_hierarchy()
+    assert "CORBA::Object" in edges["A"]
+
+
+def test_stub_inherits_interface():
+    edges = generate_hierarchy()
+    assert "A" in edges["A_stub"]
+
+
+def test_skeleton_inherits_interface_and_servant_base():
+    edges = generate_hierarchy()
+    bases = edges["POA_A"]
+    assert "A" in bases
+    assert any("ServantBase" in base for base in bases)
+
+
+def test_tie_bridges_unrelated_implementation():
+    edges = generate_hierarchy()
+    assert "POA_A" in edges["POA_A_tie"]
+
+
+def test_implementation_path_is_inheritance():
+    """The key contrast with Fig. 2: in this mapping the implementation
+    must join the generated hierarchy (POA_A) or use the tie."""
+    files = get_pack("corba_cpp").generate(parse(IDL, filename="A.idl")).files()
+    poa = files["A_poa.hh"]
+    assert "class POA_A :" in poa
+    assert "template<class T>" in poa  # the tie escape hatch
+
+
+def test_regenerate_fig1_artifact(benchmark):
+    edges = benchmark(generate_hierarchy)
+    write_artifact("fig1_hierarchy.txt", render(edges))
+    assert edges

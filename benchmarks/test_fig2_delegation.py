@@ -1,0 +1,81 @@
+"""F2 — Fig. 2: the HeidiRMI delegation mapping.
+
+The skeleton holds a pointer to the implementation instead of being
+inherited by it, "so that no restructuring of the existing Heidi class
+hierarchy is necessary" — checked both in the generated C++ and in the
+live Python runtime.
+"""
+
+from repro.idl import parse
+from repro.mappings import get_pack
+from repro.mappings.corba_cpp import class_hierarchy
+
+from benchmarks.conftest import write_artifact
+
+IDL = "interface A { void f(); };"
+
+
+def generate_hierarchy():
+    files = get_pack("heidi_cpp").generate(parse(IDL, filename="A.idl")).files()
+    edges = {}
+    for text in files.values():
+        edges.update(class_hierarchy(text))
+    skeleton_source = files["A_skels.hh"]
+    return edges, skeleton_source
+
+
+def render(edges, skeleton_source):
+    lines = ["Fig. 2 class graph (HeidiRMI delegation mapping)"]
+    for cls in sorted(edges):
+        for base in edges[cls]:
+            lines.append(f"  {cls} --inherits--> {base}")
+    lines.append("  HdA_skel --delegates-to--> HdA (impl_ pointer):")
+    lines.extend(
+        "    " + line.strip()
+        for line in skeleton_source.splitlines()
+        if "impl_" in line
+    )
+    return "\n".join(lines) + "\n"
+
+
+def test_skeleton_does_not_inherit_interface_class():
+    """'skeletons do not share any inheritance relation with the
+    abstract interface class' (paper §3.1)."""
+    edges, _ = generate_hierarchy()
+    assert "HdA" not in edges.get("HdA_skel", [])
+
+
+def test_skeleton_holds_impl_pointer():
+    _, skeleton_source = generate_hierarchy()
+    assert "HdA* impl_;" in skeleton_source
+
+
+def test_stub_implements_interface_class():
+    edges, _ = generate_hierarchy()
+    assert "HdA" in edges["HdA_stub"]
+
+
+def test_live_runtime_uses_delegation():
+    """The Python runtime realizes Fig. 2: any object serves as the
+    implementation, no generated base class required."""
+    from repro.heidirmi.skeleton import HdSkel
+
+    class Legacy:  # completely unrelated to any generated class
+        def f(self):
+            return "ok"
+
+    class A_skel(HdSkel):
+        _hd_operations_ = (("f", "_op_f"),)
+
+        def _op_f(self, call, reply):
+            reply.put_string(self.impl.f())
+
+    skeleton = A_skel(Legacy(), None, dispatch_strategy="hash")
+    assert skeleton.impl.f() == "ok"
+    assert not isinstance(skeleton.impl, A_skel)
+
+
+def test_regenerate_fig2_artifact(benchmark):
+    edges, skeleton_source = benchmark(generate_hierarchy)
+    write_artifact("fig2_delegation.txt", render(edges, skeleton_source))
+    assert "HdA_skel" in edges

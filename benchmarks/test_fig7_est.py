@@ -1,0 +1,43 @@
+"""F7 — Fig. 7: the Enhanced Syntax Tree for A.idl.
+
+Regenerates the figure's tree (with the button attribute in its own
+sub-tree, separate from the methods) and times EST construction.
+"""
+
+from repro.est import build_est, find, render_tree
+from repro.idl import parse
+
+from benchmarks.conftest import PAPER_IDL, write_artifact
+
+
+def test_fig7_grouping_property():
+    est = build_est(parse(PAPER_IDL, filename="A.idl"))
+    interface = find(est, kind="Interface", name="A")
+    assert [n.name for n in interface.children("Operation")] == [
+        "f", "g", "p", "q", "s", "t",
+    ]
+    assert [n.name for n in interface.children("Attribute")] == ["button"]
+
+
+def test_fig7_top_level_nodes():
+    """Fig. 7 shows Status, SSequence and A under the Heidi module."""
+    est = build_est(parse(PAPER_IDL, filename="A.idl"))
+    module = find(est, kind="Module", name="Heidi")
+    assert [n.name for n in module.children("Enum")] == ["Status"]
+    assert [n.name for n in module.children("Alias")] == ["SSequence"]
+    assert [n.name for n in module.children("Interface")] == ["A", "S"]
+
+
+def test_fig7_rendering_artifact():
+    est = build_est(parse(PAPER_IDL, filename="A.idl"))
+    text = render_tree(est)
+    write_artifact("fig7_est.txt", text)
+    # Rendering shows grouped sub-trees, in method-then-attribute order.
+    assert text.index("[methodList]") < text.index("[attributeList]")
+    assert "Attribute: button" in text
+
+
+def test_est_construction_bench(benchmark):
+    spec = parse(PAPER_IDL, filename="A.idl")
+    est = benchmark(lambda: build_est(spec))
+    assert find(est, kind="Interface", name="A") is not None

@@ -1,0 +1,60 @@
+"""F9 — Fig. 9: the template for the C++ interface-class header.
+
+The shipped heidi_cpp pack's interface_header.tmpl is this repository's
+Fig. 9.  The figure's constructs are all present and the two-step
+compilation (template → generator program → output) is timed.
+"""
+
+from repro.mappings import get_pack
+from repro.templates.compiler import compile_template, compile_to_source
+from repro.templates.parser import parse_template
+
+from benchmarks.conftest import write_artifact
+
+
+def template_source():
+    return get_pack("heidi_cpp").load_template_source("interface_header.tmpl")
+
+
+class TestFig9Constructs:
+    def test_foreach_with_map_modifier(self):
+        source = template_source()
+        assert "@foreach allInterfaceList -map interfaceName CPP::MapClassName" in source
+
+    def test_openfile_directive(self):
+        assert "@openfile ${basename}.hh" in template_source()
+
+    def test_if_on_default_param(self):
+        source = template_source()
+        assert '@if ${defaultParam} == ""' in source
+        assert "@else" in source and "@fi" in source
+
+    def test_if_more_separator(self):
+        assert "-ifMore ', '" in template_source()
+
+    def test_readonly_attribute_conditional(self):
+        assert '@if ${attributeQualifier} != "readonly"' in template_source()
+
+    def test_destructor_line(self):
+        assert "virtual ~${interfaceName}() { }" in template_source()
+
+
+def test_template_parses_and_compiles():
+    template = parse_template(template_source(), name="fig9")
+    program = compile_to_source(template)
+    compile(program, "<fig9>", "exec")
+    assert "def generate(rt):" in program
+
+
+def test_fig9_artifacts():
+    source = template_source()
+    write_artifact("fig9_template.tmpl", source)
+    program = compile_to_source(parse_template(source, name="fig9"))
+    write_artifact("fig9_generator_program.py", program)
+
+
+def test_step1_compilation_bench(benchmark):
+    """Time step 1 alone: template text → generator program."""
+    source = template_source()
+    compiled = benchmark(lambda: compile_template(source, name="fig9"))
+    assert compiled.source

@@ -1,0 +1,4 @@
+"""Setup shim so editable installs work offline (no wheel package available)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Reproduction of *Customizing IDL Mappings and ORB Protocols* (Middleware 2000).
+
+The package provides:
+
+- :mod:`repro.idl` — an OMG IDL front-end (lexer, parser, semantic
+  analysis) extended with the paper's ``incopy`` qualifier and default
+  parameter values.
+- :mod:`repro.est` — the *Enhanced Syntax Tree*: a parse tree whose
+  children are grouped by kind, plus an emitter that renders an EST as an
+  executable program which rebuilds it (the paper's generated-Perl stage,
+  here generating Python).
+- :mod:`repro.templates` — a Jeeves-style template engine with the
+  paper's directive set (``@foreach``, ``@if``, ``@openfile``, ``-map``,
+  ``-ifMore``) and two-step compilation.
+- :mod:`repro.mappings` — template packs: the CORBA-prescribed C++
+  mapping, the HeidiRMI C++ mapping, a Java mapping, the Tcl ORB mapping,
+  and a live Python mapping that executes on the bundled runtime.
+- :mod:`repro.heidirmi` — the HeidiRMI runtime: object references,
+  ``Call``/``ObjectCommunicator``, text wire protocol, TCP and in-process
+  transports, stub/skeleton/connection caching, dispatch strategies and
+  pass-by-value serialization.
+- :mod:`repro.giop` — CDR marshalling, GIOP 1.0 messages and IIOP IORs,
+  pluggable as an alternate ORB protocol.
+- :mod:`repro.compiler` — the two-stage compiler pipeline and CLI.
+- :mod:`repro.footprint` — code-size and import-closure accounting used
+  by the footprint experiments.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "idl",
+    "est",
+    "templates",
+    "mappings",
+    "heidirmi",
+    "giop",
+    "compiler",
+    "footprint",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.compiler`` entry point."""
+
+import sys
+
+from repro.compiler.cli import main
+
+sys.exit(main())

@@ -1,0 +1,37 @@
+"""The Enhanced Syntax Tree (EST).
+
+An EST is a parse tree *organized so that similar elements are grouped
+together* (paper, Section 4.1): all the attributes of an interface live
+in one sub-list, all the methods in another, regardless of how they were
+interleaved in the IDL source.  This grouping is what makes the template
+language's ``@foreach`` exhaustive over a node kind.
+
+The package mirrors the paper's pipeline:
+
+- :class:`repro.est.node.Ast` — the node model (the Perl ``Ast.pm``).
+- :func:`repro.est.builder.build_est` — lower an IDL syntax tree to an EST.
+- :func:`repro.est.emit.emit_program` — render an EST as an executable
+  Python program that rebuilds it (the generated-Perl stage of Fig. 8).
+- :func:`repro.est.emit.load_program` — execute such a program and get
+  the EST back.
+"""
+
+from repro.est.node import Ast, KIND_ALIASES, group_key, var_base
+from repro.est.builder import build_est
+from repro.est.emit import emit_program, load_program
+from repro.est.query import find, find_all, render_tree
+from repro.est.repository import InterfaceRepository
+
+__all__ = [
+    "Ast",
+    "KIND_ALIASES",
+    "group_key",
+    "var_base",
+    "build_est",
+    "emit_program",
+    "load_program",
+    "find",
+    "find_all",
+    "render_tree",
+    "InterfaceRepository",
+]

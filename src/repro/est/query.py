@@ -1,0 +1,70 @@
+"""Traversal and rendering helpers over ESTs.
+
+``render_tree`` produces the indented textual form of an EST used to
+reproduce the paper's Fig. 7, showing children grouped per kind.
+"""
+
+from repro.est.node import Ast
+
+
+def find(root, kind=None, name=None):
+    """Return the first node matching *kind* and/or *name*, or None."""
+    for node in root.walk():
+        if kind is not None and node.kind != kind:
+            continue
+        if name is not None and node.name != name:
+            continue
+        return node
+    return None
+
+
+def find_all(root, kind=None, name=None):
+    """Return every node matching *kind* and/or *name*, in tree order."""
+    matches = []
+    for node in root.walk():
+        if kind is not None and node.kind != kind:
+            continue
+        if name is not None and node.name != name:
+            continue
+        matches.append(node)
+    return matches
+
+
+def render_tree(root, show_props=False):
+    """Render the EST as indented text, children grouped by kind list.
+
+    With ``show_props`` each node line is followed by its properties
+    (excluding the automatic ``<kind>Name`` one), making the Fig. 8
+    vocabulary visible in the Fig. 7 shape.
+    """
+    lines = []
+    _render_node(root, 0, lines, show_props)
+    return "\n".join(lines) + "\n"
+
+
+def _render_node(node, depth, lines, show_props):
+    indent = "  " * depth
+    label = f"{node.kind}: {node.name}" if node.name else node.kind
+    lines.append(f"{indent}{label}")
+    if show_props:
+        from repro.est.node import var_base
+
+        auto = var_base(node.kind) + "Name" if node.kind else None
+        for key, value in sorted(node.props.items()):
+            if key == auto and value == node.name:
+                continue
+            lines.append(f"{indent}  .{key} = {value!r}")
+    for group_name in node.groups:
+        lines.append(f"{indent}  [{group_name}]")
+        for child in node.groups[group_name]:
+            _render_node(child, depth + 2, lines, show_props)
+
+
+def interfaces_of(root):
+    """All Interface nodes in the EST, in source order."""
+    return find_all(root, kind="Interface")
+
+
+def count_nodes(root):
+    """Total node count (root included)."""
+    return sum(1 for _ in root.walk())

@@ -1,0 +1,218 @@
+"""An Interface Repository storing Enhanced Syntax Trees.
+
+The paper (§5) relates its architecture to OmniBroker's: "The OmniBroker
+parser stores an abstract representation of the IDL source in a possibly
+persistent global Interface Repository (IR) in support of a distributed
+development environment. ... The EST that our template code-generation
+requires could either be generated on the fly from the parse tree in the
+IR, or the IR could be modified to store the EST instead of the parse
+tree."
+
+This module is that modified IR: it stores ESTs keyed by the source
+name, indexes every contained declaration by repository ID, and persists
+each entry as its executable EST program (the same Fig. 8 artifact the
+compiler hand-off uses), so a repository on disk is a directory of
+programs plus an index.
+"""
+
+import os
+
+from repro.est.builder import build_est
+from repro.est.emit import emit_program, load_program
+from repro.est.node import Ast
+
+_INDEX_NAME = "index.txt"
+_ENTRY_SUFFIX = ".est.py"
+
+
+class InterfaceRepository:
+    """EST store with repository-ID lookup and program-based persistence."""
+
+    def __init__(self):
+        self._entries = {}
+        self._by_repo_id = {}
+        self._by_scoped_name = {}
+
+    # -- population ---------------------------------------------------------
+
+    def add(self, spec_or_est, name=None):
+        """Store a parsed Specification (lowered to an EST) or an EST.
+
+        Returns the entry name (derived from the EST's ``file`` property
+        when not given).  Re-adding a name replaces the entry and its
+        repository-ID index records.
+        """
+        if isinstance(spec_or_est, Ast):
+            est = spec_or_est
+        else:
+            est = build_est(spec_or_est)
+        if name is None:
+            name = est.get("file") or f"entry{len(self._entries)}"
+        if name in self._entries:
+            self.remove(name)
+        self._entries[name] = est
+        for node in est.walk():
+            repo_id = node.get("repoId")
+            # Inherited children carry the base's repository ID but are
+            # *references*, not declarations — they must not shadow the
+            # declaring node in the index.
+            if repo_id and node.kind != "Inherited":
+                self._by_repo_id[repo_id] = (name, node)
+                scoped = node.get("scopedName")
+                if scoped:
+                    self._by_scoped_name[scoped] = (name, node)
+        return name
+
+    def remove(self, name):
+        est = self._entries.pop(name, None)
+        if est is None:
+            return False
+        for index in (self._by_repo_id, self._by_scoped_name):
+            stale = [
+                key for key, (entry, _) in index.items() if entry == name
+            ]
+            for key in stale:
+                del index[key]
+        return True
+
+    # -- queries -------------------------------------------------------------
+
+    def entry(self, name):
+        """The stored EST root for an entry name, or None."""
+        return self._entries.get(name)
+
+    def entries(self):
+        return sorted(self._entries)
+
+    def lookup(self, repo_id):
+        """The EST node declared under *repo_id*, or None."""
+        record = self._by_repo_id.get(repo_id)
+        return record[1] if record else None
+
+    def entry_of(self, repo_id):
+        """Which entry declares *repo_id*, or None."""
+        record = self._by_repo_id.get(repo_id)
+        return record[0] if record else None
+
+    def lookup_scoped(self, scoped_name):
+        """The EST node declared under a ``A::B`` scoped name, or None."""
+        record = self._by_scoped_name.get(scoped_name)
+        return record[1] if record else None
+
+    def operation_node(self, repo_id, operation):
+        """The Operation/Attribute EST node serving *operation* on the
+        interface *repo_id*, searching inherited interfaces.
+
+        Attribute accessors resolve through their ``_get_``/``_set_``
+        wire names.  Returns (kind, node) where kind is ``operation``,
+        ``attribute-get`` or ``attribute-set``; (None, None) if absent.
+        """
+        seen = set()
+        stack = [repo_id]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            interface = self.lookup(current)
+            if interface is None or interface.kind != "Interface":
+                continue
+            for op_node in interface.children("Operation"):
+                if op_node.name == operation:
+                    return "operation", op_node
+            for attr in interface.children("Attribute"):
+                if operation == f"_get_{attr.name}":
+                    return "attribute-get", attr
+                if (operation == f"_set_{attr.name}"
+                        and attr.get("attributeQualifier") != "readonly"):
+                    return "attribute-set", attr
+            stack.extend(self.parents_of(current) or ())
+        return None, None
+
+    def interfaces(self):
+        """All Interface repository IDs across every entry, sorted."""
+        return sorted(
+            repo_id
+            for repo_id, (_, node) in self._by_repo_id.items()
+            if node.kind == "Interface"
+        )
+
+    def repo_ids(self):
+        return sorted(self._by_repo_id)
+
+    def operations_of(self, repo_id):
+        """Operation names (own, not inherited) of an interface."""
+        node = self.lookup(repo_id)
+        if node is None or node.kind != "Interface":
+            return None
+        return [child.name for child in node.children("Operation")]
+
+    def parents_of(self, repo_id):
+        """Repository IDs of the direct bases of an interface."""
+        node = self.lookup(repo_id)
+        if node is None or node.kind != "Interface":
+            return None
+        return [
+            child.get("repoId")
+            for child in node.children("Inherited")
+            if child.get("repoId")
+        ]
+
+    def is_a(self, repo_id, candidate):
+        """Transitive interface conformance, resolved through the IR."""
+        if repo_id == candidate:
+            return True
+        seen = set()
+        stack = [repo_id]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for parent in self.parents_of(current) or ():
+                if parent == candidate:
+                    return True
+                stack.append(parent)
+        return False
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, repo_id):
+        return repo_id in self._by_repo_id
+
+    # -- persistence ------------------------------------------------------------
+
+    @staticmethod
+    def _safe_name(name):
+        return "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in name)
+
+    def save(self, directory):
+        """Persist each entry as its executable EST program."""
+        os.makedirs(directory, exist_ok=True)
+        index_lines = []
+        for name in self.entries():
+            file_name = self._safe_name(name) + _ENTRY_SUFFIX
+            path = os.path.join(directory, file_name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(emit_program(self._entries[name]))
+            index_lines.append(f"{file_name}\t{name}")
+        index_path = os.path.join(directory, _INDEX_NAME)
+        with open(index_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(index_lines) + ("\n" if index_lines else ""))
+        return directory
+
+    @classmethod
+    def load(cls, directory):
+        """Rebuild a repository by evaluating the stored EST programs."""
+        repository = cls()
+        index_path = os.path.join(directory, _INDEX_NAME)
+        with open(index_path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        for line in lines:
+            file_name, _, name = line.partition("\t")
+            path = os.path.join(directory, file_name)
+            with open(path, "r", encoding="utf-8") as handle:
+                est = load_program(handle.read())
+            repository.add(est, name=name or file_name)
+        return repository

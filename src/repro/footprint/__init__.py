@@ -1,0 +1,24 @@
+"""Footprint accounting: code size and runtime-subset measurement.
+
+Backs two of the paper's claims:
+
+- Section 4.2: "it took us about two weeks and 700 lines of tcl code to
+  build an IIOP compatible tcl ORB" — :func:`count_lines` measures the
+  regenerated Tcl ORB against that number;
+- Section 4.2: "it is possible to write templates for stubs and
+  skeletons that only use portions of the ORB library to minimize the
+  ORB footprint" — :func:`import_closure` computes which runtime
+  modules a generated artifact actually pulls in.
+"""
+
+from repro.footprint.loc import LineCounts, count_lines, count_package_lines
+from repro.footprint.imports import import_closure, module_loc, subset_report
+
+__all__ = [
+    "LineCounts",
+    "count_lines",
+    "count_package_lines",
+    "import_closure",
+    "module_loc",
+    "subset_report",
+]

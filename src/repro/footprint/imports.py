@@ -1,0 +1,97 @@
+"""Static import-closure analysis over the repro packages.
+
+``import_closure`` walks ``import``/``from`` statements (via ``ast``)
+starting from one or more modules, restricted to a package prefix, and
+returns every reachable module.  The footprint bench uses it to show
+that a stub generated against the text protocol never pulls in the GIOP
+substrate — the "minimal ORB" the paper says templates make possible.
+"""
+
+import ast
+import importlib.util
+import os
+
+
+def _module_path(module_name):
+    try:
+        spec = importlib.util.find_spec(module_name)
+    except (ModuleNotFoundError, ValueError):
+        # `from pkg.mod import name` guesses `pkg.mod.name` as a module
+        # candidate; when `name` is a class/function the guess fails.
+        return None
+    if spec is None or spec.origin in (None, "built-in"):
+        return None
+    return spec.origin
+
+
+def _imports_of(module_name):
+    path = _module_path(module_name)
+    if path is None or not path.endswith(".py"):
+        return set()
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    found = set()
+    # Only module- and class-level imports count: imports inside function
+    # bodies are lazy by design (the ORB loads GIOP that way precisely to
+    # keep the minimal footprint minimal) and must not inflate it.
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.ClassDef):
+            stack.extend(node.body)
+        elif isinstance(node, (ast.If, ast.Try)):
+            for child in ast.iter_child_nodes(node):
+                stack.append(child)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            found.add(node.module)
+            # `from pkg import name` may name a submodule.
+            for alias in node.names:
+                found.add(f"{node.module}.{alias.name}")
+    return found
+
+
+def import_closure(roots, prefix="repro"):
+    """All *prefix*-internal modules transitively imported from *roots*.
+
+    Only statically written imports count; dynamic imports (like the
+    ORB's lazy GIOP loading) are intentionally excluded — that laziness
+    is exactly what keeps the minimal footprint minimal.
+    """
+    if isinstance(roots, str):
+        roots = [roots]
+    closure = set()
+    stack = [root for root in roots]
+    while stack:
+        module_name = stack.pop()
+        if not module_name.startswith(prefix):
+            continue
+        if _module_path(module_name) is None:
+            continue
+        if module_name in closure:
+            continue
+        closure.add(module_name)
+        for imported in _imports_of(module_name):
+            if imported.startswith(prefix) and imported not in closure:
+                stack.append(imported)
+    return sorted(closure)
+
+
+def module_loc(module_name):
+    """Code lines of one module (0 when it has no source file)."""
+    from repro.footprint.loc import count_file_lines
+
+    path = _module_path(module_name)
+    if path is None or not path.endswith(".py"):
+        return 0
+    return count_file_lines(path, "python").code
+
+
+def subset_report(roots, prefix="repro"):
+    """{module: code-lines} for the closure of *roots*, plus a total."""
+    modules = import_closure(roots, prefix=prefix)
+    report = {module: module_loc(module) for module in modules}
+    report["<total>"] = sum(report.values())
+    return report

@@ -1,0 +1,216 @@
+"""GIOP 1.0 message formats.
+
+Every GIOP message starts with the 12-byte message header::
+
+    char[4] magic = "GIOP"
+    octet   version_major, version_minor   (1, 0)
+    octet   byte_order                     (1 = little endian)
+    octet   message_type
+    ulong   message_size                   (bytes following the header)
+
+Request and Reply headers follow the OMG 1.0 layout, including the
+service-context sequence and (for requests) the requesting principal.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.giop.cdr import CdrDecoder, CdrEncoder
+from repro.heidirmi.errors import ProtocolError
+
+GIOP_MAGIC = b"GIOP"
+GIOP_HEADER_SIZE = 12
+
+MSG_REQUEST = 0
+MSG_REPLY = 1
+MSG_CANCEL_REQUEST = 2
+MSG_LOCATE_REQUEST = 3
+MSG_LOCATE_REPLY = 4
+MSG_CLOSE_CONNECTION = 5
+MSG_MESSAGE_ERROR = 6
+
+# ReplyHeader.reply_status values.
+REPLY_NO_EXCEPTION = 0
+REPLY_USER_EXCEPTION = 1
+REPLY_SYSTEM_EXCEPTION = 2
+REPLY_LOCATION_FORWARD = 3
+
+# LocateReplyHeader.locate_status values.
+LOCATE_UNKNOWN_OBJECT = 0
+LOCATE_OBJECT_HERE = 1
+LOCATE_OBJECT_FORWARD = 2
+
+
+@dataclass
+class MessageHeader:
+    message_type: int
+    message_size: int
+    little_endian: bool = True
+    version: tuple = (1, 0)
+
+    def encode(self):
+        encoder = CdrEncoder(little_endian=self.little_endian)
+        encoder.raw(GIOP_MAGIC)
+        encoder.octet(self.version[0])
+        encoder.octet(self.version[1])
+        encoder.octet(1 if self.little_endian else 0)
+        encoder.octet(self.message_type)
+        encoder.ulong(self.message_size)
+        return encoder.data()
+
+    @classmethod
+    def decode(cls, data):
+        if len(data) < GIOP_HEADER_SIZE:
+            raise ProtocolError("short GIOP header")
+        if bytes(data[:4]) != GIOP_MAGIC:
+            raise ProtocolError(f"bad GIOP magic {bytes(data[:4])!r}")
+        major, minor = data[4], data[5]
+        if (major, minor) != (1, 0):
+            raise ProtocolError(f"unsupported GIOP version {major}.{minor}")
+        little_endian = data[6] == 1
+        message_type = data[7]
+        if message_type > MSG_MESSAGE_ERROR:
+            raise ProtocolError(f"unknown GIOP message type {message_type}")
+        decoder = CdrDecoder(data[8:12], little_endian=little_endian)
+        message_size = decoder.ulong()
+        return cls(
+            message_type=message_type,
+            message_size=message_size,
+            little_endian=little_endian,
+            version=(major, minor),
+        )
+
+
+@dataclass
+class ServiceContext:
+    context_id: int
+    context_data: bytes = b""
+
+
+def _encode_service_contexts(encoder, contexts):
+    encoder.ulong(len(contexts))
+    for context in contexts:
+        encoder.ulong(context.context_id)
+        encoder.octets(context.context_data)
+
+
+def _decode_service_contexts(decoder):
+    count = decoder.ulong()
+    if count > 1024:
+        raise ProtocolError(f"implausible service-context count {count}")
+    return [
+        ServiceContext(context_id=decoder.ulong(), context_data=decoder.octets())
+        for _ in range(count)
+    ]
+
+
+@dataclass
+class RequestHeader:
+    """GIOP 1.0 RequestHeader."""
+
+    request_id: int
+    object_key: bytes
+    operation: str
+    response_expected: bool = True
+    service_context: list = field(default_factory=list)
+    requesting_principal: bytes = b""
+
+    def encode(self, encoder):
+        _encode_service_contexts(encoder, self.service_context)
+        encoder.ulong(self.request_id)
+        encoder.boolean(self.response_expected)
+        encoder.octets(self.object_key)
+        encoder.string(self.operation)
+        encoder.octets(self.requesting_principal)
+
+    @classmethod
+    def decode(cls, decoder):
+        service_context = _decode_service_contexts(decoder)
+        return cls(
+            service_context=service_context,
+            request_id=decoder.ulong(),
+            response_expected=decoder.boolean(),
+            object_key=decoder.octets(),
+            operation=decoder.string(),
+            requesting_principal=decoder.octets(),
+        )
+
+
+@dataclass
+class ReplyHeader:
+    """GIOP 1.0 ReplyHeader."""
+
+    request_id: int
+    reply_status: int
+    service_context: list = field(default_factory=list)
+
+    def encode(self, encoder):
+        _encode_service_contexts(encoder, self.service_context)
+        encoder.ulong(self.request_id)
+        encoder.ulong(self.reply_status)
+
+    @classmethod
+    def decode(cls, decoder):
+        service_context = _decode_service_contexts(decoder)
+        request_id = decoder.ulong()
+        reply_status = decoder.ulong()
+        if reply_status > REPLY_LOCATION_FORWARD:
+            raise ProtocolError(f"unknown reply status {reply_status}")
+        return cls(
+            service_context=service_context,
+            request_id=request_id,
+            reply_status=reply_status,
+        )
+
+
+@dataclass
+class LocateRequestHeader:
+    request_id: int
+    object_key: bytes
+
+    def encode(self, encoder):
+        encoder.ulong(self.request_id)
+        encoder.octets(self.object_key)
+
+    @classmethod
+    def decode(cls, decoder):
+        return cls(request_id=decoder.ulong(), object_key=decoder.octets())
+
+
+@dataclass
+class LocateReplyHeader:
+    request_id: int
+    locate_status: int
+
+    def encode(self, encoder):
+        encoder.ulong(self.request_id)
+        encoder.ulong(self.locate_status)
+
+    @classmethod
+    def decode(cls, decoder):
+        header = cls(request_id=decoder.ulong(), locate_status=decoder.ulong())
+        if header.locate_status > LOCATE_OBJECT_FORWARD:
+            raise ProtocolError(f"unknown locate status {header.locate_status}")
+        return header
+
+
+def frame_message(message_type, body, little_endian=True):
+    """A complete GIOP message: header + body bytes."""
+    header = MessageHeader(
+        message_type=message_type,
+        message_size=len(body),
+        little_endian=little_endian,
+    )
+    return header.encode() + body
+
+
+def read_message(channel):
+    """Read one framed GIOP message from a channel.
+
+    Returns (MessageHeader, body bytes).
+    """
+    header_bytes = channel.recv_exact(GIOP_HEADER_SIZE)
+    header = MessageHeader.decode(header_bytes)
+    if header.message_size > (1 << 24):
+        raise ProtocolError(f"implausible GIOP message size {header.message_size}")
+    body = channel.recv_exact(header.message_size) if header.message_size else b""
+    return header, body

@@ -1,0 +1,56 @@
+"""``ObjectCommunicator`` — request demarcation over a channel.
+
+"An ObjectCommunicator provides the abstraction of a communication
+channel on which individual requests can be demarcated" (paper,
+Section 3.1).  It pairs a transport channel with a protocol; the client
+side invokes calls through it, the server side pulls requests off it.
+"""
+
+from repro.heidirmi.call import Reply, STATUS_ERROR
+from repro.heidirmi.errors import CommunicationError
+
+
+class ObjectCommunicator:
+    """One demarcated request/reply stream over a Channel."""
+
+    def __init__(self, channel, protocol):
+        self.channel = channel
+        self.protocol = protocol
+
+    # -- client side -------------------------------------------------------
+
+    def invoke(self, call):
+        """Send *call*; return the Reply (or None for oneway calls)."""
+        self.protocol.send_request(self.channel, call)
+        if call.oneway:
+            return None
+        return self.protocol.recv_reply(self.channel)
+
+    # -- server side -------------------------------------------------------
+
+    def next_request(self, object_exists=None):
+        """Block for the next incoming request Call."""
+        return self.protocol.recv_request(self.channel,
+                                          object_exists=object_exists)
+
+    def reply(self, reply):
+        self.protocol.send_reply(self.channel, reply)
+
+    def reply_error(self, category, message):
+        """Convenience for protocol-level failures (bad request line...)."""
+        marshaller = self.protocol.new_marshaller()
+        reply = Reply(status=STATUS_ERROR, repo_id=category, marshaller=marshaller)
+        reply.put_string(message)
+        try:
+            self.protocol.send_reply(self.channel, reply)
+        except CommunicationError:
+            pass  # peer already gone; nothing to report to
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self):
+        self.channel.close()
+
+    @property
+    def closed(self):
+        return self.channel.closed

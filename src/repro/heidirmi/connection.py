@@ -1,0 +1,74 @@
+"""Connection caching.
+
+"Connections are cached and reused in HeidiRMI, and only if there is no
+available connection is a new connection opened" (paper, Section 3.1).
+The cache pools idle :class:`ObjectCommunicator` instances per
+(protocol, host, port) bootstrap tuple; callers check one out for the
+duration of a call and return it afterwards.
+"""
+
+import threading
+
+from repro.heidirmi.communicator import ObjectCommunicator
+
+
+class ConnectionCache:
+    """Pool of idle communicators keyed by bootstrap tuple."""
+
+    def __init__(self, transport_factory, protocol, enabled=True, max_idle=8):
+        self._transport_factory = transport_factory
+        self._protocol = protocol
+        self._enabled = enabled
+        self._max_idle = max_idle
+        self._idle = {}
+        self._lock = threading.Lock()
+        #: Counters the caching benchmarks read.
+        self.stats = {"hits": 0, "misses": 0, "opened": 0}
+
+    def acquire(self, bootstrap):
+        """A ready communicator for (protocol, host, port) *bootstrap*."""
+        if self._enabled:
+            with self._lock:
+                pool = self._idle.get(bootstrap)
+                while pool:
+                    communicator = pool.pop()
+                    if not communicator.closed:
+                        self.stats["hits"] += 1
+                        return communicator
+        with self._lock:
+            self.stats["misses"] += 1
+            self.stats["opened"] += 1
+        protocol_name, host, port = bootstrap
+        transport = self._transport_factory(protocol_name)
+        channel = transport.connect(host, port)
+        return ObjectCommunicator(channel, self._protocol)
+
+    def release(self, bootstrap, communicator):
+        """Return a communicator after use; closed ones are dropped."""
+        if communicator.closed:
+            return
+        if not self._enabled:
+            communicator.close()
+            return
+        with self._lock:
+            pool = self._idle.setdefault(bootstrap, [])
+            if len(pool) >= self._max_idle:
+                communicator.close()
+            else:
+                pool.append(communicator)
+
+    def discard(self, communicator):
+        """Drop a communicator that failed mid-call."""
+        communicator.close()
+
+    def close_all(self):
+        with self._lock:
+            pools, self._idle = self._idle, {}
+        for pool in pools.values():
+            for communicator in pool:
+                communicator.close()
+
+    @property
+    def idle_count(self):
+        with self._lock:
+            return sum(len(pool) for pool in self._idle.values())

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the HeidiRMI runtime."""
+
+
+class HeidiRmiError(Exception):
+    """Base class for all HeidiRMI runtime errors."""
+
+
+class MarshalError(HeidiRmiError):
+    """A value could not be marshalled or unmarshalled."""
+
+
+class ProtocolError(HeidiRmiError):
+    """Malformed data on the wire (bad framing, bad header, bad token)."""
+
+
+class CommunicationError(HeidiRmiError):
+    """A channel failed (connect refused, peer closed, short read)."""
+
+
+class ObjectNotFound(HeidiRmiError):
+    """The target object identifier is unknown in the server address space."""
+
+    def __init__(self, object_id):
+        self.object_id = object_id
+        super().__init__(f"no object registered with id {object_id!r}")
+
+
+class MethodNotFound(HeidiRmiError):
+    """Dispatch failed: no skeleton up the hierarchy handles the operation."""
+
+    def __init__(self, operation, type_id=""):
+        self.operation = operation
+        self.type_id = type_id
+        target = f" on {type_id}" if type_id else ""
+        super().__init__(f"no method {operation!r}{target}")
+
+
+class RemoteError(HeidiRmiError):
+    """An exception raised by the remote implementation, propagated back.
+
+    ``repo_id`` carries the IDL exception repository ID when the remote
+    exception was a declared (user) exception, or the ``ERR`` marker
+    category for system-level failures.
+    """
+
+    def __init__(self, message, repo_id=""):
+        self.repo_id = repo_id
+        super().__init__(message if not repo_id else f"{repo_id}: {message}")

@@ -1,0 +1,21 @@
+"""Base class for IDL-declared (user) exceptions.
+
+Generated exception classes subclass :class:`HdUserException`, carry
+their repository ID, and know how to marshal/unmarshal their members.
+The server side catches them during dispatch and turns them into ``EXC``
+replies; the client side rebuilds and re-raises them.
+"""
+
+
+class HdUserException(Exception):
+    """An exception declared in IDL (``raises`` clause)."""
+
+    _hd_repo_id_ = ""
+
+    def _hd_marshal(self, reply, orb):
+        """Write the exception members; default has none."""
+
+    @classmethod
+    def _hd_unmarshal(cls, reply, orb):
+        """Rebuild from a reply; default has no members."""
+        return cls()

@@ -1,0 +1,132 @@
+"""Abstract marshalling interface shared by all wire protocols.
+
+A :class:`Marshaller` turns typed values into a payload; an
+:class:`Unmarshaller` pulls typed values back out.  The ``Call`` object
+(paper, Fig. 4) exposes exactly this surface — "functions for marshaling
+and unmarshaling all primitive data types, as well as additional begin
+and end functions that permit structuring of the call request so that
+such composite data types as structs or sequences can be easily
+represented".
+
+Two implementations ship: the newline-terminated text format
+(:mod:`repro.heidirmi.textwire`) and CDR (:mod:`repro.giop.cdr` via
+:mod:`repro.giop.iiop`).
+"""
+
+
+class Marshaller:
+    """Typed put-interface; subclasses encode into their wire format."""
+
+    def put_boolean(self, value):
+        raise NotImplementedError
+
+    def put_octet(self, value):
+        raise NotImplementedError
+
+    def put_char(self, value):
+        raise NotImplementedError
+
+    def put_short(self, value):
+        raise NotImplementedError
+
+    def put_ushort(self, value):
+        raise NotImplementedError
+
+    def put_long(self, value):
+        raise NotImplementedError
+
+    def put_ulong(self, value):
+        raise NotImplementedError
+
+    def put_longlong(self, value):
+        raise NotImplementedError
+
+    def put_ulonglong(self, value):
+        raise NotImplementedError
+
+    def put_float(self, value):
+        raise NotImplementedError
+
+    def put_double(self, value):
+        raise NotImplementedError
+
+    def put_string(self, value):
+        raise NotImplementedError
+
+    def put_enum(self, name, index):
+        """Enums carry both spellings: text writes *name*, CDR *index*."""
+        raise NotImplementedError
+
+    def put_objref(self, stringified):
+        """A stringified object reference, or None for nil."""
+        raise NotImplementedError
+
+    def begin(self, name=""):
+        """Open a composite value (struct/sequence/exception)."""
+        raise NotImplementedError
+
+    def end(self):
+        """Close the innermost composite value."""
+        raise NotImplementedError
+
+    def payload(self):
+        """The encoded payload bytes."""
+        raise NotImplementedError
+
+
+class Unmarshaller:
+    """Typed get-interface matching :class:`Marshaller`."""
+
+    def get_boolean(self):
+        raise NotImplementedError
+
+    def get_octet(self):
+        raise NotImplementedError
+
+    def get_char(self):
+        raise NotImplementedError
+
+    def get_short(self):
+        raise NotImplementedError
+
+    def get_ushort(self):
+        raise NotImplementedError
+
+    def get_long(self):
+        raise NotImplementedError
+
+    def get_ulong(self):
+        raise NotImplementedError
+
+    def get_longlong(self):
+        raise NotImplementedError
+
+    def get_ulonglong(self):
+        raise NotImplementedError
+
+    def get_float(self):
+        raise NotImplementedError
+
+    def get_double(self):
+        raise NotImplementedError
+
+    def get_string(self):
+        raise NotImplementedError
+
+    def get_enum(self, members):
+        """Return the enum *index*; *members* is the name tuple."""
+        raise NotImplementedError
+
+    def get_objref(self):
+        """A stringified reference or None for nil."""
+        raise NotImplementedError
+
+    def begin(self, name=""):
+        raise NotImplementedError
+
+    def end(self):
+        raise NotImplementedError
+
+    def at_end(self):
+        """True when the payload is exhausted (used for optional data)."""
+        raise NotImplementedError

@@ -1,0 +1,411 @@
+"""The per-address-space ORB core.
+
+One :class:`Orb` per address space: it owns the bootstrap port, the
+object table, the stub/skeleton caches and the connection cache, and it
+drives both sides of Figs. 4 and 5:
+
+- client side — ``create_call`` / ``invoke`` behind the stubs;
+- server side — accept a connection on the bootstrap port, wrap an
+  ``ObjectCommunicator`` around it, read requests, select the skeleton
+  by the object identifier and type in the call header, and dispatch.
+
+Everything the paper calls configurable is a constructor knob: the
+transport, the wire protocol, the dispatch strategy, and each cache.
+"""
+
+import threading
+import traceback
+
+from repro.heidirmi.call import Reply, STATUS_ERROR, STATUS_EXCEPTION, STATUS_OK, Call
+from repro.heidirmi.communicator import ObjectCommunicator
+from repro.heidirmi.connection import ConnectionCache
+from repro.heidirmi.errors import (
+    CommunicationError,
+    HeidiRmiError,
+    MethodNotFound,
+    ObjectNotFound,
+    ProtocolError,
+    RemoteError,
+)
+from repro.heidirmi.exceptions_user import HdUserException
+from repro.heidirmi.objref import ObjectReference
+from repro.heidirmi.protocol import get_protocol
+from repro.heidirmi.serialize import GLOBAL_TYPES
+from repro.heidirmi.stub import HdStub
+from repro.heidirmi.transport import get_transport
+
+
+class Orb:
+    """A configurable object request broker for one address space."""
+
+    def __init__(
+        self,
+        host="127.0.0.1",
+        port=0,
+        transport="tcp",
+        protocol="text",
+        dispatch_strategy="hash",
+        types=None,
+        cache_stubs=True,
+        cache_skeletons=True,
+        cache_connections=True,
+        threading_model="threaded",
+        trace=None,
+    ):
+        self.host = host
+        self.transport_name = transport
+        self.protocol = get_protocol(protocol)
+        self.dispatch_strategy = dispatch_strategy
+        if threading_model not in ("threaded", "serialized"):
+            raise HeidiRmiError(
+                f"unknown threading model {threading_model!r}; "
+                "choose 'threaded' or 'serialized'"
+            )
+        #: "threaded" dispatches requests concurrently (one worker per
+        #: connection); "serialized" runs at most one implementation
+        #: upcall at a time — the non-preemptive computation model the
+        #: paper says made a general-purpose ORB unusable for Heidi.
+        self.threading_model = threading_model
+        self._dispatch_serial_lock = (
+            threading.Lock() if threading_model == "serialized" else None
+        )
+        self.types = types if types is not None else GLOBAL_TYPES
+        self.trace = trace
+        self._transport = get_transport(transport)
+        self._requested_port = port
+        self._listener = None
+        self._acceptor_thread = None
+        self._running = False
+        self._lock = threading.RLock()
+
+        # Object table: oid -> (impl, type_id); skeletons made lazily.
+        self._objects = {}
+        self._object_refs = {}  # id(impl) -> ObjectReference
+        self._next_oid = 1
+
+        self._cache_stubs = cache_stubs
+        self._cache_skeletons = cache_skeletons
+        self._stubs = {}
+        self._skeletons = {}
+        self.connections = ConnectionCache(
+            get_transport, self.protocol, enabled=cache_connections
+        )
+        # Accepted server-side communicators, closed on stop() so worker
+        # threads blocked in recv unwind promptly.
+        self._active = set()
+        #: Counters read by the caching benchmarks.
+        self.stats = {
+            "stub_hits": 0,
+            "stub_created": 0,
+            "skeleton_hits": 0,
+            "skeleton_created": 0,
+            "requests": 0,
+            "calls": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        """Bind the bootstrap port and start accepting connections."""
+        with self._lock:
+            if self._running:
+                return self
+            self._listener = self._transport.listen(self.host, self._requested_port)
+            self._running = True
+        self._acceptor_thread = threading.Thread(
+            target=self._accept_loop, name="heidirmi-acceptor", daemon=True
+        )
+        self._acceptor_thread.start()
+        self._event("orb:listen", address=self.address)
+        return self
+
+    def stop(self):
+        """Shut down the listener, worker threads and cached connections."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+        if self._listener is not None:
+            self._listener.close()
+        with self._lock:
+            active = list(self._active)
+            self._active.clear()
+        for communicator in active:
+            communicator.close()
+        self.connections.close_all()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, exc_tb):
+        self.stop()
+
+    @property
+    def address(self):
+        """(host, port) actually bound (port resolves 0 → ephemeral)."""
+        if self._listener is not None:
+            return self._listener.address
+        return (self.host, self._requested_port)
+
+    @property
+    def port(self):
+        return self.address[1]
+
+    def _event(self, name, **detail):
+        if self.trace is not None:
+            self.trace(name, detail)
+
+    # -- object registration ---------------------------------------------------
+
+    def register(self, impl, type_id=None, oid=None):
+        """Register an implementation object; returns its reference.
+
+        The implementation need not know it is remote-accessible — the
+        delegation skeleton is created lazily, at first dispatch or when
+        the reference crosses the wire.
+        """
+        if type_id is None:
+            type_id = self._type_id_of(impl)
+        with self._lock:
+            if oid is None:
+                oid = str(self._next_oid)
+                self._next_oid += 1
+            elif oid in self._objects:
+                raise HeidiRmiError(f"object id {oid!r} already registered")
+            self._objects[oid] = (impl, type_id)
+            reference = ObjectReference(
+                protocol=self.transport_name,
+                host=self.host,
+                port=self.port,
+                object_id=oid,
+                type_id=type_id,
+            )
+            self._object_refs[id(impl)] = reference
+        self._event("orb:register", oid=oid, type_id=type_id)
+        return reference
+
+    def export(self, impl, type_id=None):
+        """The reference for *impl*, registering it on first export."""
+        existing = self._object_refs.get(id(impl))
+        if existing is not None:
+            return existing
+        return self.register(impl, type_id=type_id)
+
+    def unregister(self, oid):
+        with self._lock:
+            self._objects.pop(oid, None)
+            self._skeletons.pop(oid, None)
+
+    @staticmethod
+    def _type_id_of(impl):
+        type_id = getattr(impl, "_hd_type_id_", None)
+        if isinstance(type_id, str) and type_id:
+            return type_id
+        getter = getattr(impl, "_hd_type_id", None)
+        if callable(getter):
+            return getter()
+        raise HeidiRmiError(
+            f"cannot infer a repository ID for {type(impl).__name__}; "
+            "pass type_id= explicitly"
+        )
+
+    # -- stubs -------------------------------------------------------------------
+
+    def resolve(self, reference):
+        """A stub for *reference* (cached per stringified reference)."""
+        if isinstance(reference, str):
+            reference = ObjectReference.parse(reference)
+        key = reference.stringify()
+        if self._cache_stubs:
+            stub = self._stubs.get(key)
+            if stub is not None:
+                self.stats["stub_hits"] += 1
+                return stub
+        stub_class = self.types.stub_class(reference.type_id) or HdStub
+        stub = stub_class(reference, self)
+        self.stats["stub_created"] += 1
+        self._event("orb:stub", type_id=reference.type_id,
+                    cls=stub_class.__name__)
+        if self._cache_stubs:
+            self._stubs[key] = stub
+        return stub
+
+    # -- client call path (Fig. 4) --------------------------------------------------
+
+    def create_call(self, reference, operation, oneway=False):
+        """A new writable Call addressed at *reference* (Fig. 4 step 1)."""
+        self._event("call:new", operation=operation)
+        return Call(
+            reference.stringify(),
+            operation,
+            marshaller=self.protocol.new_marshaller(),
+            oneway=oneway,
+        )
+
+    def invoke(self, reference, call):
+        """Invoke *call* (Fig. 4 steps 2–4); returns the Reply."""
+        self.stats["calls"] += 1
+        bootstrap = reference.bootstrap
+        communicator = self.connections.acquire(bootstrap)
+        self._event("call:invoke", operation=call.operation,
+                    target=call.target)
+        try:
+            reply = communicator.invoke(call)
+        except CommunicationError:
+            self.connections.discard(communicator)
+            raise
+        self.connections.release(bootstrap, communicator)
+        self._event("call:reply", status=None if reply is None else reply.status)
+        return reply
+
+    def rebuild_exception(self, reply):
+        """Turn an EXC reply back into the declared exception instance."""
+        exc_class = self.types.value_class(reply.repo_id)
+        if exc_class is not None and issubclass(exc_class, HdUserException):
+            return exc_class._hd_unmarshal(reply, self)
+        return RemoteError("user exception", repo_id=reply.repo_id)
+
+    # -- server side (Fig. 5) ------------------------------------------------------
+
+    def _accept_loop(self):
+        while self._running:
+            try:
+                channel = self._listener.accept()
+            except CommunicationError:
+                break
+            self._event("orb:accept", peer=channel.peer)
+            worker = threading.Thread(
+                target=self._serve_channel,
+                args=(channel,),
+                name="heidirmi-conn",
+                daemon=True,
+            )
+            worker.start()
+
+    def _serve_channel(self, channel):
+        # "When a client connects to the bootstrap port, a new
+        # ObjectCommunicator is wrapped around the resulting connection."
+        # Whatever happens inside, this worker must never die without
+        # closing the channel — a silently leaked connection would leave
+        # the client blocked forever.
+        communicator = ObjectCommunicator(channel, self.protocol)
+        with self._lock:
+            self._active.add(communicator)
+        try:
+            self._serve_requests(communicator)
+        except Exception:  # defensive: bug in the server loop itself
+            self._event("orb:server-loop-error", error=traceback.format_exc())
+        finally:
+            with self._lock:
+                self._active.discard(communicator)
+            communicator.close()
+
+    def _serve_requests(self, communicator):
+        while self._running and not communicator.closed:
+            try:
+                call = communicator.next_request(
+                    object_exists=self._object_key_exists
+                )
+            except CommunicationError:
+                return
+            except ProtocolError as exc:
+                # A human (or buggy peer) typed something malformed; keep
+                # the connection alive so they can try again — this is
+                # what made telnet debugging possible.
+                communicator.reply_error("Protocol", str(exc))
+                continue
+            self._event("orb:request", operation=call.operation)
+            self.stats["requests"] += 1
+            reply = self._handle_request(call)
+            if call.oneway:
+                continue
+            try:
+                communicator.reply(reply)
+            except CommunicationError:
+                return
+            except HeidiRmiError as exc:
+                # The reply itself failed to encode (e.g. a result value
+                # the marshaller rejects): report instead of dying.
+                communicator.reply_error(type(exc).__name__, str(exc))
+
+    def _object_key_exists(self, object_key):
+        """Locate support: does this address space host *object_key*?"""
+        try:
+            reference = ObjectReference.parse(
+                object_key.decode("utf-8") if isinstance(object_key, bytes)
+                else object_key
+            )
+        except (ProtocolError, UnicodeDecodeError):
+            return False
+        return reference.object_id in self._objects
+
+    def _handle_request(self, call):
+        """Select the skeleton from the call header and dispatch (Fig. 5)."""
+        try:
+            reference = ObjectReference.parse(call.target)
+            skeleton = self._skeleton_for(reference)
+            reply = Reply(status=STATUS_OK, marshaller=self.protocol.new_marshaller())
+            self._event(
+                "orb:dispatch",
+                operation=call.operation,
+                skeleton=type(skeleton).__name__,
+            )
+            if self._dispatch_serial_lock is not None:
+                with self._dispatch_serial_lock:
+                    skeleton.dispatch(call, reply)
+            else:
+                skeleton.dispatch(call, reply)
+            return reply
+        except HdUserException as exc:
+            reply = Reply(
+                status=STATUS_EXCEPTION,
+                repo_id=exc._hd_repo_id_,
+                marshaller=self.protocol.new_marshaller(),
+            )
+            exc._hd_marshal(reply, self)
+            return reply
+        except ObjectNotFound as exc:
+            return self._error_reply("ObjectNotFound", str(exc))
+        except MethodNotFound as exc:
+            return self._error_reply("MethodNotFound", str(exc))
+        except (ProtocolError, HeidiRmiError) as exc:
+            return self._error_reply(type(exc).__name__, str(exc))
+        except Exception as exc:  # implementation bug: report, don't die
+            self._event("orb:implementation-error",
+                        error=traceback.format_exc())
+            return self._error_reply("Implementation", f"{type(exc).__name__}: {exc}")
+
+    def _error_reply(self, category, message):
+        reply = Reply(
+            status=STATUS_ERROR,
+            repo_id=category,
+            marshaller=self.protocol.new_marshaller(),
+        )
+        reply.put_string(message)
+        return reply
+
+    def _skeleton_for(self, reference):
+        """The skeleton for a local object, created lazily and cached."""
+        oid = reference.object_id
+        if self._cache_skeletons:
+            skeleton = self._skeletons.get(oid)
+            if skeleton is not None:
+                self.stats["skeleton_hits"] += 1
+                return skeleton
+        entry = self._objects.get(oid)
+        if entry is None:
+            raise ObjectNotFound(oid)
+        impl, type_id = entry
+        skel_class = self.types.skeleton_class(type_id)
+        if skel_class is None:
+            skel_class = getattr(impl, "_hd_skel_class_", None)
+        if skel_class is None:
+            raise HeidiRmiError(
+                f"no skeleton class registered for {type_id!r}"
+            )
+        skeleton = skel_class(impl, self, dispatch_strategy=self.dispatch_strategy)
+        self.stats["skeleton_created"] += 1
+        self._event("orb:skeleton", type_id=type_id, cls=skel_class.__name__)
+        if self._cache_skeletons:
+            self._skeletons[oid] = skeleton
+        return skeleton

@@ -1,0 +1,146 @@
+"""Pluggable ORB protocols.
+
+"Most IDL compilers generate stubs and skeletons that utilize an
+abstract interface to the ORB [... which] keeps the generated code
+independent of any particular ORB protocol, permitting the utilization
+of alternate protocols" (paper, Section 2).  :class:`Protocol` is that
+abstract interface; stubs and skeletons only ever see Call/Reply.
+
+Implementations: :class:`TextProtocol` here (the paper's newline
+ASCII format) and :class:`repro.giop.iiop.GiopProtocol`.
+"""
+
+from repro.heidirmi.call import (
+    STATUS_ERROR,
+    STATUS_EXCEPTION,
+    STATUS_OK,
+    Call,
+    Reply,
+)
+from repro.heidirmi.errors import ProtocolError
+from repro.heidirmi.textwire import (
+    TextMarshaller,
+    TextUnmarshaller,
+    escape_token,
+    unescape_token,
+)
+
+
+class Protocol:
+    """Encodes Calls and Replies onto a Channel."""
+
+    name = "?"
+
+    def new_marshaller(self):
+        raise NotImplementedError
+
+    def send_request(self, channel, call):
+        raise NotImplementedError
+
+    def recv_request(self, channel, object_exists=None):
+        """Read one request; returns a readable Call.
+
+        *object_exists* is an optional callable over the raw object key
+        that protocols with locate machinery (GIOP) may consult; the
+        text protocol has no such control messages and ignores it.
+        """
+        raise NotImplementedError
+
+    def send_reply(self, channel, reply):
+        raise NotImplementedError
+
+    def recv_reply(self, channel):
+        """Read one reply; returns a readable Reply."""
+        raise NotImplementedError
+
+
+class TextProtocol(Protocol):
+    """The newline-terminated ASCII request/response protocol."""
+
+    name = "text"
+
+    def new_marshaller(self):
+        return TextMarshaller()
+
+    # -- requests ------------------------------------------------------------
+
+    def send_request(self, channel, call):
+        verb = "ONEWAY" if call.oneway else "CALL"
+        head = f"{verb} {escape_token(call.target)} {escape_token(call.operation)}"
+        payload = call.payload().decode("ascii")
+        line = f"{head} {payload}" if payload else head
+        channel.send(line.encode("ascii") + b"\n")
+
+    def recv_request(self, channel, object_exists=None):
+        line = channel.recv_line().decode("ascii", errors="replace")
+        tokens = line.split()
+        if not tokens:
+            raise ProtocolError("empty request line")
+        verb = tokens[0]
+        if verb not in ("CALL", "ONEWAY"):
+            raise ProtocolError(
+                f"expected CALL or ONEWAY, got {verb!r} "
+                "(request shape: CALL <objref> <operation> <args...>)"
+            )
+        if len(tokens) < 3:
+            raise ProtocolError("request needs an object reference and an operation")
+        target = unescape_token(tokens[1])
+        operation = unescape_token(tokens[2])
+        return Call(
+            target,
+            operation,
+            unmarshaller=TextUnmarshaller(tokens[3:]),
+            oneway=(verb == "ONEWAY"),
+        )
+
+    # -- replies ----------------------------------------------------------------
+
+    def send_reply(self, channel, reply):
+        pieces = ["RET", reply.status]
+        if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
+            pieces.append(escape_token(reply.repo_id))
+        payload = reply.payload().decode("ascii")
+        if payload:
+            pieces.append(payload)
+        channel.send(" ".join(pieces).encode("ascii") + b"\n")
+
+    def recv_reply(self, channel):
+        line = channel.recv_line().decode("ascii", errors="replace")
+        tokens = line.split()
+        if len(tokens) < 2 or tokens[0] != "RET":
+            raise ProtocolError(f"malformed reply line {line!r}")
+        status = tokens[1]
+        if status == STATUS_OK:
+            return Reply(
+                status=STATUS_OK, unmarshaller=TextUnmarshaller(tokens[2:])
+            )
+        if status in (STATUS_EXCEPTION, STATUS_ERROR):
+            if len(tokens) < 3:
+                raise ProtocolError(f"{status} reply needs an identifier")
+            return Reply(
+                status=status,
+                repo_id=unescape_token(tokens[2]),
+                unmarshaller=TextUnmarshaller(tokens[3:]),
+            )
+        raise ProtocolError(f"unknown reply status {status!r}")
+
+
+_PROTOCOLS = {"text": TextProtocol}
+
+
+def get_protocol(name):
+    """Look up a protocol by name; GIOP self-registers on import."""
+    if name == "giop" and "giop" not in _PROTOCOLS:
+        # Imported lazily so the text-only ORB has no GIOP footprint.
+        from repro.giop.iiop import GiopProtocol
+
+        _PROTOCOLS["giop"] = GiopProtocol
+    factory = _PROTOCOLS.get(name)
+    if factory is None:
+        raise ProtocolError(f"unknown protocol {name!r}")
+    return factory()
+
+
+def register_protocol(name, factory):
+    """Register a custom protocol (the configurable-ORB hook)."""
+    _PROTOCOLS[name] = factory

@@ -1,0 +1,270 @@
+"""Transports: byte channels under the wire protocols.
+
+Two transports ship, both presenting the same :class:`Channel` surface:
+
+- ``tcp`` — real TCP sockets, one listener per ORB bootstrap port;
+- ``inproc`` — in-process rendezvous through ``socket.socketpair``,
+  used by tests and benchmarks to measure protocol cost without the
+  kernel network stack (still real bytes through real sockets).
+
+A channel supports line reads (text protocol) and exact-count reads
+(GIOP framing), with its own receive buffer so the two can interleave.
+"""
+
+import socket
+import threading
+
+from repro.heidirmi.errors import CommunicationError
+
+_MAX_LINE = 1 << 20  # 1 MiB: a request line beyond this is an attack/bug.
+
+
+class Channel:
+    """A bidirectional byte stream over a connected socket."""
+
+    def __init__(self, sock, peer="?"):
+        self._sock = sock
+        self._buffer = b""
+        self._closed = False
+        self.peer = peer
+        # Serialize writers: an ORB may share a channel between threads.
+        self._send_lock = threading.Lock()
+
+    def send(self, data):
+        if self._closed:
+            raise CommunicationError(f"channel to {self.peer} is closed")
+        try:
+            with self._send_lock:
+                self._sock.sendall(data)
+        except OSError as exc:
+            self.close()
+            raise CommunicationError(f"send to {self.peer} failed: {exc}") from exc
+
+    def _fill(self):
+        try:
+            chunk = self._sock.recv(65536)
+        except OSError as exc:
+            self.close()
+            raise CommunicationError(f"recv from {self.peer} failed: {exc}") from exc
+        if not chunk:
+            raise CommunicationError(f"peer {self.peer} closed the connection")
+        self._buffer += chunk
+
+    def recv_line(self):
+        """Read up to and including ``\\n``; returns the line without it."""
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > _MAX_LINE:
+                self.close()
+                raise CommunicationError("request line too long")
+            self._fill()
+        line, _, self._buffer = self._buffer.partition(b"\n")
+        return line.rstrip(b"\r")
+
+    def recv_exact(self, count):
+        """Read exactly *count* bytes."""
+        while len(self._buffer) < count:
+            self._fill()
+        data, self._buffer = self._buffer[:count], self._buffer[count:]
+        return data
+
+    def close(self):
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    @property
+    def closed(self):
+        return self._closed
+
+
+class Listener:
+    """Accept side of a transport; yields Channels."""
+
+    def accept(self):
+        raise NotImplementedError
+
+    def close(self):
+        raise NotImplementedError
+
+    @property
+    def address(self):
+        """(host, port) the listener is actually bound to."""
+        raise NotImplementedError
+
+
+class Transport:
+    """Factory for listeners and outgoing channels."""
+
+    name = "?"
+
+    def listen(self, host, port):
+        raise NotImplementedError
+
+    def connect(self, host, port):
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# TCP
+# ---------------------------------------------------------------------------
+
+
+class TcpListener(Listener):
+    def __init__(self, host, port):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._sock.bind((host, port))
+        except OSError as exc:
+            raise CommunicationError(f"cannot bind {host}:{port}: {exc}") from exc
+        self._sock.listen(64)
+        self._closed = False
+
+    def accept(self):
+        try:
+            conn, peer = self._sock.accept()
+        except OSError as exc:
+            if self._closed:
+                raise CommunicationError("listener closed") from exc
+            raise CommunicationError(f"accept failed: {exc}") from exc
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return Channel(conn, peer=f"{peer[0]}:{peer[1]}")
+
+    def close(self):
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    @property
+    def address(self):
+        return self._sock.getsockname()[:2]
+
+
+class TcpTransport(Transport):
+    name = "tcp"
+
+    def listen(self, host, port):
+        return TcpListener(host, port)
+
+    def connect(self, host, port):
+        try:
+            sock = socket.create_connection((host, port), timeout=30)
+        except OSError as exc:
+            raise CommunicationError(f"cannot connect {host}:{port}: {exc}") from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return Channel(sock, peer=f"{host}:{port}")
+
+
+# ---------------------------------------------------------------------------
+# In-process
+# ---------------------------------------------------------------------------
+
+
+class _InProcRegistry:
+    """Process-global rendezvous: (host, port) → listener queue."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._listeners = {}
+        self._next_port = 1
+
+    def listen(self, host, port):
+        with self._lock:
+            if port == 0:
+                while (host, self._next_port) in self._listeners:
+                    self._next_port += 1
+                port = self._next_port
+                self._next_port += 1
+            key = (host, port)
+            if key in self._listeners:
+                raise CommunicationError(f"inproc address {host}:{port} already bound")
+            listener = InProcListener(host, port, self)
+            self._listeners[key] = listener
+            return listener
+
+    def connect(self, host, port):
+        with self._lock:
+            listener = self._listeners.get((host, port))
+        if listener is None or listener.closed:
+            raise CommunicationError(f"no inproc listener at {host}:{port}")
+        client_sock, server_sock = socket.socketpair()
+        listener.enqueue(Channel(server_sock, peer="inproc-client"))
+        return Channel(client_sock, peer=f"inproc:{host}:{port}")
+
+    def unregister(self, host, port):
+        with self._lock:
+            self._listeners.pop((host, port), None)
+
+
+class InProcListener(Listener):
+    def __init__(self, host, port, registry):
+        self._host = host
+        self._port = port
+        self._registry = registry
+        self._pending = []
+        self._cond = threading.Condition()
+        self.closed = False
+
+    def enqueue(self, channel):
+        with self._cond:
+            self._pending.append(channel)
+            self._cond.notify()
+
+    def accept(self):
+        with self._cond:
+            while not self._pending and not self.closed:
+                self._cond.wait(timeout=0.5)
+            if self.closed:
+                raise CommunicationError("listener closed")
+            return self._pending.pop(0)
+
+    def close(self):
+        self._registry.unregister(self._host, self._port)
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+
+    @property
+    def address(self):
+        return (self._host, self._port)
+
+
+_INPROC = _InProcRegistry()
+
+
+class InProcTransport(Transport):
+    name = "inproc"
+
+    def listen(self, host, port):
+        return _INPROC.listen(host, port)
+
+    def connect(self, host, port):
+        return _INPROC.connect(host, port)
+
+
+_TRANSPORTS = {
+    "tcp": TcpTransport,
+    "inproc": InProcTransport,
+}
+
+
+def get_transport(name):
+    """Look up a transport by protocol name (``tcp``/``inproc``)."""
+    factory = _TRANSPORTS.get(name)
+    if factory is None:
+        raise CommunicationError(f"unknown transport {name!r}")
+    return factory()
+
+
+def register_transport(name, factory):
+    """Register a custom transport (the configurable-ORB hook)."""
+    _TRANSPORTS[name] = factory

@@ -1,0 +1,319 @@
+"""Hand-written lexer for OMG IDL.
+
+The lexer is a straightforward character scanner.  Preprocessor lines are
+handled here rather than in a separate pass: ``#pragma`` and ``#include``
+lines become dedicated tokens for the parser, while include-guard lines
+(``#ifndef``/``#define``/``#endif``/``#if``/``#else``) are skipped, which
+is how the OmniBroker front-end the paper built on treats them for
+already-preprocessed input.
+"""
+
+from repro.idl.errors import IdlSyntaxError, SourceLocation
+from repro.idl.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "v": "\v",
+    "b": "\b",
+    "r": "\r",
+    "f": "\f",
+    "a": "\a",
+    "\\": "\\",
+    "?": "?",
+    "'": "'",
+    '"': '"',
+    "0": "\0",
+}
+
+_SKIPPED_DIRECTIVES = frozenset(
+    {"ifndef", "ifdef", "define", "endif", "if", "else", "elif", "undef", "line"}
+)
+
+
+class Lexer:
+    """Tokenizes one IDL source string."""
+
+    def __init__(self, source, filename="<string>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+        self._at_line_start = True
+
+    # -- low-level cursor helpers -------------------------------------
+
+    def _location(self):
+        return SourceLocation(self._filename, self._line, self._column)
+
+    def _peek(self, offset=0):
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self._pos >= len(self._source):
+                return
+            ch = self._source[self._pos]
+            self._pos += 1
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+                self._at_line_start = True
+            else:
+                self._column += 1
+                if not ch.isspace():
+                    self._at_line_start = False
+
+    def _error(self, message, location=None):
+        raise IdlSyntaxError(message, location or self._location())
+
+    # -- skipping -------------------------------------------------------
+
+    def _skip_whitespace_and_comments(self):
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n\v\f":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._pos >= len(self._source):
+                        self._error("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    # -- literals ---------------------------------------------------------
+
+    def _lex_number(self):
+        start = self._location()
+        begin = self._pos
+        if self._peek() == "0" and self._peek(1) and self._peek(1) in "xX":
+            self._advance(2)
+            if not self._peek().isalnum():
+                self._error("malformed hexadecimal literal", start)
+            while self._peek().isalnum():
+                self._advance()
+            text = self._source[begin : self._pos]
+            try:
+                return Token(TokenKind.INTEGER, text, int(text, 16), start)
+            except ValueError:
+                self._error(f"malformed hexadecimal literal {text!r}", start)
+
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        elif self._peek() == "." and not self._peek(1).isalpha():
+            # Trailing dot as in "1." is a valid float literal.
+            is_float = True
+            self._advance()
+        if self._peek() and self._peek() in "eE" and (
+            self._peek(1).isdigit() or (self._peek(1) and self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() and self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+
+        text = self._source[begin : self._pos]
+        if self._peek() and self._peek() in "dD":
+            # Fixed-point literal such as "1.5d".
+            self._advance()
+            return Token(TokenKind.FIXED, text + "d", text, start)
+        if is_float:
+            return Token(TokenKind.FLOAT, text, float(text), start)
+        # Leading 0 means octal in IDL (as in C).
+        base = 8 if len(text) > 1 and text.startswith("0") else 10
+        try:
+            return Token(TokenKind.INTEGER, text, int(text, base), start)
+        except ValueError:
+            self._error(f"malformed integer literal {text!r}", start)
+
+    def _lex_escape(self, start):
+        self._advance()  # the backslash
+        ch = self._peek()
+        if ch == "":
+            self._error("unterminated escape sequence", start)
+        if ch == "x":
+            self._advance()
+            digits = ""
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF" and len(digits) < 2:
+                digits += self._peek()
+                self._advance()
+            if not digits:
+                self._error("malformed \\x escape", start)
+            return chr(int(digits, 16))
+        if ch in "01234567":
+            digits = ""
+            while self._peek() and self._peek() in "01234567" and len(digits) < 3:
+                digits += self._peek()
+                self._advance()
+            return chr(int(digits, 8))
+        if ch in _ESCAPES:
+            self._advance()
+            return _ESCAPES[ch]
+        self._error(f"unknown escape sequence \\{ch}", start)
+
+    def _lex_char(self, wide=False):
+        start = self._location()
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            value = self._lex_escape(start)
+        elif self._peek() in ("", "\n"):
+            self._error("unterminated character literal", start)
+        else:
+            value = self._peek()
+            self._advance()
+        if self._peek() != "'":
+            self._error("unterminated character literal", start)
+        self._advance()
+        kind = TokenKind.WCHAR if wide else TokenKind.CHAR
+        return Token(kind, value, value, start)
+
+    def _lex_string(self, wide=False):
+        start = self._location()
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            ch = self._peek()
+            if ch in ("", "\n"):
+                self._error("unterminated string literal", start)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                chars.append(self._lex_escape(start))
+            else:
+                chars.append(ch)
+                self._advance()
+        value = "".join(chars)
+        kind = TokenKind.WSTRING if wide else TokenKind.STRING
+        return Token(kind, value, value, start)
+
+    def _lex_identifier(self):
+        start = self._location()
+        begin = self._pos
+        escaped = False
+        if self._peek() == "_":
+            # OMG IDL escaped identifier: `_name` denotes the identifier
+            # `name` even when it collides with a keyword.
+            escaped = True
+            self._advance()
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[begin : self._pos]
+        name = text[1:] if escaped else text
+        if not name:
+            self._error("lone underscore is not a valid identifier", start)
+        if not escaped and name in KEYWORDS:
+            return Token(TokenKind.KEYWORD, name, name, start)
+        return Token(TokenKind.IDENTIFIER, name, name, start)
+
+    # -- preprocessor ---------------------------------------------------
+
+    def _lex_hash_line(self):
+        """Handle a ``#...`` line; return a token or None if skipped."""
+        start = self._location()
+        self._advance()  # '#'
+        while self._peek() in " \t":
+            self._advance()
+        begin = self._pos
+        while self._peek().isalpha():
+            self._advance()
+        directive = self._source[begin : self._pos]
+        rest_begin = self._pos
+        while self._pos < len(self._source) and self._peek() != "\n":
+            self._advance()
+        rest = self._source[rest_begin : self._pos].strip()
+        if directive == "pragma":
+            return Token(TokenKind.PRAGMA, rest, rest, start)
+        if directive == "include":
+            if len(rest) < 2 or rest[0] not in "\"<":
+                self._error(f"malformed #include {rest!r}", start)
+            closer = '"' if rest[0] == '"' else ">"
+            end = rest.find(closer, 1)
+            if end < 0:
+                self._error(f"malformed #include {rest!r}", start)
+            return Token(TokenKind.INCLUDE_DIRECTIVE, rest, rest[1:end], start)
+        if directive in _SKIPPED_DIRECTIVES:
+            return None
+        self._error(f"unsupported preprocessor directive #{directive}", start)
+
+    # -- main loop --------------------------------------------------------
+
+    def next_token(self):
+        """Return the next token, or an EOF token at end of input."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._source):
+                return Token(TokenKind.EOF, "", None, self._location())
+            ch = self._peek()
+            if ch == "#":
+                if not self._at_line_start:
+                    self._error("'#' is only valid at the start of a line")
+                token = self._lex_hash_line()
+                if token is not None:
+                    return token
+                continue
+            break
+
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number()
+        if ch == "'":
+            return self._lex_char()
+        if ch == '"':
+            return self._lex_string()
+        if ch == "L" and self._peek(1) == "'":
+            self._advance()
+            return self._lex_char(wide=True)
+        if ch == "L" and self._peek(1) == '"':
+            self._advance()
+            return self._lex_string(wide=True)
+        if ch.isalpha() or ch == "_":
+            return self._lex_identifier()
+
+        location = self._location()
+        for text, kind in MULTI_CHAR_OPERATORS:
+            if self._source.startswith(text, self._pos):
+                self._advance(len(text))
+                return Token(kind, text, text, location)
+        if ch in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(SINGLE_CHAR_OPERATORS[ch], ch, ch, location)
+        self._error(f"unexpected character {ch!r}")
+
+    def tokens(self):
+        """Yield every token in the source, ending with EOF."""
+        while True:
+            token = self.next_token()
+            yield token
+            if token.kind is TokenKind.EOF:
+                return
+
+
+def tokenize(source, filename="<string>"):
+    """Tokenize *source* into a list of tokens ending with EOF."""
+    return list(Lexer(source, filename=filename).tokens())

@@ -1,0 +1,163 @@
+"""IDL pretty-printer.
+
+``unparse(spec)`` renders a parsed (optionally analyzed) specification
+back to IDL source.  The output re-parses to an equivalent tree, which
+the property-based tests rely on (parse ∘ unparse ∘ parse is a fixpoint).
+"""
+
+from repro.idl import ast
+from repro.idl.types import ArrayType
+
+_INDENT = "  "
+
+
+def unparse(spec):
+    """Render a Specification back to IDL source text."""
+    writer = _Writer()
+    if spec.prefix:
+        writer.line(f'#pragma prefix "{spec.prefix}"')
+    for decl in spec.declarations:
+        _emit(decl, writer)
+    return writer.text()
+
+
+class _Writer:
+    def __init__(self):
+        self._lines = []
+        self._depth = 0
+
+    def line(self, text=""):
+        if text:
+            self._lines.append(_INDENT * self._depth + text)
+        else:
+            self._lines.append("")
+
+    def indent(self):
+        self._depth += 1
+
+    def dedent(self):
+        self._depth -= 1
+
+    def text(self):
+        return "\n".join(self._lines) + "\n"
+
+
+def _emit(decl, writer):
+    if isinstance(decl, ast.Module):
+        _emit_module(decl, writer)
+    elif isinstance(decl, ast.InterfaceDecl):
+        _emit_interface(decl, writer)
+    elif isinstance(decl, ast.Forward):
+        abstract = "abstract " if decl.is_abstract else ""
+        writer.line(f"{abstract}interface {decl.name};")
+    elif isinstance(decl, ast.TypedefDecl):
+        _emit_typedef(decl, writer)
+    elif isinstance(decl, ast.StructDecl):
+        _emit_struct(decl, writer)
+    elif isinstance(decl, ast.EnumDecl):
+        writer.line(f"enum {decl.name} {{{', '.join(decl.enumerators)}}};")
+    elif isinstance(decl, ast.UnionDecl):
+        _emit_union(decl, writer)
+    elif isinstance(decl, ast.ExceptionDecl):
+        _emit_exception(decl, writer)
+    elif isinstance(decl, ast.ConstDecl):
+        writer.line(f"const {_type_name(decl.idl_type)} {decl.name} = {decl.value};")
+    elif isinstance(decl, ast.Attribute):
+        readonly = "readonly " if decl.readonly else ""
+        writer.line(f"{readonly}attribute {_type_name(decl.idl_type)} {decl.name};")
+    elif isinstance(decl, ast.Operation):
+        _emit_operation(decl, writer)
+    elif isinstance(decl, ast.NativeDecl):
+        writer.line(f"native {decl.name};")
+    elif isinstance(decl, ast.Include):
+        writer.line(f'#include "{decl.path}"')
+    else:  # pragma: no cover - all node kinds handled above
+        raise TypeError(f"cannot unparse {decl!r}")
+
+
+def _emit_module(module, writer):
+    writer.line(f"module {module.name} {{")
+    writer.indent()
+    if module.prefix:
+        writer.line(f'#pragma prefix "{module.prefix}"')
+    for decl in module.declarations:
+        _emit(decl, writer)
+    writer.dedent()
+    writer.line("};")
+
+
+def _emit_interface(interface, writer):
+    abstract = "abstract " if interface.is_abstract else ""
+    bases = f" : {', '.join(interface.bases)}" if interface.bases else ""
+    writer.line(f"{abstract}interface {interface.name}{bases} {{")
+    writer.indent()
+    for member in interface.body:
+        _emit(member, writer)
+    writer.dedent()
+    writer.line("};")
+
+
+def _emit_typedef(decl, writer):
+    if isinstance(decl.aliased_type, ArrayType):
+        array = decl.aliased_type
+        dims = "".join(f"[{d}]" for d in array.dimensions)
+        writer.line(f"typedef {_type_name(array.element)} {decl.name}{dims};")
+    else:
+        writer.line(f"typedef {_type_name(decl.aliased_type)} {decl.name};")
+
+
+def _emit_struct(struct, writer):
+    writer.line(f"struct {struct.name} {{")
+    writer.indent()
+    for member in struct.members:
+        writer.line(f"{_type_name(member.idl_type)} {member.name};")
+    writer.dedent()
+    writer.line("};")
+
+
+def _emit_union(union, writer):
+    writer.line(f"union {union.name} switch ({_type_name(union.discriminator)}) {{")
+    writer.indent()
+    for case in union.cases:
+        for label in case.labels:
+            if label is None:
+                writer.line("default:")
+            else:
+                writer.line(f"case {label}:")
+        writer.indent()
+        writer.line(f"{_type_name(case.idl_type)} {case.name};")
+        writer.dedent()
+    writer.dedent()
+    writer.line("};")
+
+
+def _emit_exception(exc, writer):
+    writer.line(f"exception {exc.name} {{")
+    writer.indent()
+    for member in exc.members:
+        writer.line(f"{_type_name(member.idl_type)} {member.name};")
+    writer.dedent()
+    writer.line("};")
+
+
+def _emit_operation(op, writer):
+    oneway = "oneway " if op.is_oneway else ""
+    params = ", ".join(_param_text(p) for p in op.parameters)
+    suffix = ""
+    if op.raises:
+        suffix += f" raises ({', '.join(op.raises)})"
+    if op.context:
+        quoted = ", ".join(f'"{c}"' for c in op.context)
+        suffix += f" context ({quoted})"
+    writer.line(f"{oneway}{_type_name(op.return_type)} {op.name}({params}){suffix};")
+
+
+def _param_text(param):
+    text = f"{param.direction} {_type_name(param.idl_type)} {param.name}"
+    if param.default is not None:
+        text += f" = {param.default}"
+    return text
+
+
+def _type_name(idl_type):
+    return idl_type.idl_name()

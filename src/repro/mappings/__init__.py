@@ -1,0 +1,23 @@
+"""Mapping packs: pluggable IDL → language mappings.
+
+A *mapping pack* is what the paper says a mapping should be: a set of
+templates plus a table of map functions — no compiler changes needed to
+alter the generated code.  Five packs ship:
+
+- ``heidi_cpp`` — the HeidiRMI custom C++ mapping (Fig. 3): Hd-prefixed
+  class names, Heidi data types (``HdList``, ``XBool``), delegation
+  skeletons, default parameters;
+- ``corba_cpp`` — the CORBA-prescribed C++ mapping (Table 1, Fig. 1):
+  ``CORBA::Long``-style types, ``_ptr``/``_var``, inheritance skeletons
+  and a tie template;
+- ``java_rmi`` — the HeidiRMI Java mapping (§4.2): delegation, flattened
+  multiple inheritance, no default parameters;
+- ``tcl_orb`` — the IDL–Tcl mapping with its small Tcl ORB (Fig. 10);
+- ``python_rmi`` — a live mapping generating Python stubs/skeletons
+  that execute on :mod:`repro.heidirmi`.
+"""
+
+from repro.mappings.base import MappingPack
+from repro.mappings.registry import all_packs, get_pack, register_pack
+
+__all__ = ["MappingPack", "get_pack", "register_pack", "all_packs"]

@@ -1,0 +1,123 @@
+/* CORBA.h — the CORBA-prescribed data types and helpers the generated
+ * code references (Table 1's left-hand column and the _ptr/_var
+ * declarator machinery of Table 2).
+ *
+ * A compact stand-in for a vendor ORB header, complete enough for a
+ * real C++ compiler to build the generated mapping against it.
+ */
+
+#ifndef REPRO_CORBA_H
+#define REPRO_CORBA_H
+
+#include <cstddef>
+
+namespace CORBA {
+
+/* Table 1: prescribed primitive types. */
+typedef bool Boolean;
+typedef char Char;
+typedef wchar_t WChar;
+typedef unsigned char Octet;
+typedef short Short;
+typedef unsigned short UShort;
+typedef int Long;
+typedef unsigned int ULong;
+typedef long long LongLong;
+typedef unsigned long long ULongLong;
+typedef float Float;
+typedef double Double;
+typedef long double LongDouble;
+
+class Any {
+public:
+    Any() {}
+};
+
+class Object {
+public:
+    virtual ~Object() {}
+};
+typedef Object* Object_ptr;
+
+/* Minimal unbounded-sequence base used by generated sequence classes. */
+template <class T>
+class UnboundedSequence {
+public:
+    UnboundedSequence() : buffer_(0), length_(0), maximum_(0) {}
+    ~UnboundedSequence() { delete[] buffer_; }
+    ULong length() const { return length_; }
+    void length(ULong value) { ensure_(value); length_ = value; }
+    T*& operator[](ULong index) { return buffer_[index]; }
+
+private:
+    UnboundedSequence(const UnboundedSequence&);
+    UnboundedSequence& operator=(const UnboundedSequence&);
+    void ensure_(ULong wanted) {
+        if (wanted <= maximum_) return;
+        T** grown = new T*[wanted];
+        for (ULong i = 0; i < length_; ++i) grown[i] = buffer_[i];
+        delete[] buffer_;
+        buffer_ = grown;
+        maximum_ = wanted;
+    }
+    T** buffer_;
+    ULong length_;
+    ULong maximum_;
+};
+
+/* The _var smart declarators of Table 2 (ownership-managing). */
+template <class T>
+class ObjectVar {
+public:
+    ObjectVar() : ptr_(0) {}
+    ObjectVar(T* adopted) : ptr_(adopted) {}
+    ~ObjectVar() { delete ptr_; }
+    T* operator->() const { return ptr_; }
+    T* in() const { return ptr_; }
+
+private:
+    ObjectVar(const ObjectVar&);
+    ObjectVar& operator=(const ObjectVar&);
+    T* ptr_;
+};
+
+template <class T>
+class SequenceVar {
+public:
+    SequenceVar() : ptr_(0) {}
+    SequenceVar(T* adopted) : ptr_(adopted) {}
+    ~SequenceVar() { delete ptr_; }
+    T* operator->() const { return ptr_; }
+
+private:
+    SequenceVar(const SequenceVar&);
+    SequenceVar& operator=(const SequenceVar&);
+    T* ptr_;
+};
+
+template <class T>
+class StructVar {
+public:
+    StructVar() : ptr_(0) {}
+    StructVar(T* adopted) : ptr_(adopted) {}
+    ~StructVar() { delete ptr_; }
+    T* operator->() const { return ptr_; }
+
+private:
+    StructVar(const StructVar&);
+    StructVar& operator=(const StructVar&);
+    T* ptr_;
+};
+
+/* What the prescribed skeleton's _dispatch consumes. */
+class ServerRequest {
+public:
+    const char* operation() const { return operation_; }
+
+private:
+    const char* operation_;
+};
+
+}  /* namespace CORBA */
+
+#endif /* REPRO_CORBA_H */

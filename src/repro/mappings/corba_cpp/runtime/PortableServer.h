@@ -1,0 +1,20 @@
+/* PortableServer.h — the servant base the prescribed skeletons inherit
+ * (Fig. 1: the implementation joins the generated hierarchy).
+ */
+
+#ifndef REPRO_PORTABLESERVER_H
+#define REPRO_PORTABLESERVER_H
+
+#include <CORBA.h>
+#include <cstring>
+
+namespace PortableServer {
+
+class ServantBase {
+public:
+    virtual ~ServantBase() {}
+};
+
+}  /* namespace PortableServer */
+
+#endif /* REPRO_PORTABLESERVER_H */

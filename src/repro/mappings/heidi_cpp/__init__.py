@@ -1,0 +1,229 @@
+"""The HeidiRMI custom IDL→C++ mapping (paper, Section 3.1 and Fig. 3).
+
+No CORBA-specific types appear in generated code: primitive IDL types
+map to primitive C++ types, ``sequence`` and ``boolean`` map to the
+Heidi-specific ``HdList`` and ``XBool``, interface ``Heidi::A`` maps to
+class ``HdA``, default parameters map to C++ default parameters, and
+skeletons *delegate* to the implementation class instead of being
+inherited by it.
+"""
+
+from repro.mappings.base import MappingPack
+from repro.mappings.registry import register_pack
+
+#: IDL primitive → Heidi C++ type (the "Alternate C++ Mapping" column of
+#: Table 1, completed for all primitives).
+HEIDI_TYPE_TABLE = {
+    "boolean": "XBool",
+    "char": "char",
+    "wchar": "wchar_t",
+    "octet": "unsigned char",
+    "short": "short",
+    "unsigned short": "unsigned short",
+    "long": "long",
+    "unsigned long": "unsigned long",
+    "long long": "long long",
+    "unsigned long long": "unsigned long long",
+    "float": "float",
+    "double": "double",
+    "long double": "long double",
+    "string": "HdString",
+    "wstring": "HdWString",
+    "any": "HdAny*",
+    "void": "void",
+    "Object": "HdObject*",
+}
+
+_CATEGORY_TO_TABLE_KEY = {
+    "boolean": "boolean",
+    "char": "char",
+    "wchar": "wchar",
+    "octet": "octet",
+    "short": "short",
+    "ushort": "unsigned short",
+    "long": "long",
+    "ulong": "unsigned long",
+    "longlong": "long long",
+    "ulonglong": "unsigned long long",
+    "float": "float",
+    "double": "double",
+    "longdouble": "long double",
+    "string": "string",
+    "wstring": "wstring",
+    "any": "any",
+    "void": "void",
+    "objref": None,
+}
+
+#: Marshalling method on the Heidi C++ Call object, per category.
+_PUT_METHOD = {
+    "boolean": "putBool",
+    "char": "putChar",
+    "wchar": "putWChar",
+    "octet": "putOctet",
+    "short": "putShort",
+    "ushort": "putUShort",
+    "long": "putLong",
+    "ulong": "putULong",
+    "longlong": "putLongLong",
+    "ulonglong": "putULongLong",
+    "float": "putFloat",
+    "double": "putDouble",
+    "longdouble": "putLongDouble",
+    "string": "putString",
+    "wstring": "putWString",
+    "enum": "putEnum",
+}
+
+
+def map_class_name(value):
+    """``Heidi::A`` → ``HdA`` (strip scope, prefix Hd)."""
+    simple = str(value).split("::")[-1]
+    return "Hd" + simple
+
+
+def _element_type(ctx):
+    """The mapped element type of a sequence node's ElementType child."""
+    children = ctx.node.children("ElementType") if ctx.node is not None else []
+    if not children:
+        return "HdAny*"
+    element = children[0]
+    category = element.get("type")
+    if category in ("objref", "enum", "alias", "struct", "union"):
+        return map_class_name(element.get("elementType"))
+    key = _CATEGORY_TO_TABLE_KEY.get(category)
+    return HEIDI_TYPE_TABLE.get(key, "HdAny*")
+
+
+def map_type(value, ctx):
+    """IDL type spelling → Heidi C++ type, using the node's category."""
+    category = ctx.prop("type")
+    if category == "objref":
+        return map_class_name(value) + "*"
+    if category in ("alias", "struct", "union"):
+        return map_class_name(value) + "*"
+    if category == "enum":
+        return map_class_name(value)
+    if category == "sequence":
+        return f"HdList<{_element_type(ctx)}>*"
+    if category == "array":
+        return map_class_name(value) + "*"
+    key = _CATEGORY_TO_TABLE_KEY.get(category)
+    if key is not None and key in HEIDI_TYPE_TABLE:
+        return HEIDI_TYPE_TABLE[key]
+    return map_class_name(value)
+
+
+def map_default(value, ctx):
+    """IDL default-value spelling → C++ constant (Fig. 3: Start, XTrue)."""
+    text = str(value)
+    if text == "TRUE":
+        return "XTrue"
+    if text == "FALSE":
+        return "XFalse"
+    if "::" in text:
+        return text.split("::")[-1]
+    return text
+
+
+_COMPOSITE = ("objref", "struct", "union", "alias", "sequence", "array")
+
+
+def _spelling(ctx):
+    """The node's IDL type spelling, whatever role the node plays."""
+    for role in ("paramType", "returnType", "attributeType", "memberType",
+                 "elementType", "constType"):
+        value = ctx.node.get(role) if ctx.node is not None else None
+        if value is not None:
+            return value
+    return ""
+
+
+def map_put(value, ctx):
+    """A C++ marshalling statement for the parameter under consideration.
+
+    Synthesized entirely from the node context, so it can be attached to
+    any variable name in a ``-map`` modifier.
+    """
+    category = ctx.node.get("type") if ctx.node is not None else ""
+    name = ctx.node.get("paramName") if ctx.node is not None else None
+    name = name or "value"
+    direction = ctx.node.get("getType", "in") if ctx.node is not None else "in"
+    if category in _COMPOSITE:
+        if direction == "incopy":
+            return f"call.putObjectByValue({name});"
+        return f"call.putObject({name});"
+    method = _PUT_METHOD.get(category, "putAny")
+    return f"call.{method}({name});"
+
+
+def map_get(value, ctx):
+    """A C++ unmarshalling expression for the parameter."""
+    category = ctx.node.get("type") if ctx.node is not None else ""
+    if category in _COMPOSITE:
+        return f"({map_type(_spelling(ctx), ctx)}) call.getObject()"
+    method = _PUT_METHOD.get(category, "putAny").replace("put", "get", 1)
+    if category == "enum":
+        # C++ forbids the implicit int→enum conversion.
+        return f"({map_type(_spelling(ctx), ctx)}) call.{method}()"
+    return f"call.{method}()"
+
+
+def map_return_put(value, ctx):
+    """Marshal the implementation result into the reply (skeleton side)."""
+    category = ctx.node.get("type") if ctx.node is not None else ""
+    if category == "void":
+        return "// void return"
+    if category in _COMPOSITE:
+        return "reply.putObject(result);"
+    method = _PUT_METHOD.get(category, "putAny")
+    return f"reply.{method}(result);"
+
+
+def map_return_get(value, ctx):
+    """Unmarshal the reply into the stub's return value (client side)."""
+    category = ctx.node.get("type") if ctx.node is not None else ""
+    if category == "void":
+        return "// void return"
+    if category in _COMPOSITE:
+        return f"return ({map_type(_spelling(ctx), ctx)}) reply.getObject();"
+    method = _PUT_METHOD.get(category, "putAny").replace("put", "get", 1)
+    if category == "enum":
+        return f"return ({map_type(_spelling(ctx), ctx)}) reply.{method}();"
+    return f"return reply.{method}();"
+
+
+@register_pack
+class HeidiCppPack(MappingPack):
+    """Template pack for the HeidiRMI C++ mapping."""
+
+    name = "heidi_cpp"
+    language = "C++"
+    description = (
+        "HeidiRMI custom C++ mapping: Hd-prefixed classes, Heidi data "
+        "types, default parameters, delegation skeletons (paper Fig. 3)"
+    )
+    main_template = "main.tmpl"
+    type_table = HEIDI_TYPE_TABLE
+
+    def static_assets(self):
+        """The generic ORB library headers generated code compiles against."""
+        import os
+
+        assets = {}
+        runtime_dir = os.path.join(self.template_dir(), "runtime")
+        for name in sorted(os.listdir(runtime_dir)):
+            if name.endswith(".hh"):
+                with open(os.path.join(runtime_dir, name), encoding="utf-8") as f:
+                    assets[os.path.join("runtime", name)] = f.read()
+        return assets
+
+    def register_maps(self, registry):
+        registry.register_simple("CPP::MapClassName", map_class_name)
+        registry.register("CPP::MapType", map_type)
+        registry.register("CPP::MapReturnType", map_type)
+        registry.register("CPP::MapDefault", map_default)
+        registry.register("CPP::MapPut", map_put)
+        registry.register("CPP::MapGet", map_get)
+        registry.register("CPP::MapReturnPut", map_return_put)
+        registry.register("CPP::MapReturnGet", map_return_get)

@@ -1,0 +1,26 @@
+/* HdSerializable.hh — pass-by-value support (the incopy extension).
+ *
+ * "Whether a particular object has actually implemented the required
+ * marshaling/unmarshaling primitives is determined by testing if it
+ * implements the HdSerializable interface." (paper, Section 3.1)
+ */
+
+#ifndef HD_SERIALIZABLE_HH
+#define HD_SERIALIZABLE_HH
+
+#include <HdStub.hh>
+
+class HdSerializable {
+public:
+    static const char* TypeId;
+
+    virtual ~HdSerializable() {}
+
+    /* Write this object's state into the call. */
+    virtual void marshal(HdCall& call) = 0;
+
+    /* Rebuild a copy registered under typeId from the call. */
+    static HdSerializable* Unmarshal(const HdString& typeId, HdCall& call);
+};
+
+#endif /* HD_SERIALIZABLE_HH */

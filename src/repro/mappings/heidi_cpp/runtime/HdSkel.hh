@@ -1,0 +1,29 @@
+/* HdSkel.hh — generic server-side ORB functionality.
+ *
+ * HeidiRMI skeletons delegate to the implementation object (Fig. 2)
+ * and dispatch recursively up the skeleton class hierarchy
+ * (Section 3.1).  The base class provides that generic behaviour for
+ * the generated skeleton classes.
+ */
+
+#ifndef HD_SKEL_HH
+#define HD_SKEL_HH
+
+#include <HdStub.hh>
+#include <cstring>
+
+class HdSkel {
+public:
+    HdSkel() {}
+    virtual ~HdSkel() {}
+
+    /* Dispatch an incoming request; XFalse means "not handled here",
+     * at which point a derived class delegates to its other bases. */
+    virtual XBool dispatch(HdCall& call, HdReply& reply) {
+        (void)call;
+        (void)reply;
+        return XFalse;
+    }
+};
+
+#endif /* HD_SKEL_HH */

@@ -1,0 +1,141 @@
+/* HdStub.hh — generic client-side ORB functionality.
+ *
+ * "All stubs inherit from a base HdStub class which provides the
+ * generic stub functionality." (paper, Section 3.1)  The Call object
+ * carries the marshalling surface of Fig. 4; this header gives the
+ * generated C++ everything it references, implemented far enough for a
+ * real compiler to build it.
+ */
+
+#ifndef HD_STUB_HH
+#define HD_STUB_HH
+
+#include <HdTypes.hh>
+
+/* A stringified object reference: @proto:host:port#oid#type. */
+class HdObjRef {
+public:
+    HdObjRef() {}
+    explicit HdObjRef(const HdString& stringified)
+        : stringified_(stringified) {}
+    const HdString& stringified() const { return stringified_; }
+
+private:
+    HdString stringified_;
+};
+
+const HdObjRef HdNilRef;
+
+inline XBool HdIsNil(const HdObjRef& ref) {
+    return ref.stringified().length() == 0 ? XTrue : XFalse;
+}
+
+/* The reply side of an invocation: typed extraction. */
+class HdReply {
+public:
+    XBool getBool() { return XFalse; }
+    char getChar() { return '\0'; }
+    long getLong() { return 0; }
+    unsigned long getULong() { return 0; }
+    long long getLongLong() { return 0; }
+    short getShort() { return 0; }
+    unsigned short getUShort() { return 0; }
+    float getFloat() { return 0; }
+    double getDouble() { return 0; }
+    int getEnum() { return 0; }
+    HdString getString() { return HdString(); }
+    void* getObject() { return 0; }
+    void* getAny() { return 0; }
+    void begin(const char*) {}
+    void end() {}
+
+    /* Skeleton-side marshalling of results shares this surface. */
+    void putBool(XBool) {}
+    void putChar(char) {}
+    void putLong(long) {}
+    void putULong(unsigned long) {}
+    void putLongLong(long long) {}
+    void putShort(short) {}
+    void putUShort(unsigned short) {}
+    void putFloat(float) {}
+    void putDouble(double) {}
+    void putEnum(int) {}
+    void putString(const HdString&) {}
+    void putObject(const void*) {}
+    void putObjRef(const HdObjRef&) {}
+    void putAny(const void*) {}
+};
+
+/* The Call object of Fig. 4: header + marshalled parameters. */
+class HdCall {
+public:
+    HdCall(const HdObjRef& target, const char* operation)
+        : target_(target), operation_(operation) {}
+
+    void putBool(XBool) {}
+    void putChar(char) {}
+    void putWChar(char) {}
+    void putLong(long) {}
+    void putULong(unsigned long) {}
+    void putLongLong(long long) {}
+    void putULongLong(unsigned long long) {}
+    void putShort(short) {}
+    void putUShort(unsigned short) {}
+    void putFloat(float) {}
+    void putDouble(double) {}
+    void putLongDouble(long double) {}
+    void putEnum(int) {}
+    void putString(const HdString&) {}
+    void putWString(const HdString&) {}
+    void putObject(const void*) {}
+    void putObjectByValue(const void*) {}
+    void putObjRef(const HdObjRef&) {}
+    void putAny(const void*) {}
+    void begin(const char*) {}
+    void end() {}
+
+    XBool getBool() { return XFalse; }
+    char getChar() { return '\0'; }
+    char getWChar() { return '\0'; }
+    long getLong() { return 0; }
+    unsigned long getULong() { return 0; }
+    long long getLongLong() { return 0; }
+    unsigned long long getULongLong() { return 0; }
+    short getShort() { return 0; }
+    unsigned short getUShort() { return 0; }
+    float getFloat() { return 0; }
+    double getDouble() { return 0; }
+    long double getLongDouble() { return 0; }
+    int getEnum() { return 0; }
+    HdString getString() { return HdString(); }
+    HdString getWString() { return HdString(); }
+    void* getObject() { return 0; }
+    void* getAny() { return 0; }
+    HdObjRef getObjRef() { return HdObjRef(); }
+    const char* operation() const { return operation_; }
+
+    HdReply invoke() { return HdReply(); }
+
+private:
+    HdObjRef target_;
+    const char* operation_;
+};
+
+/* Generic stub base. */
+class HdStub {
+public:
+    explicit HdStub(const HdObjRef& ref) : ref_(ref) {}
+    virtual ~HdStub() {}
+    const HdObjRef& objRef() const { return ref_; }
+
+private:
+    HdObjRef ref_;
+};
+
+/* ORB-library entry points the marshal helpers use. */
+HdObjRef HdExport(const void* impl, const char* typeId);
+void* HdCreateStub(const HdObjRef& ref);
+XBool HdIsA(const void* obj, const char* typeId);
+HdString HdTypeIdOf(const void* obj);
+
+#endif /* HD_STUB_HH */

@@ -1,0 +1,120 @@
+/* HdTypes.hh — the Heidi data types the custom mapping relies on.
+ *
+ * "The HeidiRMI mapping only utilizes Heidi defined data types, which
+ * simplifies the use of legacy Heidi code." (paper, Section 3)
+ *
+ * This header is the C++ face of that claim: XBool, HdString, HdList
+ * and friends, with no CORBA types anywhere.  It is a compact but
+ * genuine implementation — the compile checks in the test suite build
+ * generated code against it with a real C++ compiler.
+ */
+
+#ifndef HD_TYPES_HH
+#define HD_TYPES_HH
+
+#include <cstddef>
+#include <cstring>
+
+/* The Heidi boolean. */
+typedef int XBool;
+const XBool XTrue = 1;
+const XBool XFalse = 0;
+
+/* A minimal string value type. */
+class HdString {
+public:
+    HdString() : data_(empty_()) {}
+    HdString(const char* text) { assign_(text); }
+    HdString(const HdString& other) { assign_(other.data_); }
+    HdString& operator=(const HdString& other) {
+        if (this != &other) {
+            release_();
+            assign_(other.data_);
+        }
+        return *this;
+    }
+    ~HdString() { release_(); }
+
+    const char* c_str() const { return data_; }
+    std::size_t length() const { return std::strlen(data_); }
+    bool operator==(const HdString& other) const {
+        return std::strcmp(data_, other.data_) == 0;
+    }
+
+private:
+    static char* empty_() {
+        char* buffer = new char[1];
+        buffer[0] = '\0';
+        return buffer;
+    }
+    void assign_(const char* text) {
+        if (text == 0) {
+            data_ = empty_();
+            return;
+        }
+        data_ = new char[std::strlen(text) + 1];
+        std::strcpy(data_, text);
+    }
+    void release_() { delete[] data_; }
+    char* data_;
+};
+
+/* The Heidi growable list (sequence mapping target, cf. Fig. 3). */
+template <class T>
+class HdList {
+public:
+    HdList() : items_(0), size_(0), capacity_(0) {}
+    ~HdList() { delete[] items_; }
+
+    void append(const T& item) {
+        if (size_ == capacity_) grow_();
+        items_[size_++] = item;
+    }
+    std::size_t size() const { return size_; }
+    T& operator[](std::size_t index) { return items_[index]; }
+    const T& operator[](std::size_t index) const { return items_[index]; }
+
+private:
+    HdList(const HdList&);            /* lists pass by pointer in the */
+    HdList& operator=(const HdList&); /* mapping, never by value      */
+    void grow_() {
+        std::size_t next = capacity_ == 0 ? 8 : capacity_ * 2;
+        T* grown = new T[next];
+        for (std::size_t i = 0; i < size_; ++i) grown[i] = items_[i];
+        delete[] items_;
+        items_ = grown;
+        capacity_ = next;
+    }
+    T* items_;
+    std::size_t size_;
+    std::size_t capacity_;
+};
+
+/* Iterator companion (Fig. 3 generates HdListIterator typedefs). */
+template <class T>
+class HdListIterator {
+public:
+    explicit HdListIterator(const HdList<T>& list)
+        : list_(&list), index_(0) {}
+    bool more() const { return index_ < list_->size(); }
+    const T& next() { return (*list_)[index_++]; }
+
+private:
+    const HdList<T>* list_;
+    std::size_t index_;
+};
+
+/* Opaque value container (the `any` mapping target). */
+class HdAny {
+public:
+    HdAny() : payload_(0) {}
+    void* payload_;
+};
+
+/* Root of remote-accessible Heidi objects. */
+class HdObject {
+public:
+    virtual ~HdObject() {}
+};
+
+#endif /* HD_TYPES_HH */

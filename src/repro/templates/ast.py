@@ -1,0 +1,90 @@
+"""Template AST.
+
+Text content is pre-split into *parts*: a part is either a literal
+string or a :class:`VarRef`.  Splitting at parse time keeps the compiled
+generator free of any ``${...}`` scanning at run time.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A ``${name}`` substitution site."""
+
+    name: str
+
+    def __str__(self):
+        return "${" + self.name + "}"
+
+
+@dataclass
+class TemplateNode:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class TextLine(TemplateNode):
+    """A literal output line; ``newline`` is False for ``\\``-continued lines."""
+
+    parts: list
+    newline: bool = True
+
+
+@dataclass
+class Foreach(TemplateNode):
+    """``@foreach <list_name> [modifiers]`` … ``@end``."""
+
+    list_name: str
+    body: list = field(default_factory=list)
+    #: var name -> map-function name, from ``-map var Func`` modifiers.
+    maps: dict = field(default_factory=dict)
+    #: the ${ifMore} separator, from ``-ifMore 'sep'`` (None if absent).
+    if_more: str = None
+    #: literal emitted between iterations, from ``-sep 'text'``.
+    separator: str = None
+    reverse: bool = False
+
+
+@dataclass
+class Condition(TemplateNode):
+    """One test: parts on each side of an operator, or a truth test."""
+
+    left: list = field(default_factory=list)
+    op: str = ""  # "==", "!=", or "" for truthiness of `left`
+    right: list = field(default_factory=list)
+
+
+@dataclass
+class If(TemplateNode):
+    """``@if``/``@elif``/``@else``/``@fi``; branches are (cond|None, body)."""
+
+    branches: list = field(default_factory=list)
+
+
+@dataclass
+class OpenFile(TemplateNode):
+    """``@openfile <path>`` — path parts are substituted at run time."""
+
+    parts: list = field(default_factory=list)
+
+
+@dataclass
+class CloseFile(TemplateNode):
+    """``@closefile`` — return output to the default stream."""
+
+
+@dataclass
+class SetVar(TemplateNode):
+    """``@set <name> <value>`` — bind a global substitution variable."""
+
+    name: str = ""
+    parts: list = field(default_factory=list)
+
+
+@dataclass
+class Template:
+    """A parsed template: a name and a body of TemplateNodes."""
+
+    name: str = "<template>"
+    body: list = field(default_factory=list)

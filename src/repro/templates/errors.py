@@ -1,0 +1,20 @@
+"""Diagnostics for the template engine, located by template line."""
+
+
+class TemplateError(Exception):
+    """Base class for template-engine errors."""
+
+    def __init__(self, message, template="<template>", line=0):
+        self.template = template
+        self.line = line
+        self.message = message
+        where = f"{template}:{line}: " if line else f"{template}: "
+        super().__init__(where + message)
+
+
+class TemplateSyntaxError(TemplateError):
+    """Malformed directive, unbalanced @foreach/@if, unknown command."""
+
+
+class TemplateRuntimeError(TemplateError):
+    """Raised while executing a compiled template (step 2)."""

@@ -1,0 +1,198 @@
+"""Step 2 of the two-step code generation: executing a generator program.
+
+A :class:`Runtime` binds an EST, a map registry, global variables and an
+output sink.  The compiled generator drives it through a tiny surface:
+``line``/``write`` for output, ``var`` for substitutions, ``foreach``
+for kind-grouped iteration, ``open_file``/``close_file`` for routing,
+and ``truth`` for ``@if`` tests.
+
+Variable resolution order (the paper's "node under current
+consideration"): innermost loop bindings, then the EST node stack (a
+node lookup already walks its ancestors), then template globals.  A
+``-map`` modifier on the innermost enclosing ``@foreach`` that names the
+variable is applied to the resolved value.
+"""
+
+from repro.est.node import Ast
+from repro.templates.errors import TemplateRuntimeError
+from repro.templates.maps import BUILTIN_MAPS, MapRegistry
+from repro.templates.output import OutputSink
+
+_MISSING = object()
+
+
+class _Frame:
+    """One live ``@foreach`` iteration: bindings, maps, current node."""
+
+    __slots__ = ("bindings", "maps", "node")
+
+    def __init__(self, maps):
+        self.bindings = {}
+        self.maps = maps
+        self.node = None
+
+
+class Runtime:
+    """Execution state for one generation run."""
+
+    def __init__(self, est, maps=None, variables=None, sink=None, strict=False):
+        self.est = est
+        self.maps = maps if maps is not None else MapRegistry(parent=BUILTIN_MAPS)
+        self.sink = sink if sink is not None else OutputSink()
+        self.globals = dict(variables or {})
+        self.strict = strict
+        self._frames = []
+        self._node_stack = [est] if est is not None else []
+
+    # -- output ----------------------------------------------------------
+
+    def write(self, text):
+        self.sink.write(text)
+
+    def line(self, *parts, newline=True):
+        text = "".join(parts)
+        self.sink.write(text + "\n" if newline else text)
+
+    def open_file(self, path):
+        self.sink.open_file(path)
+
+    def close_file(self):
+        self.sink.close_file()
+
+    # -- variables ----------------------------------------------------------
+
+    def set_var(self, name, value):
+        self.globals[name] = value
+
+    def var(self, name):
+        """Resolve ``${name}`` and apply the innermost applicable -map.
+
+        A ``-map`` may name a variable with no underlying property —
+        the map then *synthesizes* the value from the node context
+        (e.g. a marshalling statement built from the parameter's type),
+        receiving "" as its input value.
+        """
+        value = self._raw_lookup(name)
+        for frame in reversed(self._frames):
+            map_name = frame.maps.get(name)
+            if map_name is not None:
+                base = "" if value is _MISSING else value
+                return self.maps.apply(
+                    map_name, base, node=self.current_node(), runtime=self
+                )
+        if value is _MISSING:
+            if self.strict:
+                raise TemplateRuntimeError(f"undefined template variable ${{{name}}}")
+            return ""
+        return "" if value is None else str(value)
+
+    def _raw_lookup(self, name):
+        for frame in reversed(self._frames):
+            if name in frame.bindings:
+                return frame.bindings[name]
+        node = self.current_node()
+        if node is not None:
+            value = node.lookup(name)
+            if value is not None:
+                return value
+        if name in self.globals:
+            return self.globals[name]
+        return _MISSING
+
+    def current_node(self):
+        return self._node_stack[-1] if self._node_stack else None
+
+    def truth(self, value):
+        """The ``@if ${x}`` truthiness rule: empty/0/false are false."""
+        if isinstance(value, str):
+            return value.strip() not in ("", "0", "false", "False", "FALSE")
+        return bool(value)
+
+    # -- iteration ------------------------------------------------------------
+
+    def foreach(self, list_name, maps=None, if_more=None, separator=None,
+                reverse=False, line=0):
+        """Iterate a child list or plain list property (``@foreach``)."""
+        items = self._resolve_list(list_name, line)
+        if reverse:
+            items = list(reversed(items))
+        frame = _Frame(maps or {})
+        self._frames.append(frame)
+        try:
+            total = len(items)
+            for index, item in enumerate(items):
+                if separator is not None and index > 0:
+                    self.sink.write(separator)
+                frame.bindings = {
+                    "index": index,
+                    "count": index + 1,
+                    "first": "1" if index == 0 else "",
+                    "last": "1" if index == total - 1 else "",
+                }
+                if if_more is not None:
+                    frame.bindings["ifMore"] = if_more if index < total - 1 else ""
+                else:
+                    frame.bindings["ifMore"] = ""
+                if isinstance(item, Ast):
+                    frame.node = item
+                    self._node_stack.append(item)
+                    try:
+                        yield item
+                    finally:
+                        self._node_stack.pop()
+                        frame.node = None
+                else:
+                    frame.bindings["item"] = item
+                    singular = _singular(list_name)
+                    if singular:
+                        frame.bindings[singular] = item
+                    yield item
+        finally:
+            self._frames.pop()
+
+    def _resolve_list(self, list_name, line):
+        node = self.current_node()
+        value = node.lookup(list_name) if node is not None else None
+        if value is None:
+            value = self.globals.get(list_name)
+        if value is None and list_name.startswith("all") and list_name.endswith("List"):
+            # Whole-tree grouping: ``allInterfaceList`` iterates every
+            # Interface node in the EST regardless of module nesting —
+            # the EST's grouping rule applied globally.
+            kind = list_name[3:-4]
+            value = [n for n in self.est.walk() if n.kind == kind] if self.est else []
+        if value is None:
+            if self.strict:
+                raise TemplateRuntimeError(
+                    f"@foreach {list_name}: no such list", line=line
+                )
+            return []
+        if isinstance(value, (list, tuple)):
+            return list(value)
+        raise TemplateRuntimeError(
+            f"@foreach {list_name}: value is not a list ({type(value).__name__})",
+            line=line,
+        )
+
+
+def _singular(list_name):
+    """A singular binding name: ``members`` → ``member``, ``xList`` → ``x``."""
+    if list_name.endswith("List") and len(list_name) > 4:
+        return list_name[:-4]
+    if list_name.endswith("s") and len(list_name) > 1:
+        return list_name[:-1]
+    return ""
+
+
+def generate(template_source, est, name="<template>", maps=None, variables=None,
+             loader=None, strict=False):
+    """One-call convenience: compile (step 1) and run (step 2).
+
+    Returns the :class:`repro.templates.output.OutputSink` holding the
+    default stream and any ``@openfile`` outputs.
+    """
+    from repro.templates.compiler import compile_template
+
+    compiled = compile_template(template_source, name=name, loader=loader)
+    runtime = Runtime(est, maps=maps, variables=variables, strict=strict)
+    return compiled.run(runtime)

@@ -1,0 +1,64 @@
+"""Tests for the compiled-template cache ('step 1 runs once')."""
+
+from repro.compiler.cache import TemplateCache
+
+
+TEMPLATE = "line ${x}\n"
+
+
+class TestCaching:
+    def test_first_get_compiles(self):
+        cache = TemplateCache()
+        compiled = cache.get(TEMPLATE, name="t")
+        assert compiled is not None
+        assert cache.stats == {"hits": 0, "misses": 1}
+
+    def test_second_get_hits(self):
+        cache = TemplateCache()
+        first = cache.get(TEMPLATE, name="t")
+        second = cache.get(TEMPLATE, name="t")
+        assert first is second
+        assert cache.stats["hits"] == 1
+
+    def test_source_change_invalidates(self):
+        cache = TemplateCache()
+        cache.get(TEMPLATE, name="t")
+        other = cache.get(TEMPLATE + "more\n", name="t")
+        assert cache.stats["misses"] == 2
+        assert other.template.body  # freshly compiled
+
+    def test_different_names_distinct(self):
+        cache = TemplateCache()
+        a = cache.get(TEMPLATE, name="a")
+        b = cache.get(TEMPLATE, name="b")
+        assert a is not b
+        assert len(cache) == 2
+
+    def test_eviction_bound(self):
+        cache = TemplateCache(max_entries=3)
+        for index in range(5):
+            cache.get(f"line {index}\n", name="t")
+        assert len(cache) == 3
+
+    def test_evicted_entry_recompiles(self):
+        cache = TemplateCache(max_entries=1)
+        cache.get("one\n", name="t")
+        cache.get("two\n", name="t")   # evicts "one"
+        cache.get("one\n", name="t")   # recompiles
+        assert cache.stats["misses"] == 3
+
+    def test_clear(self):
+        cache = TemplateCache()
+        cache.get(TEMPLATE, name="t")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_cached_template_still_runs(self):
+        from repro.est.node import Ast
+        from repro.templates.runtime import Runtime
+
+        cache = TemplateCache()
+        compiled = cache.get(TEMPLATE, name="t")
+        runtime = Runtime(Ast("Root", "Root"), variables={"x": "1"})
+        compiled.run(runtime)
+        assert runtime.sink.default_text == "line 1\n"

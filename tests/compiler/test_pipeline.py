@@ -1,0 +1,61 @@
+"""Tests for the full compiler pipeline (paper Fig. 6)."""
+
+import pytest
+
+from repro.compiler import Pipeline, compile_idl
+from tests.conftest import PAPER_IDL
+
+
+class TestStages:
+    def test_every_stage_produces_an_artifact(self):
+        pipeline = Pipeline("heidi_cpp")
+        result = pipeline.run(PAPER_IDL, filename="A.idl")
+        assert result.spec.find("Heidi::A") is not None
+        assert result.est is not None
+        assert "ROOT = n0" in result.est_program
+        assert "A.hh" in result.files
+        for stage in ("parse", "build_est", "emit_est_program",
+                      "compile_template", "generate"):
+            assert stage in result.timings
+
+    def test_est_program_hand_off_mode(self):
+        """use_est_program=True routes the EST through the generated
+        program exactly as the paper's two-stage prototype does."""
+        direct = Pipeline("heidi_cpp", use_est_program=False).run(
+            PAPER_IDL, filename="A.idl"
+        )
+        via_program = Pipeline("heidi_cpp", use_est_program=True).run(
+            PAPER_IDL, filename="A.idl"
+        )
+        assert via_program.files == direct.files
+        assert "load_est_program" in via_program.timings
+
+    def test_same_est_any_pack(self):
+        """The parser/EST stage is mapping-agnostic (Fig. 6's split)."""
+        heidi = Pipeline("heidi_cpp")
+        corba = Pipeline("corba_cpp")
+        est1 = heidi.build_est(heidi.parse(PAPER_IDL, filename="A.idl"))
+        est2 = corba.build_est(corba.parse(PAPER_IDL, filename="A.idl"))
+        assert est1.structurally_equal(est2)
+
+    def test_template_compiled_once_per_pack(self):
+        pipeline = Pipeline("heidi_cpp")
+        first = pipeline.compile_template()
+        second = pipeline.compile_template()
+        assert first is second
+
+
+class TestAllPacksEndToEnd:
+    @pytest.mark.parametrize(
+        "pack", ["heidi_cpp", "corba_cpp", "java_rmi", "tcl_orb", "python_rmi"]
+    )
+    def test_pipeline_generates_files(self, pack):
+        files = compile_idl(PAPER_IDL, pack=pack, filename="A.idl")
+        assert files, pack
+        assert all(text.strip() for text in files.values())
+
+    def test_pack_instance_accepted(self):
+        from repro.mappings import get_pack
+
+        pipeline = Pipeline(get_pack("heidi_cpp"))
+        assert "A.hh" in pipeline.run(PAPER_IDL, filename="A.idl").files

@@ -1,0 +1,179 @@
+"""Unit tests for AST → EST lowering (paper Figs. 7 and 8)."""
+
+from repro.est import build_est, find, find_all
+from repro.idl import parse
+
+
+class TestGrouping:
+    def test_attribute_separated_from_methods(self, paper_est):
+        """Fig. 7's key property: button sits in its own sub-tree even
+        though the IDL interleaves it between methods q and s."""
+        a = find(paper_est, kind="Interface", name="A")
+        assert [n.name for n in a.children("Operation")] == [
+            "f", "g", "p", "q", "s", "t",
+        ]
+        assert [n.name for n in a.children("Attribute")] == ["button"]
+
+    def test_module_groups_by_kind(self, paper_est):
+        heidi = find(paper_est, kind="Module", name="Heidi")
+        assert set(heidi.groups) == {"enumList", "aliasList", "interfaceList"}
+
+    def test_forward_declaration_omitted(self, paper_est):
+        # Fig. 8 has no node for the forward `interface S;`.
+        interfaces = find_all(paper_est, kind="Interface")
+        assert [n.name for n in interfaces] == ["A", "S"]
+        assert find(paper_est, kind="Forward") is None
+
+
+class TestFig8Vocabulary:
+    """Property names and values exactly as the paper's Fig. 8 shows."""
+
+    def test_enum_members(self, paper_est):
+        status = find(paper_est, kind="Enum", name="Status")
+        assert status.get("members") == ["Start", "Stop"]
+        assert status.get("repoId") == "IDL:Heidi/Status:1.0"
+
+    def test_alias_sequence_child(self, paper_est):
+        alias = find(paper_est, kind="Alias", name="SSequence")
+        assert alias.get("type") == "sequence"
+        (seq,) = alias.children("Sequence")
+        assert seq.get("type") == "objref"
+        assert seq.get("typeName") == "Heidi_S"
+        assert seq.get("IsVariable") is True
+
+    def test_interface_parent_prop(self, paper_est):
+        a = find(paper_est, kind="Interface", name="A")
+        assert a.get("Parent") == "Heidi_S"
+
+    def test_operation_type_props(self, paper_est):
+        f = find(paper_est, kind="Operation", name="f")
+        assert f.get("type") == "void"
+        (param,) = f.children("Param")
+        assert param.get("type") == "objref"
+        assert param.get("typeName") == "Heidi_A"
+        assert param.get("getType") == "in"
+
+    def test_incopy_direction_recorded(self, paper_est):
+        g = find(paper_est, kind="Operation", name="g")
+        (param,) = g.children("Param")
+        assert param.get("getType") == "incopy"
+
+    def test_default_param_props(self, paper_est):
+        p = find(paper_est, kind="Operation", name="p")
+        (param,) = p.children("Param")
+        assert param.get("defaultParam") == "0"
+        assert param.get("defaultValue") == 0
+        q = find(paper_est, kind="Operation", name="q")
+        (param,) = q.children("Param")
+        assert param.get("defaultParam") == "Heidi::Start"
+
+    def test_no_default_is_empty_string(self, paper_est):
+        f = find(paper_est, kind="Operation", name="f")
+        (param,) = f.children("Param")
+        assert param.get("defaultParam") == ""
+
+    def test_attribute_qualifier(self, paper_est):
+        button = find(paper_est, kind="Attribute", name="button")
+        assert button.get("attributeQualifier") == "readonly"
+        assert button.get("type") == "enum"
+
+    def test_inherited_node(self, paper_est):
+        a = find(paper_est, kind="Interface", name="A")
+        (inherited,) = a.children("Inherited")
+        assert inherited.name == "Heidi::S"
+        assert inherited.get("typeName") == "Heidi_S"
+        assert inherited.get("repoId") == "IDL:Heidi/S:1.0"
+
+
+class TestOtherConstructs:
+    def test_struct_members(self):
+        est = build_est(parse("struct P { long x; string s; };"))
+        p = find(est, kind="Struct", name="P")
+        members = p.children("Member")
+        assert [m.name for m in members] == ["x", "s"]
+        assert members[0].get("type") == "long"
+        assert p.get("IsVariable") is True
+
+    def test_union_cases(self):
+        est = build_est(parse(
+            "union U switch (long) { case 1: long a; default: string b; };"
+        ))
+        u = find(est, kind="Union", name="U")
+        cases = u.children("Case")
+        assert cases[0].get("labels") == ["1"]
+        assert cases[1].get("labels") == ["default"]
+
+    def test_exception_node(self):
+        est = build_est(parse("exception E { string why; };"))
+        e = find(est, kind="Exception", name="E")
+        assert [m.name for m in e.children("Member")] == ["why"]
+
+    def test_const_node(self):
+        est = build_est(parse("const long MAX = 3 * 7;"))
+        c = find(est, kind="Const", name="MAX")
+        assert c.get("evaluated") == 21
+
+    def test_scoped_name_prop(self, paper_est):
+        a = find(paper_est, kind="Interface", name="A")
+        assert a.get("scopedName") == "Heidi::A"
+
+    def test_include_inlined(self, tmp_path):
+        (tmp_path / "b.idl").write_text("interface B { };\n")
+        source = '#include "b.idl"\ninterface C : B { };\n'
+        spec = parse(source, filename=str(tmp_path / "main.idl"))
+        est = build_est(spec)
+        assert [n.name for n in find_all(est, kind="Interface")] == ["B", "C"]
+
+
+class TestAliasResolution:
+    def test_param_of_alias_type_resolves_underlying(self):
+        est = build_est(parse(
+            "typedef sequence<long> Longs; interface I { void f(in Longs v); };"
+        ))
+        param = find(est, kind="Param", name="v")
+        assert param.get("type") == "alias"
+        assert param.get("aliasedCategory") == "sequence"
+        (element,) = param.children("ElementType")
+        assert element.get("type") == "long"
+
+    def test_alias_chain_resolves(self):
+        est = build_est(parse(
+            "typedef long A; typedef A B; interface I { void f(in B v); };"
+        ))
+        param = find(est, kind="Param", name="v")
+        assert param.get("aliasedCategory") == "long"
+
+
+class TestMultipleInheritanceExpansion:
+    SOURCE = """
+    interface A { void fa(); };
+    interface B { void fb(); attribute long bx; };
+    interface C : A, B { void fc(); };
+    """
+
+    def test_expanded_ops_from_secondary_base(self):
+        est = build_est(parse(self.SOURCE))
+        c = find(est, kind="Interface", name="C")
+        assert [n.name for n in c.children("ExpandedOp")] == ["fb"]
+        assert [n.name for n in c.children("ExpandedAttr")] == ["bx"]
+
+    def test_primary_base_not_expanded(self):
+        est = build_est(parse(self.SOURCE))
+        c = find(est, kind="Interface", name="C")
+        assert "fa" not in [n.name for n in c.children("ExpandedOp")]
+
+    def test_single_inheritance_has_no_expansion(self, paper_est):
+        a = find(paper_est, kind="Interface", name="A")
+        assert a.children("ExpandedOp") == []
+
+    def test_diamond_not_expanded_twice(self):
+        source = """
+        interface R { void r(); };
+        interface A : R { };
+        interface B : R { void fb(); };
+        interface C : A, B { };
+        """
+        est = build_est(parse(source))
+        c = find(est, kind="Interface", name="C")
+        # r comes via the primary chain (A→R); only fb needs expanding.
+        assert [n.name for n in c.children("ExpandedOp")] == ["fb"]

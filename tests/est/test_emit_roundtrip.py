@@ -1,0 +1,163 @@
+"""Tests for the EST-program emitter (paper Fig. 8) and its round-trip."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.est import build_est, emit_program, load_program
+from repro.est.node import Ast
+from repro.idl import parse
+
+
+class TestEmitShape:
+    def test_header_and_root_binding(self, paper_est):
+        program = emit_program(paper_est)
+        assert program.startswith("#!/usr/bin/env python3")
+        assert "from repro.est.node import Ast" in program
+        assert program.rstrip().endswith("ROOT = n0")
+
+    def test_repository_id_comments(self, paper_est):
+        """Fig. 8 annotates each node with its repository ID."""
+        program = emit_program(paper_est)
+        assert "# IDL:Heidi/Status:1.0" in program
+        assert "# IDL:Heidi/A:1.0" in program
+        assert "# IDL:Heidi/A/f:1.0" in program
+
+    def test_depth_indexed_variables(self, paper_est):
+        """Fig. 8 reuses n0/n1/n2... by depth, not one var per node."""
+        program = emit_program(paper_est)
+        assert "n0 = Ast('Root', 'Root')" in program
+        assert "n1 = Ast('Heidi', 'Module', n0)" in program
+        assert "n2 = Ast('Status', 'Enum', n1)" in program
+        # The SSequence alias reuses n2 at the same depth.
+        assert "n2 = Ast('SSequence', 'Alias', n1)" in program
+
+    def test_add_prop_calls(self, paper_est):
+        program = emit_program(paper_est)
+        assert "n2.add_prop('members', ['Start', 'Stop'])" in program
+        assert "n2.add_prop('Parent', 'Heidi_S')" in program
+        assert "n4.add_prop('getType', 'in')" in program
+
+
+class TestRoundTrip:
+    def test_paper_est_roundtrip(self, paper_est):
+        rebuilt = load_program(emit_program(paper_est))
+        assert rebuilt.structurally_equal(paper_est)
+
+    def test_empty_root_roundtrip(self):
+        root = Ast("Root", "Root")
+        assert load_program(emit_program(root)).structurally_equal(root)
+
+    def test_special_characters_in_props(self):
+        root = Ast("Root", "Root")
+        node = Ast("x", "Const", root)
+        node.add_prop("value", "a 'quoted' \"string\"\nwith newline")
+        node.add_prop("numbers", [1, -2, 3.5])
+        node.add_prop("flag", True)
+        assert load_program(emit_program(root)).structurally_equal(root)
+
+    def test_load_rejects_programs_without_root(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            load_program("x = 1\n")
+
+
+@st.composite
+def random_est(draw):
+    root = Ast("Root", "Root")
+    for m_index in range(draw(st.integers(1, 3))):
+        module = Ast(f"M{m_index}", "Module", root)
+        for i_index in range(draw(st.integers(0, 3))):
+            interface = Ast(f"I{i_index}", "Interface", module)
+            interface.add_prop("repoId", f"IDL:M{m_index}/I{i_index}:1.0")
+            for o_index in range(draw(st.integers(0, 3))):
+                op = Ast(f"op{o_index}", "Operation", interface)
+                op.add_prop("type", draw(st.sampled_from(["void", "long"])))
+                for p_index in range(draw(st.integers(0, 2))):
+                    param = Ast(f"p{p_index}", "Param", op)
+                    param.add_prop(
+                        "defaultParam",
+                        draw(st.sampled_from(["", "0", "TRUE"])),
+                    )
+    return root
+
+
+@given(random_est())
+@settings(max_examples=50, deadline=None)
+def test_random_est_roundtrip(est):
+    assert load_program(emit_program(est)).structurally_equal(est)
+
+
+@given(st.text(alphabet=st.characters(codec="utf-8"), max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_arbitrary_string_props_roundtrip(value):
+    root = Ast("Root", "Root")
+    Ast("n", "Const", root).add_prop("value", value)
+    assert load_program(emit_program(root)).structurally_equal(root)
+
+
+def test_idl_to_est_program_equivalence():
+    """Parsing IDL and evaluating the emitted program agree exactly."""
+    source = """
+    module Zoo {
+      enum Species { Cat, Dog };
+      struct Record { string name; Species kind; };
+      interface Keeper {
+        void feed(in Record r, in long amount = 3);
+        readonly attribute long count;
+      };
+    };
+    """
+    est = build_est(parse(source))
+    assert load_program(emit_program(est)).structurally_equal(est)
+
+
+class TestExternalRepresentation:
+    """The neutral external EST format (the C6 baseline)."""
+
+    def test_paper_est_roundtrip(self, paper_est):
+        from repro.est.emit import dump_external, parse_external
+
+        rebuilt = parse_external(dump_external(paper_est))
+        assert rebuilt.structurally_equal(paper_est)
+
+    def test_line_shape(self, paper_est):
+        from repro.est.emit import dump_external
+
+        text = dump_external(paper_est)
+        first = text.splitlines()[0]
+        assert first == "N 0 'Root' 'Root'"
+        assert any(line.startswith("P 'members'") for line in text.splitlines())
+
+    def test_empty_input_rejected(self):
+        import pytest as _pytest
+
+        from repro.est.emit import parse_external
+
+        with _pytest.raises(ValueError):
+            parse_external("")
+
+    def test_bad_tag_rejected(self):
+        import pytest as _pytest
+
+        from repro.est.emit import parse_external
+
+        with _pytest.raises(ValueError):
+            parse_external("X nonsense line")
+
+
+@given(random_est())
+@settings(max_examples=50, deadline=None)
+def test_external_roundtrip_random(est):
+    from repro.est.emit import dump_external, parse_external
+
+    assert parse_external(dump_external(est)).structurally_equal(est)
+
+
+@given(st.text(alphabet=st.characters(codec="utf-8"), max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_external_roundtrip_arbitrary_strings(value):
+    from repro.est.emit import dump_external, parse_external
+
+    root = Ast("Root", "Root")
+    Ast("n", "Const", root).add_prop("value", value)
+    assert parse_external(dump_external(root)).structurally_equal(root)

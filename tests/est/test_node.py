@@ -1,0 +1,123 @@
+"""Unit tests for the EST node model (the Perl Ast.pm equivalent)."""
+
+from repro.est.node import Ast, group_key, var_base
+
+
+class TestNaming:
+    def test_var_base_lowercases_first(self):
+        assert var_base("Interface") == "interface"
+
+    def test_operation_alias(self):
+        # Fig. 8 creates "Operation" nodes; Fig. 9 iterates methodList.
+        assert var_base("Operation") == "method"
+        assert group_key("Operation") == "methodList"
+
+    def test_group_key(self):
+        assert group_key("Param") == "paramList"
+        assert group_key("Inherited") == "inheritedList"
+
+
+class TestConstruction:
+    def test_child_registers_in_kind_group(self):
+        root = Ast("Root", "Root")
+        child = Ast("A", "Interface", root)
+        assert root.groups["interfaceList"] == [child]
+        assert child.parent is root
+
+    def test_children_grouped_by_kind(self):
+        """The defining EST property: similar elements group together."""
+        interface = Ast("A", "Interface")
+        op1 = Ast("q", "Operation", interface)
+        attr = Ast("button", "Attribute", interface)
+        op2 = Ast("s", "Operation", interface)
+        assert interface.groups["methodList"] == [op1, op2]
+        assert interface.groups["attributeList"] == [attr]
+
+    def test_auto_name_property(self):
+        node = Ast("A", "Interface")
+        assert node.get("interfaceName") == "A"
+
+    def test_operation_auto_name_is_method_name(self):
+        node = Ast("f", "Operation")
+        assert node.get("methodName") == "f"
+
+
+class TestProperties:
+    def test_add_prop_and_get(self):
+        node = Ast("x", "Param")
+        node.add_prop("type", "objref")
+        assert node.get("type") == "objref"
+
+    def test_get_default(self):
+        node = Ast("x", "Param")
+        assert node.get("missing", 42) == 42
+
+    def test_get_finds_group_lists(self):
+        parent = Ast("A", "Interface")
+        child = Ast("f", "Operation", parent)
+        assert parent.get("methodList") == [child]
+
+    def test_lookup_walks_ancestors(self):
+        interface = Ast("A", "Interface")
+        interface.add_prop("repoId", "IDL:A:1.0")
+        op = Ast("f", "Operation", interface)
+        param = Ast("a", "Param", op)
+        assert param.lookup("repoId") == "IDL:A:1.0"
+        assert param.lookup("interfaceName") == "A"
+
+    def test_lookup_prefers_innermost(self):
+        outer = Ast("A", "Interface")
+        outer.add_prop("type", "outer")
+        inner = Ast("f", "Operation", outer)
+        inner.add_prop("type", "inner")
+        assert inner.lookup("type") == "inner"
+
+    def test_lookup_missing_is_none(self):
+        assert Ast("A", "Interface").lookup("nope") is None
+
+
+class TestTraversal:
+    def test_walk_depth_first(self):
+        root = Ast("Root", "Root")
+        module = Ast("M", "Module", root)
+        interface = Ast("A", "Interface", module)
+        op = Ast("f", "Operation", interface)
+        assert [n.name for n in root.walk()] == ["Root", "M", "A", "f"]
+
+    def test_children_by_kind_name(self):
+        parent = Ast("A", "Interface")
+        Ast("f", "Operation", parent)
+        assert len(parent.children("Operation")) == 1
+        assert len(parent.children("methodList")) == 1
+
+    def test_path(self):
+        root = Ast("Root", "Root")
+        module = Ast("Heidi", "Module", root)
+        interface = Ast("A", "Interface", module)
+        assert interface.path() == ("Root", "Heidi", "A")
+
+
+class TestEquality:
+    def _tree(self):
+        root = Ast("Root", "Root")
+        child = Ast("A", "Interface", root)
+        child.add_prop("repoId", "IDL:A:1.0")
+        return root
+
+    def test_equal_trees(self):
+        assert self._tree().structurally_equal(self._tree())
+
+    def test_prop_difference_detected(self):
+        a, b = self._tree(), self._tree()
+        b.groups["interfaceList"][0].add_prop("extra", 1)
+        assert not a.structurally_equal(b)
+
+    def test_child_count_difference_detected(self):
+        a, b = self._tree(), self._tree()
+        Ast("B", "Interface", b)
+        assert not a.structurally_equal(b)
+
+    def test_name_difference_detected(self):
+        a = Ast("X", "Root")
+        b = Ast("Y", "Root")
+        assert not a.structurally_equal(b)

@@ -1,0 +1,55 @@
+"""Unit tests for EST traversal/rendering helpers."""
+
+from repro.est import find, find_all, render_tree
+from repro.est.query import count_nodes, interfaces_of
+
+
+class TestFind:
+    def test_find_by_kind_and_name(self, paper_est):
+        node = find(paper_est, kind="Operation", name="q")
+        assert node is not None and node.kind == "Operation"
+
+    def test_find_by_kind_only(self, paper_est):
+        assert find(paper_est, kind="Enum").name == "Status"
+
+    def test_find_missing_is_none(self, paper_est):
+        assert find(paper_est, kind="Union") is None
+
+    def test_find_all_in_tree_order(self, paper_est):
+        params = find_all(paper_est, kind="Param")
+        assert [p.name for p in params] == ["a", "s", "l", "s", "b", "s"]
+
+    def test_interfaces_of(self, paper_est):
+        assert [n.name for n in interfaces_of(paper_est)] == ["A", "S"]
+
+    def test_count_nodes(self, paper_est):
+        # Root + module + enum + alias + seq child + 2 interfaces +
+        # inherited + 6 ops + 6 params + attribute = 19 at minimum.
+        assert count_nodes(paper_est) >= 19
+
+
+class TestRenderTree:
+    def test_fig7_shape(self, paper_est):
+        """The rendering shows the Fig. 7 grouping: the button attribute
+        in a separate sub-tree from the methods."""
+        text = render_tree(paper_est)
+        assert "Interface: A" in text
+        assert "[methodList]" in text
+        assert "[attributeList]" in text
+        method_pos = text.index("[methodList]")
+        attr_pos = text.index("[attributeList]")
+        button_pos = text.index("Attribute: button")
+        assert button_pos > attr_pos > method_pos
+
+    def test_render_with_props(self, paper_est):
+        text = render_tree(paper_est, show_props=True)
+        assert ".repoId = 'IDL:Heidi/A:1.0'" in text
+        assert ".getType = 'in'" in text
+
+    def test_indentation_reflects_depth(self, paper_est):
+        lines = render_tree(paper_est).splitlines()
+        root_line = next(l for l in lines if l.strip() == "Root: Root")
+        param_line = next(l for l in lines if l.strip() == "Param: a")
+        assert len(param_line) - len(param_line.lstrip()) > len(root_line) - len(
+            root_line.lstrip()
+        )

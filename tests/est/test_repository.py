@@ -1,0 +1,123 @@
+"""Tests for the EST-storing Interface Repository (paper §5)."""
+
+import pytest
+
+from repro.est import build_est
+from repro.est.repository import InterfaceRepository
+from repro.idl import parse
+
+OTHER_IDL = """\
+module Util {
+  interface Logger { void log(in string line); };
+  interface Timer : Logger { long elapsed(); };
+};
+"""
+
+
+@pytest.fixture
+def repository(paper_spec):
+    repo = InterfaceRepository()
+    repo.add(paper_spec, name="A.idl")
+    repo.add(parse(OTHER_IDL, filename="Util.idl"), name="Util.idl")
+    return repo
+
+
+class TestPopulation:
+    def test_entries(self, repository):
+        assert repository.entries() == ["A.idl", "Util.idl"]
+
+    def test_accepts_prebuilt_est(self, paper_spec):
+        repo = InterfaceRepository()
+        name = repo.add(build_est(paper_spec))
+        assert name == "A.idl"  # from the EST's file property
+
+    def test_readd_replaces(self, repository):
+        repository.add(parse("interface A { };"), name="A.idl")
+        assert "IDL:Heidi/A:1.0" not in repository
+        assert "IDL:A:1.0" in repository
+
+    def test_remove(self, repository):
+        assert repository.remove("Util.idl")
+        assert "IDL:Util/Timer:1.0" not in repository
+        assert not repository.remove("Util.idl")
+
+
+class TestQueries:
+    def test_lookup_by_repository_id(self, repository):
+        node = repository.lookup("IDL:Heidi/A:1.0")
+        assert node.kind == "Interface" and node.name == "A"
+
+    def test_lookup_nested_declarations(self, repository):
+        assert repository.lookup("IDL:Heidi/Status:1.0").kind == "Enum"
+        assert repository.lookup("IDL:Heidi/A/f:1.0").kind == "Operation"
+
+    def test_lookup_missing(self, repository):
+        assert repository.lookup("IDL:Nope:1.0") is None
+
+    def test_entry_of(self, repository):
+        assert repository.entry_of("IDL:Util/Logger:1.0") == "Util.idl"
+
+    def test_interfaces_across_entries(self, repository):
+        assert repository.interfaces() == [
+            "IDL:Heidi/A:1.0",
+            "IDL:Heidi/S:1.0",
+            "IDL:Util/Logger:1.0",
+            "IDL:Util/Timer:1.0",
+        ]
+
+    def test_operations_of(self, repository):
+        assert repository.operations_of("IDL:Heidi/A:1.0") == [
+            "f", "g", "p", "q", "s", "t",
+        ]
+        assert repository.operations_of("IDL:Heidi/Status:1.0") is None
+
+    def test_parents_of(self, repository):
+        assert repository.parents_of("IDL:Util/Timer:1.0") == [
+            "IDL:Util/Logger:1.0"
+        ]
+        assert repository.parents_of("IDL:Util/Logger:1.0") == []
+
+    def test_is_a_through_repository(self, repository):
+        assert repository.is_a("IDL:Util/Timer:1.0", "IDL:Util/Logger:1.0")
+        assert repository.is_a("IDL:Heidi/A:1.0", "IDL:Heidi/S:1.0")
+        assert not repository.is_a("IDL:Util/Logger:1.0", "IDL:Util/Timer:1.0")
+
+    def test_contains_and_len(self, repository):
+        assert "IDL:Heidi/A:1.0" in repository
+        assert len(repository) == 2
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, repository, tmp_path):
+        directory = repository.save(str(tmp_path / "ir"))
+        loaded = InterfaceRepository.load(directory)
+        assert loaded.entries() == repository.entries()
+        assert loaded.repo_ids() == repository.repo_ids()
+        original = repository.entry("A.idl")
+        assert loaded.entry("A.idl").structurally_equal(original)
+
+    def test_saved_entries_are_est_programs(self, repository, tmp_path):
+        """Persistence reuses the Fig. 8 artifact: each entry on disk is
+        an executable Python program that rebuilds its EST."""
+        directory = repository.save(str(tmp_path / "ir"))
+        import os
+
+        from repro.est.emit import load_program
+
+        entry_files = [f for f in os.listdir(directory) if f.endswith(".est.py")]
+        assert len(entry_files) == 2
+        with open(os.path.join(directory, entry_files[0])) as handle:
+            est = load_program(handle.read())
+        assert est.kind == "Root"
+
+    def test_generation_from_loaded_repository(self, repository, tmp_path):
+        """A mapping pack can generate straight from a persisted IR."""
+        from repro.mappings import get_pack
+
+        directory = repository.save(str(tmp_path / "ir"))
+        loaded = InterfaceRepository.load(directory)
+        est = loaded.entry("A.idl")
+        sink = get_pack("heidi_cpp").generate(
+            None, est=est, variables={"basename": "A", "idlFile": "A.idl"}
+        )
+        assert "class HdA : virtual public HdS" in sink.files()["A.hh"]

@@ -1,0 +1,59 @@
+"""Tests for the static import-closure analysis."""
+
+from repro.footprint.imports import import_closure, module_loc, subset_report
+
+
+class TestClosure:
+    def test_closure_includes_root(self):
+        closure = import_closure(["repro.heidirmi.textwire"])
+        assert "repro.heidirmi.textwire" in closure
+
+    def test_closure_follows_internal_imports(self):
+        closure = import_closure(["repro.heidirmi.orb"])
+        for expected in (
+            "repro.heidirmi.call",
+            "repro.heidirmi.connection",
+            "repro.heidirmi.protocol",
+            "repro.heidirmi.transport",
+        ):
+            assert expected in closure
+
+    def test_lazy_imports_excluded(self):
+        """The text-only ORB must not statically pull in GIOP — that lazy
+        import is what keeps the minimal footprint minimal (§4.2)."""
+        closure = import_closure(["repro.heidirmi.orb"])
+        assert not any(module.startswith("repro.giop") for module in closure)
+
+    def test_giop_adds_only_giop_modules(self):
+        base = set(import_closure(["repro.heidirmi.orb"]))
+        full = set(import_closure(["repro.heidirmi.orb", "repro.giop.iiop"]))
+        extra = full - base
+        assert extra
+        assert all(module.startswith("repro.giop") for module in extra)
+
+    def test_prefix_restriction(self):
+        closure = import_closure(["repro.heidirmi.orb"], prefix="repro.heidirmi")
+        assert all(module.startswith("repro.heidirmi") for module in closure)
+
+    def test_string_root_accepted(self):
+        assert import_closure("repro.heidirmi.errors") == ["repro.heidirmi.errors"]
+
+
+class TestReport:
+    def test_module_loc_positive(self):
+        assert module_loc("repro.heidirmi.orb") > 100
+
+    def test_missing_module_is_zero(self):
+        assert module_loc("repro.nonexistent") == 0
+
+    def test_subset_report_totals(self):
+        report = subset_report(["repro.heidirmi.orb"])
+        assert report["<total>"] == sum(
+            loc for module, loc in report.items() if module != "<total>"
+        )
+        assert report["<total>"] > 500
+
+    def test_minimal_smaller_than_full(self):
+        minimal = subset_report(["repro.heidirmi.orb"])["<total>"]
+        full = subset_report(["repro.heidirmi.orb", "repro.giop.iiop"])["<total>"]
+        assert minimal < full

@@ -1,0 +1,136 @@
+"""Tests for the connection cache."""
+
+import threading
+
+import pytest
+
+from repro.heidirmi.connection import ConnectionCache
+from repro.heidirmi.protocol import TextProtocol
+from repro.heidirmi.transport import get_transport
+
+
+@pytest.fixture
+def echo_listener():
+    """An inproc listener that echoes request lines back as replies."""
+    transport = get_transport("inproc")
+    listener = transport.listen("cache-test", 0)
+    running = [True]
+
+    def serve():
+        while running[0]:
+            try:
+                channel = listener.accept()
+            except Exception:
+                return
+            threading.Thread(
+                target=_echo_channel, args=(channel,), daemon=True
+            ).start()
+
+    def _echo_channel(channel):
+        try:
+            while True:
+                line = channel.recv_line()
+                channel.send(b"RET OK " + line.split(b" ", 3)[-1] + b"\n")
+        except Exception:
+            channel.close()
+
+    threading.Thread(target=serve, daemon=True).start()
+    yield listener.address
+    running[0] = False
+    listener.close()
+
+
+def make_cache(enabled=True, max_idle=8):
+    return ConnectionCache(
+        get_transport, TextProtocol(), enabled=enabled, max_idle=max_idle
+    )
+
+
+class TestReuse:
+    def test_first_acquire_opens(self, echo_listener):
+        cache = make_cache()
+        bootstrap = ("inproc",) + echo_listener
+        communicator = cache.acquire(bootstrap)
+        assert cache.stats["opened"] == 1
+        cache.release(bootstrap, communicator)
+        cache.close_all()
+
+    def test_released_connection_is_reused(self, echo_listener):
+        """Paper: 'only if there is no available connection is a new
+        connection opened'."""
+        cache = make_cache()
+        bootstrap = ("inproc",) + echo_listener
+        first = cache.acquire(bootstrap)
+        cache.release(bootstrap, first)
+        second = cache.acquire(bootstrap)
+        assert second is first
+        assert cache.stats == {"hits": 1, "misses": 1, "opened": 1}
+        cache.close_all()
+
+    def test_concurrent_checkouts_open_separate_connections(self, echo_listener):
+        cache = make_cache()
+        bootstrap = ("inproc",) + echo_listener
+        a = cache.acquire(bootstrap)
+        b = cache.acquire(bootstrap)
+        assert a is not b
+        assert cache.stats["opened"] == 2
+        cache.release(bootstrap, a)
+        cache.release(bootstrap, b)
+        assert cache.idle_count == 2
+        cache.close_all()
+
+    def test_closed_connection_not_reused(self, echo_listener):
+        cache = make_cache()
+        bootstrap = ("inproc",) + echo_listener
+        communicator = cache.acquire(bootstrap)
+        cache.release(bootstrap, communicator)
+        communicator.close()
+        replacement = cache.acquire(bootstrap)
+        assert replacement is not communicator
+        cache.close_all()
+
+    def test_discard_closes(self, echo_listener):
+        cache = make_cache()
+        bootstrap = ("inproc",) + echo_listener
+        communicator = cache.acquire(bootstrap)
+        cache.discard(communicator)
+        assert communicator.closed
+
+
+class TestDisabledCache:
+    def test_every_acquire_opens(self, echo_listener):
+        cache = make_cache(enabled=False)
+        bootstrap = ("inproc",) + echo_listener
+        for _ in range(3):
+            communicator = cache.acquire(bootstrap)
+            cache.release(bootstrap, communicator)
+        assert cache.stats["opened"] == 3
+        assert cache.idle_count == 0
+
+    def test_release_closes_when_disabled(self, echo_listener):
+        cache = make_cache(enabled=False)
+        bootstrap = ("inproc",) + echo_listener
+        communicator = cache.acquire(bootstrap)
+        cache.release(bootstrap, communicator)
+        assert communicator.closed
+
+
+class TestBounds:
+    def test_max_idle_enforced(self, echo_listener):
+        cache = make_cache(max_idle=2)
+        bootstrap = ("inproc",) + echo_listener
+        communicators = [cache.acquire(bootstrap) for _ in range(4)]
+        for communicator in communicators:
+            cache.release(bootstrap, communicator)
+        assert cache.idle_count == 2
+        assert sum(1 for c in communicators if c.closed) == 2
+        cache.close_all()
+
+    def test_close_all_empties_pool(self, echo_listener):
+        cache = make_cache()
+        bootstrap = ("inproc",) + echo_listener
+        communicator = cache.acquire(bootstrap)
+        cache.release(bootstrap, communicator)
+        cache.close_all()
+        assert cache.idle_count == 0
+        assert communicator.closed

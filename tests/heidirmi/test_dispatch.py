@@ -1,0 +1,97 @@
+"""Tests for the three dispatcher strategies (paper §2 optimization)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.heidirmi.dispatch import (
+    HashDispatcher,
+    LinearDispatcher,
+    NestedDispatcher,
+    available_strategies,
+    make_dispatcher,
+)
+
+ENTRIES = [(f"operation_{i}", f"handler_{i}") for i in range(10)]
+ALL_CLASSES = (LinearDispatcher, NestedDispatcher, HashDispatcher)
+
+
+class TestEachStrategy:
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_finds_every_entry(self, cls):
+        dispatcher = cls(ENTRIES)
+        for name, handler in ENTRIES:
+            assert dispatcher.lookup(name) == handler
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_miss_returns_none(self, cls):
+        dispatcher = cls(ENTRIES)
+        assert dispatcher.lookup("nonexistent") is None
+        assert dispatcher.lookup("") is None
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_empty_dispatcher(self, cls):
+        assert cls([]).lookup("x") is None
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_single_entry(self, cls):
+        dispatcher = cls([("only", "h")])
+        assert dispatcher.lookup("only") == "h"
+        assert dispatcher.lookup("onlyx") is None
+        assert dispatcher.lookup("onl") is None
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_operations_listing(self, cls):
+        dispatcher = cls(ENTRIES)
+        assert sorted(dispatcher.operations()) == sorted(n for n, _ in ENTRIES)
+
+
+class TestNestedOrdering:
+    def test_lookup_independent_of_insertion_order(self):
+        shuffled = list(reversed(ENTRIES))
+        dispatcher = NestedDispatcher(shuffled)
+        for name, handler in ENTRIES:
+            assert dispatcher.lookup(name) == handler
+
+    def test_boundary_names(self):
+        dispatcher = NestedDispatcher([("m", 1), ("a", 2), ("z", 3)])
+        assert dispatcher.lookup("a") == 2
+        assert dispatcher.lookup("z") == 3
+        assert dispatcher.lookup("0") is None
+        assert dispatcher.lookup("zz") is None
+
+
+class TestFactory:
+    def test_strategies_available(self):
+        assert available_strategies() == ["hash", "linear", "nested"]
+
+    @pytest.mark.parametrize("strategy,cls", [
+        ("linear", LinearDispatcher),
+        ("nested", NestedDispatcher),
+        ("hash", HashDispatcher),
+    ])
+    def test_factory_builds_right_class(self, strategy, cls):
+        assert isinstance(make_dispatcher(strategy, ENTRIES), cls)
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError, match="unknown dispatch strategy"):
+            make_dispatcher("bogus", ENTRIES)
+
+
+@given(
+    names=st.lists(
+        st.from_regex(r"[a-z_][a-z0-9_]{0,24}", fullmatch=True),
+        min_size=0, max_size=30, unique=True,
+    ),
+    probe=st.from_regex(r"[a-z_][a-z0-9_]{0,24}", fullmatch=True),
+)
+@settings(max_examples=150, deadline=None)
+def test_strategies_agree(names, probe):
+    """All three dispatch strategies are observationally equivalent."""
+    entries = [(name, index) for index, name in enumerate(names)]
+    results = {
+        cls.strategy: cls(entries).lookup(probe) for cls in ALL_CLASSES
+    }
+    assert len(set(results.values())) == 1, results
+    for name, index in entries:
+        per_strategy = {cls(entries).lookup(name) for cls in ALL_CLASSES}
+        assert per_strategy == {index}

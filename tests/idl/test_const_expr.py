@@ -1,0 +1,138 @@
+"""Property-based tests for IDL constant-expression evaluation.
+
+Random arithmetic expressions are rendered to IDL, parsed as constants,
+and the evaluated result compared against direct Python evaluation with
+IDL division semantics (truncation toward zero).
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.idl import parse
+from repro.idl.errors import IdlSemanticError
+
+
+class Node:
+    """A tiny expression tree rendered to IDL and evaluated in Python."""
+
+    def __init__(self, op=None, left=None, right=None, value=None):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.value = value
+
+    def render(self):
+        if self.op is None:
+            return str(self.value)
+        if self.op == "neg":
+            return f"(-{self.left.render()})"
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def evaluate(self):
+        if self.op is None:
+            return self.value
+        if self.op == "neg":
+            return -self.left.evaluate()
+        left = self.left.evaluate()
+        right = self.right.evaluate()
+        if self.op == "+":
+            return left + right
+        if self.op == "-":
+            return left - right
+        if self.op == "*":
+            return left * right
+        if self.op == "/":
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        if self.op == "%":
+            return left % right
+        if self.op == "|":
+            return left | right
+        if self.op == "&":
+            return left & right
+        if self.op == "^":
+            return left ^ right
+        if self.op == "<<":
+            return left << right
+        if self.op == ">>":
+            return left >> right
+        raise AssertionError(self.op)
+
+
+@st.composite
+def int_expr(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return Node(value=draw(st.integers(0, 1000)))
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%", "|", "&", "^", "neg"]))
+    left = draw(int_expr(depth=depth + 1))
+    if op == "neg":
+        return Node(op="neg", left=left)
+    right = draw(int_expr(depth=depth + 1))
+    return Node(op=op, left=left, right=right)
+
+
+@given(int_expr())
+@settings(max_examples=200, deadline=None)
+def test_integer_expression_evaluation(expr):
+    try:
+        expected = expr.evaluate()
+    except ZeroDivisionError:
+        assume(False)
+        return
+    assume(-(2**62) < expected < 2**62)
+    source = f"const long long X = {expr.render()};"
+    try:
+        spec = parse(source)
+    except IdlSemanticError:
+        # Out-of-range intermediate detected by the range checker.
+        return
+    assert spec.find("X").evaluated == expected
+
+
+@given(st.integers(0, 31), st.integers(0, 1000))
+@settings(max_examples=80, deadline=None)
+def test_shift_expressions(shift, base):
+    spec = parse(f"const unsigned long long X = {base} << {shift};")
+    assert spec.find("X").evaluated == base << shift
+    spec = parse(f"const long long Y = {base << shift} >> {shift};")
+    assert spec.find("Y").evaluated == base
+
+
+class TestDivisionSemantics:
+    """IDL (like C) truncates integer division toward zero."""
+
+    @pytest.mark.parametrize("expr,expected", [
+        ("7 / 2", 3),
+        ("-7 / 2", -3),
+        ("7 / -2", -3),
+        ("-7 / -2", 3),
+    ])
+    def test_truncation(self, expr, expected):
+        spec = parse(f"const long X = {expr};")
+        assert spec.find("X").evaluated == expected
+
+
+class TestConstChains:
+    def test_constants_reference_constants(self):
+        spec = parse(
+            "const long A = 6;\n"
+            "const long B = A * 7;\n"
+            "const long C = B - A;\n"
+        )
+        assert spec.find("C").evaluated == 36
+
+    def test_forward_constant_reference_rejected(self):
+        with pytest.raises(IdlSemanticError):
+            parse("const long A = B; const long B = 1;")
+
+    def test_constant_usable_as_sequence_bound(self):
+        spec = parse("const long N = 4; typedef sequence<long, N> Small;")
+        assert spec.find("Small").aliased_type.bound == 4
+
+    def test_constant_usable_as_default_parameter(self):
+        spec = parse(
+            "const long DEFAULT_SIZE = 32;"
+            "interface I { void f(in long n = DEFAULT_SIZE); };"
+        )
+        op = spec.find("I").operations()[0]
+        assert op.parameters[0].default_evaluated == 32

@@ -1,0 +1,245 @@
+"""Unit tests for the IDL parser (syntax only; semantics tested apart)."""
+
+import pytest
+
+from repro.idl import parse
+from repro.idl import ast
+from repro.idl.errors import IdlSyntaxError
+from repro.idl.types import (
+    ArrayType,
+    NamedType,
+    PrimitiveKind,
+    PrimitiveType,
+    SequenceType,
+    StringType,
+)
+
+
+def parse_raw(source):
+    return parse(source, analyze_semantics=False)
+
+
+class TestModulesAndInterfaces:
+    def test_empty_module(self):
+        spec = parse_raw("module M { };")
+        (module,) = spec.declarations
+        assert isinstance(module, ast.Module)
+        assert module.name == "M"
+
+    def test_nested_modules(self):
+        spec = parse_raw("module A { module B { }; };")
+        inner = spec.declarations[0].declarations[0]
+        assert inner.scoped_name() == "A::B"
+
+    def test_forward_declaration(self):
+        spec = parse_raw("interface S;")
+        (forward,) = spec.declarations
+        assert isinstance(forward, ast.Forward)
+
+    def test_interface_with_bases(self):
+        spec = parse_raw("interface A {}; interface B {}; interface C : A, B { };")
+        interface = spec.declarations[2]
+        assert interface.bases == ["A", "B"]
+
+    def test_abstract_interface(self):
+        spec = parse_raw("abstract interface A { };")
+        assert spec.declarations[0].is_abstract
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            parse_raw("interface A { }")
+
+    def test_unterminated_body_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            parse_raw("interface A {")
+
+
+class TestOperations:
+    def test_void_operation(self):
+        spec = parse_raw("interface I { void f(); };")
+        op = spec.declarations[0].body[0]
+        assert op.return_type.idl_name() == "void"
+        assert op.parameters == []
+
+    def test_parameter_directions(self):
+        spec = parse_raw(
+            "interface I { void f(in long a, out long b, inout long c, incopy I d); };"
+        )
+        op = spec.declarations[0].body[0]
+        assert [p.direction for p in op.parameters] == ["in", "out", "inout", "incopy"]
+
+    def test_missing_direction_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            parse_raw("interface I { void f(long a); };")
+
+    def test_default_parameter_expression(self):
+        spec = parse_raw("interface I { void f(in long a = 1 + 2); };")
+        param = spec.declarations[0].body[0].parameters[0]
+        assert isinstance(param.default, ast.BinaryExpr)
+
+    def test_default_on_out_parameter_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            parse_raw("interface I { void f(out long a = 1); };")
+
+    def test_oneway(self):
+        spec = parse_raw("interface I { oneway void ping(); };")
+        assert spec.declarations[0].body[0].is_oneway
+
+    def test_raises_clause(self):
+        spec = parse_raw(
+            "exception E {}; interface I { void f() raises (E); };"
+        )
+        assert spec.declarations[1].body[0].raises == ["E"]
+
+    def test_context_clause(self):
+        spec = parse_raw('interface I { void f() context ("a", "b"); };')
+        assert spec.declarations[0].body[0].context == ["a", "b"]
+
+    def test_nonvoid_return(self):
+        spec = parse_raw("interface I { unsigned long long f(); };")
+        op = spec.declarations[0].body[0]
+        assert op.return_type == PrimitiveType(PrimitiveKind.ULONGLONG)
+
+
+class TestAttributes:
+    def test_plain_attribute(self):
+        spec = parse_raw("interface I { attribute string name; };")
+        attr = spec.declarations[0].body[0]
+        assert isinstance(attr, ast.Attribute)
+        assert not attr.readonly
+
+    def test_readonly_attribute(self):
+        spec = parse_raw("interface I { readonly attribute long count; };")
+        assert spec.declarations[0].body[0].readonly
+
+    def test_source_order_preserved(self):
+        # Fig. 3 interleaves the attribute between methods; the *parse
+        # tree* must keep that order (the EST is what regroups).
+        spec = parse_raw(
+            "interface I { void a(); attribute long x; void b(); };"
+        )
+        kinds = [type(d).__name__ for d in spec.declarations[0].body]
+        assert kinds == ["Operation", "Attribute", "Operation"]
+
+
+class TestTypes:
+    def test_all_primitives(self):
+        source = """interface I {
+            void f(in boolean a, in char b, in wchar c, in octet d,
+                   in short e, in unsigned short f, in long g,
+                   in unsigned long h, in long long i,
+                   in unsigned long long j, in float k, in double l,
+                   in long double m);
+        };"""
+        op = parse_raw(source).declarations[0].body[0]
+        got = [p.idl_type.kind for p in op.parameters]
+        assert got == [
+            PrimitiveKind.BOOLEAN, PrimitiveKind.CHAR, PrimitiveKind.WCHAR,
+            PrimitiveKind.OCTET, PrimitiveKind.SHORT, PrimitiveKind.USHORT,
+            PrimitiveKind.LONG, PrimitiveKind.ULONG, PrimitiveKind.LONGLONG,
+            PrimitiveKind.ULONGLONG, PrimitiveKind.FLOAT, PrimitiveKind.DOUBLE,
+            PrimitiveKind.LONGDOUBLE,
+        ]
+
+    def test_bounded_string(self):
+        spec = parse_raw("typedef string<16> Name;")
+        assert spec.declarations[0].aliased_type == StringType(bound=16)
+
+    def test_sequence(self):
+        spec = parse_raw("typedef sequence<long> Longs;")
+        aliased = spec.declarations[0].aliased_type
+        assert isinstance(aliased, SequenceType)
+        assert aliased.bound == 0
+
+    def test_bounded_sequence(self):
+        spec = parse_raw("typedef sequence<long, 8> Longs;")
+        assert spec.declarations[0].aliased_type.bound == 8
+
+    def test_nested_sequence(self):
+        spec = parse_raw("typedef sequence<sequence<long>> Matrix;")
+        aliased = spec.declarations[0].aliased_type
+        assert isinstance(aliased.element, SequenceType)
+
+    def test_array_declarator(self):
+        spec = parse_raw("typedef long Grid[3][4];")
+        aliased = spec.declarations[0].aliased_type
+        assert isinstance(aliased, ArrayType)
+        assert aliased.dimensions == (3, 4)
+
+    def test_multiple_typedef_declarators(self):
+        spec = parse_raw("typedef long A, B;")
+        assert [d.name for d in spec.declarations] == ["A", "B"]
+
+    def test_scoped_name_type(self):
+        spec = parse_raw("interface I { void f(in ::I x); };")
+        param = spec.declarations[0].body[0].parameters[0]
+        assert isinstance(param.idl_type, NamedType)
+        assert param.idl_type.scoped_name == "::I"
+
+
+class TestConstructedTypes:
+    def test_struct(self):
+        spec = parse_raw("struct P { long x; double y; };")
+        struct = spec.declarations[0]
+        assert [m.name for m in struct.members] == ["x", "y"]
+
+    def test_struct_multi_declarator_member(self):
+        spec = parse_raw("struct P { long x, y; };")
+        assert [m.name for m in spec.declarations[0].members] == ["x", "y"]
+
+    def test_enum(self):
+        spec = parse_raw("enum Color { Red, Green, Blue };")
+        assert spec.declarations[0].enumerators == ["Red", "Green", "Blue"]
+
+    def test_union(self):
+        spec = parse_raw(
+            "union U switch (long) { case 1: long a; case 2: case 3: "
+            "string b; default: double c; };"
+        )
+        union = spec.declarations[0]
+        assert len(union.cases) == 3
+        assert union.cases[1].labels and len(union.cases[1].labels) == 2
+        assert union.cases[2].labels == [None]
+
+    def test_exception(self):
+        spec = parse_raw("exception Bad { string why; };")
+        assert spec.declarations[0].members[0].name == "why"
+
+    def test_const(self):
+        spec = parse_raw("const long MAX = 4 * 8;")
+        assert spec.declarations[0].name == "MAX"
+
+    def test_native(self):
+        spec = parse_raw("native Cookie;")
+        assert isinstance(spec.declarations[0], ast.NativeDecl)
+
+
+class TestIncludes:
+    def test_include_resolved(self, tmp_path):
+        base = tmp_path / "base.idl"
+        base.write_text("interface Base { };\n")
+        main = tmp_path / "main.idl"
+        main.write_text('#include "base.idl"\ninterface D : Base { };\n')
+        spec = parse(main.read_text(), filename=str(main))
+        derived = spec.find("D")
+        assert derived is not None
+        assert derived.resolved_bases[0].name == "Base"
+
+    def test_include_once(self, tmp_path):
+        base = tmp_path / "base.idl"
+        base.write_text("interface Base { };\n")
+        main = tmp_path / "main.idl"
+        main.write_text(
+            '#include "base.idl"\n#include "base.idl"\ninterface D : Base { };\n'
+        )
+        spec = parse(main.read_text(), filename=str(main))
+        includes = [d for d in spec.declarations if isinstance(d, ast.Include)]
+        parsed = [inc for inc in includes if inc.spec is not None]
+        assert len(parsed) == 1
+
+    def test_missing_include_tolerated_without_semantics(self, tmp_path):
+        main = tmp_path / "main.idl"
+        main.write_text('#include "nowhere.idl"\n')
+        spec = parse(main.read_text(), filename=str(main), analyze_semantics=False)
+        (include,) = spec.declarations
+        assert include.spec is None

@@ -1,0 +1,126 @@
+"""Property-based tests: unparse ∘ parse round-trips.
+
+A random specification is generated, printed with
+:func:`repro.idl.unparse.unparse`, re-parsed, and printed again — the
+second print must equal the first (print-parse-print fixpoint), and the
+repository IDs of all declarations must survive the trip.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.idl import parse
+from repro.idl.unparse import unparse
+
+IDENT = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.lower() not in _RESERVED
+)
+
+_RESERVED = frozenset(
+    {
+        "abstract", "any", "attribute", "boolean", "case", "char", "const",
+        "context", "custom", "default", "double", "enum", "exception",
+        "false", "fixed", "float", "in", "incopy", "inout", "interface",
+        "long", "module", "native", "object", "octet", "oneway", "out",
+        "raises", "readonly", "sequence", "short", "string", "struct",
+        "switch", "true", "typedef", "union", "unsigned", "valuebase",
+        "valuetype", "void", "wchar", "wstring",
+    }
+)
+
+PRIMITIVES = st.sampled_from(
+    ["boolean", "char", "octet", "short", "long", "unsigned long",
+     "long long", "float", "double", "string"]
+)
+
+
+@st.composite
+def simple_type(draw):
+    base = draw(PRIMITIVES)
+    if draw(st.booleans()):
+        return f"sequence<{base}>"
+    return base
+
+
+@st.composite
+def operation(draw, index):
+    name = f"op{index}_{draw(IDENT)}"
+    params = []
+    for p_index in range(draw(st.integers(0, 3))):
+        direction = draw(st.sampled_from(["in", "out", "inout", "incopy"]))
+        params.append(f"{direction} {draw(simple_type())} p{p_index}")
+    # Trailing defaulted long parameters (the HeidiRMI extension).
+    for d_index in range(draw(st.integers(0, 2))):
+        value = draw(st.integers(-100, 100))
+        params.append(f"in long d{d_index} = {value}")
+    return_type = draw(st.sampled_from(["void", "long", "string", "boolean"]))
+    return f"{return_type} {name}({', '.join(params)});"
+
+
+@st.composite
+def interface(draw, index, known):
+    name = f"I{index}_{draw(IDENT)}"
+    bases = ""
+    if known and draw(st.booleans()):
+        bases = " : " + draw(st.sampled_from(known))
+    body = []
+    for op_index in range(draw(st.integers(0, 4))):
+        body.append("  " + draw(operation(op_index)))
+    if draw(st.booleans()):
+        qualifier = "readonly " if draw(st.booleans()) else ""
+        body.append(f"  {qualifier}attribute long attr{index};")
+    body_text = "\n".join(body)
+    return name, f"interface {name}{bases} {{\n{body_text}\n}};"
+
+
+@st.composite
+def specification(draw):
+    parts = []
+    known = []
+    count = draw(st.integers(1, 4))
+    for index in range(count):
+        kind = draw(st.sampled_from(["interface", "enum", "struct", "typedef"]))
+        if kind == "interface":
+            name, text = draw(interface(index, list(known)))
+            known.append(name)
+            parts.append(text)
+        elif kind == "enum":
+            members = [f"E{index}_{m}" for m in range(draw(st.integers(1, 4)))]
+            parts.append(f"enum En{index} {{{', '.join(members)}}};")
+        elif kind == "struct":
+            members = [
+                f"  {draw(PRIMITIVES)} m{m};" for m in range(draw(st.integers(1, 3)))
+            ]
+            parts.append("struct St%d {\n%s\n};" % (index, "\n".join(members)))
+        else:
+            parts.append(f"typedef {draw(simple_type())} Td{index};")
+    return "module Gen {\n" + "\n".join(parts) + "\n};"
+
+
+@given(specification())
+@settings(max_examples=60, deadline=None)
+def test_print_parse_print_fixpoint(source):
+    spec1 = parse(source, filename="gen.idl")
+    printed1 = unparse(spec1)
+    spec2 = parse(printed1, filename="gen2.idl")
+    printed2 = unparse(spec2)
+    assert printed1 == printed2
+
+
+@given(specification())
+@settings(max_examples=40, deadline=None)
+def test_repository_ids_survive_roundtrip(source):
+    spec1 = parse(source, filename="gen.idl")
+    spec2 = parse(unparse(spec1), filename="gen2.idl")
+    ids1 = sorted(d.repository_id for d in spec1.iter_tree() if d.repository_id)
+    ids2 = sorted(d.repository_id for d in spec2.iter_tree() if d.repository_id)
+    assert ids1 == ids2
+
+
+def test_paper_example_roundtrip(paper_idl):
+    spec = parse(paper_idl, filename="A.idl")
+    printed = unparse(spec)
+    spec2 = parse(printed)
+    assert unparse(spec2) == printed
+    a = spec2.find("Heidi::A")
+    assert [op.name for op in a.operations()] == ["f", "g", "p", "q", "s", "t"]
+    assert str(a.operations()[3].parameters[0].default) == "Heidi::Start"

@@ -1,0 +1,189 @@
+"""Object passing end-to-end: references, callbacks and incopy values.
+
+Exercises the paper's §3.1 semantics: a reference parameter makes the
+receiver talk back to the *original* object (a skeleton is created for
+it only then); an ``incopy`` serializable travels as a true copy and
+"no skeleton is ever created" for it.
+"""
+
+import time
+
+import pytest
+
+from repro.heidirmi import Orb
+from repro.heidirmi.serialize import GLOBAL_TYPES
+from repro.idl import parse
+from repro.mappings.python_rmi import generate_module
+
+IDL = """\
+module Cb {
+  interface Listener {
+    void notify(in string event);
+  };
+  interface Emitter {
+    void subscribe(in Listener who);
+    void emit(in string event);
+    void absorb(incopy Listener who);
+  };
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def ns():
+    return generate_module(parse(IDL, filename="Cb.idl"))
+
+
+class EmitterImpl:
+    _hd_type_id_ = "IDL:Cb/Emitter:1.0"
+
+    def __init__(self):
+        self.listeners = []
+        self.absorbed = []
+
+    def subscribe(self, who):
+        self.listeners.append(who)
+
+    def emit(self, event):
+        for listener in self.listeners:
+            listener.notify(event)
+
+    def absorb(self, who):
+        self.absorbed.append(who)
+
+
+class ListenerImpl:
+    _hd_type_id_ = "IDL:Cb/Listener:1.0"
+
+    def __init__(self):
+        self.events = []
+
+    def notify(self, event):
+        self.events.append(event)
+
+
+class CopyableListener(ListenerImpl):
+    """A listener that can travel by value."""
+
+    def _hd_type_id(self):
+        return "IDL:Cb/CopyableListener:1.0"
+
+    def _hd_marshal(self, call, orb):
+        call.put_ulong(len(self.events))
+        for event in self.events:
+            call.put_string(event)
+
+    @classmethod
+    def _hd_unmarshal(cls, call, orb):
+        copy = cls()
+        for _ in range(call.get_ulong()):
+            copy.events.append(call.get_string())
+        return copy
+
+
+GLOBAL_TYPES.register_value("IDL:Cb/CopyableListener:1.0", CopyableListener)
+
+
+@pytest.fixture
+def pair(ns):
+    server = Orb(transport="tcp", protocol="text").start()
+    client = Orb(transport="tcp", protocol="text").start()  # serves callbacks
+    yield server, client
+    client.stop()
+    server.stop()
+
+
+def wait_for(predicate, timeout=5):
+    deadline = time.time() + timeout
+    while not predicate() and time.time() < deadline:
+        time.sleep(0.01)
+    assert predicate()
+
+
+class TestPassByReference:
+    def test_callback_reaches_original_object(self, ns, pair):
+        server, client = pair
+        emitter_impl = EmitterImpl()
+        emitter = client.resolve(server.register(emitter_impl).stringify())
+        listener_impl = ListenerImpl()
+        emitter.subscribe(listener_impl)
+        emitter.emit("started")
+        wait_for(lambda: listener_impl.events == ["started"])
+
+    def test_reference_parameter_creates_skeleton_lazily(self, ns, pair):
+        """'The skeleton for a particular object is only created when a
+        reference to it is being passed'."""
+        server, client = pair
+        emitter = client.resolve(server.register(EmitterImpl()).stringify())
+        listener_impl = ListenerImpl()
+        created_before = client.stats["skeleton_created"]
+        emitter.subscribe(listener_impl)   # reference crosses the wire
+        emitter.emit("ping")               # server dials back
+        wait_for(lambda: listener_impl.events == ["ping"])
+        assert client.stats["skeleton_created"] == created_before + 1
+
+    def test_server_receives_typed_stub(self, ns, pair):
+        server, client = pair
+        emitter_impl = EmitterImpl()
+        emitter = client.resolve(server.register(emitter_impl).stringify())
+        emitter.subscribe(ListenerImpl())
+        wait_for(lambda: emitter_impl.listeners)
+        stub = emitter_impl.listeners[0]
+        assert type(stub).__name__ == "Cb_Listener_stub"
+        assert stub._hd_ref.type_id == "IDL:Cb/Listener:1.0"
+
+    def test_round_tripped_reference_is_same_object(self, ns, pair):
+        """Passing the same impl twice yields equal references."""
+        server, client = pair
+        emitter_impl = EmitterImpl()
+        emitter = client.resolve(server.register(emitter_impl).stringify())
+        listener_impl = ListenerImpl()
+        emitter.subscribe(listener_impl)
+        emitter.subscribe(listener_impl)
+        wait_for(lambda: len(emitter_impl.listeners) == 2)
+        assert emitter_impl.listeners[0] == emitter_impl.listeners[1]
+
+
+class TestPassByValue:
+    def test_incopy_delivers_a_copy(self, ns, pair):
+        server, client = pair
+        emitter_impl = EmitterImpl()
+        emitter = client.resolve(server.register(emitter_impl).stringify())
+        original = CopyableListener()
+        original.events.append("history")
+        emitter.absorb(original)
+        wait_for(lambda: emitter_impl.absorbed)
+        copy = emitter_impl.absorbed[0]
+        assert isinstance(copy, CopyableListener)
+        assert copy.events == ["history"]
+        assert copy is not original
+
+    def test_no_skeleton_created_for_by_value_object(self, ns, pair):
+        """'if the implementation object is Serializable and is being
+        passed-by-value, then no skeleton is ever created'."""
+        server, client = pair
+        emitter = client.resolve(server.register(EmitterImpl()).stringify())
+        created_before = client.stats["skeleton_created"]
+        emitter.absorb(CopyableListener())
+        assert client.stats["skeleton_created"] == created_before
+
+    def test_copy_mutation_does_not_affect_original(self, ns, pair):
+        server, client = pair
+        emitter_impl = EmitterImpl()
+        emitter = client.resolve(server.register(emitter_impl).stringify())
+        original = CopyableListener()
+        emitter.absorb(original)
+        wait_for(lambda: emitter_impl.absorbed)
+        emitter_impl.absorbed[0].events.append("server-side")
+        assert original.events == []
+
+    def test_plain_listener_incopy_degrades_to_reference(self, ns, pair):
+        """A non-serializable incopy parameter still arrives — by
+        reference (the 'if possible' clause)."""
+        server, client = pair
+        emitter_impl = EmitterImpl()
+        emitter = client.resolve(server.register(emitter_impl).stringify())
+        emitter.absorb(ListenerImpl())  # not serializable
+        wait_for(lambda: emitter_impl.absorbed)
+        stub = emitter_impl.absorbed[0]
+        assert type(stub).__name__ == "Cb_Listener_stub"

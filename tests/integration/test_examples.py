@@ -1,0 +1,44 @@
+"""Smoke-run every shipped example as a subprocess.
+
+Examples are documentation that must not rot: each runs end to end and
+prints its success marker.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+EXAMPLES = [
+    ("quickstart.py", "quickstart OK"),
+    ("heidi_media_control.py", "media control demo OK"),
+    ("custom_mapping.py", "custom mapping demo OK"),
+    ("iiop_interop.py", "iiop interop demo OK"),
+    ("telnet_debug.py", "telnet demo OK"),
+    ("dynamic_client.py", "dynamic client demo OK"),
+    ("tcl_gui_bridge.py", "tcl bridge demo OK"),
+]
+
+
+@pytest.mark.parametrize("script,marker", EXAMPLES,
+                         ids=[e[0] for e in EXAMPLES])
+def test_example_runs_to_completion(script, marker):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=120
+    )
+    assert result.returncode == 0, result.stderr
+    assert marker in result.stdout, result.stdout[-2000:]
+
+
+def test_every_example_file_is_covered():
+    present = {
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    }
+    covered = {script for script, _ in EXAMPLES}
+    assert present == covered, present ^ covered

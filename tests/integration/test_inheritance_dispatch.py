@@ -1,0 +1,109 @@
+"""Inheritance over the wire: recursive dispatch up generated hierarchies."""
+
+import pytest
+
+from repro.heidirmi import Orb
+from repro.idl import parse
+from repro.mappings.python_rmi import generate_module
+
+IDL = """\
+module Shape {
+  interface Drawable { string draw(); };
+  interface Sizable { long area(); };
+  interface Named { readonly attribute string label; };
+  interface Rect : Drawable, Sizable { void resize(in long w, in long h); };
+  interface NamedRect : Rect, Named { string describe(); };
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def ns():
+    return generate_module(parse(IDL, filename="Shape.idl"))
+
+
+class NamedRectImpl:
+    _hd_type_id_ = "IDL:Shape/NamedRect:1.0"
+
+    def __init__(self):
+        self.w, self.h = 2, 3
+
+    def draw(self):
+        return "▭"
+
+    def area(self):
+        return self.w * self.h
+
+    def resize(self, w, h):
+        self.w, self.h = w, h
+
+    def get_label(self):
+        return "rect-1"
+
+    def describe(self):
+        return f"{self.get_label()} {self.w}x{self.h}"
+
+
+@pytest.fixture(params=["linear", "nested", "hash"])
+def stub(request, ns):
+    server = Orb(transport="inproc", protocol="text",
+                 dispatch_strategy=request.param).start()
+    client = Orb(transport="inproc", protocol="text")
+    ref = server.register(NamedRectImpl())
+    yield client.resolve(ref.stringify())
+    client.stop()
+    server.stop()
+
+
+class TestDeepDispatch:
+    def test_own_operation(self, stub):
+        assert stub.describe() == "rect-1 2x3"
+
+    def test_one_level_up(self, stub):
+        stub.resize(4, 5)
+        assert stub.describe() == "rect-1 4x5"
+
+    def test_two_levels_up_first_chain(self, stub):
+        assert stub.draw() == "▭"
+
+    def test_two_levels_up_second_chain(self, stub):
+        assert stub.area() == 6
+
+    def test_attribute_via_secondary_parent(self, stub):
+        assert stub.get_label() == "rect-1"
+
+    def test_stub_class_mirrors_hierarchy(self, ns):
+        NamedRect_stub = ns["Shape_NamedRect_stub"]
+        bases = [cls.__name__ for cls in NamedRect_stub.__mro__]
+        assert "Shape_Rect_stub" in bases
+        assert "Shape_Named_stub" in bases
+        assert "HdStub" in bases
+
+    def test_skeleton_parent_order_matches_idl(self, ns):
+        NamedRect_skel = ns["Shape_NamedRect_skel"]
+        names = [cls.__name__ for cls in NamedRect_skel._hd_parent_skels_]
+        assert names == ["Shape_Rect_skel", "Shape_Named_skel"]
+
+    def test_dynamic_type_check_across_hierarchy(self, stub):
+        assert stub._is_a("IDL:Shape/NamedRect:1.0")
+        assert stub._is_a("IDL:Shape/Rect:1.0")
+        assert stub._is_a("IDL:Shape/Drawable:1.0")
+        assert stub._is_a("IDL:Shape/Named:1.0")
+        assert not stub._is_a("IDL:Other:1.0")
+
+
+class TestNarrowing:
+    def test_base_typed_reference_still_dispatches_derived(self, ns):
+        """A reference typed as the base interface reaches the same
+        implementation; dispatch happens by object id."""
+        server = Orb(transport="inproc", protocol="text").start()
+        client = Orb(transport="inproc", protocol="text")
+        try:
+            ref = server.register(NamedRectImpl())
+            base_ref = ref.with_type("IDL:Shape/Drawable:1.0")
+            drawable = client.resolve(base_ref.stringify())
+            assert type(drawable).__name__ == "Shape_Drawable_stub"
+            assert drawable.draw() == "▭"
+        finally:
+            client.stop()
+            server.stop()

@@ -1,0 +1,120 @@
+"""IDL unions end-to-end over both protocols."""
+
+import pytest
+
+from repro.heidirmi import Orb
+from repro.idl import parse
+from repro.mappings.python_rmi import generate_module
+
+IDL = """\
+module V {
+  enum Kind { Num, Txt, Flag };
+  union Payload switch (Kind) {
+    case V::Num: long n;
+    case V::Txt: string t;
+    default: boolean b;
+  };
+  union Coded switch (long) {
+    case 1: case 2: string s;
+    case 3: double d;
+  };
+  union ByChar switch (char) {
+    case 'a': long x;
+    case 'b': string y;
+  };
+  struct Wrapper { Payload inner; long tag; };
+  interface Box {
+    Payload swap(in Payload p);
+    Coded pick(in Coded c);
+    ByChar chars(in ByChar c);
+    Wrapper wrap(in Payload p, in long tag);
+  };
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def ns():
+    return generate_module(parse(IDL, filename="V.idl"))
+
+
+class BoxImpl:
+    _hd_type_id_ = "IDL:V/Box:1.0"
+
+    def __init__(self, ns):
+        self.ns = ns
+
+    def swap(self, p):
+        Kind = self.ns["V_Kind"]
+        Payload = self.ns["V_Payload"]
+        if p.discriminator == Kind.Num:
+            return Payload(Kind.Txt, str(p.value))
+        return Payload(Kind.Num, 42)
+
+    def pick(self, c):
+        return c
+
+    def chars(self, c):
+        return c
+
+    def wrap(self, p, tag):
+        return self.ns["V_Wrapper"](inner=p, tag=tag)
+
+
+@pytest.fixture(params=["text", "giop"])
+def live(request, ns):
+    server = Orb(transport="inproc", protocol=request.param).start()
+    client = Orb(transport="inproc", protocol=request.param)
+    box = client.resolve(server.register(BoxImpl(ns)).stringify())
+    yield ns, box
+    client.stop()
+    server.stop()
+
+
+class TestEnumDiscriminatedUnion:
+    def test_case_branch(self, live):
+        ns, box = live
+        Kind, Payload = ns["V_Kind"], ns["V_Payload"]
+        assert box.swap(Payload(Kind.Num, 7)) == Payload(Kind.Txt, "7")
+
+    def test_default_branch(self, live):
+        ns, box = live
+        Kind, Payload = ns["V_Kind"], ns["V_Payload"]
+        assert box.swap(Payload(Kind.Flag, True)) == Payload(Kind.Num, 42)
+
+
+class TestLongDiscriminatedUnion:
+    def test_multi_label_case(self, live):
+        ns, box = live
+        Coded = ns["V_Coded"]
+        assert box.pick(Coded(1, "one")) == Coded(1, "one")
+        assert box.pick(Coded(2, "two")) == Coded(2, "two")
+
+    def test_second_case(self, live):
+        ns, box = live
+        Coded = ns["V_Coded"]
+        assert box.pick(Coded(3, 1.5)) == Coded(3, 1.5)
+
+    def test_implicit_default_carries_no_body(self, live):
+        """A discriminator outside every label marshals no value —
+        the CORBA implicit-default rule."""
+        ns, box = live
+        Coded = ns["V_Coded"]
+        assert box.pick(Coded(9, None)) == Coded(9, None)
+
+
+class TestCharDiscriminatedUnion:
+    def test_char_labels(self, live):
+        ns, box = live
+        ByChar = ns["V_ByChar"]
+        assert box.chars(ByChar("a", 5)) == ByChar("a", 5)
+        assert box.chars(ByChar("b", "bee")) == ByChar("b", "bee")
+
+
+class TestUnionInsideStruct:
+    def test_union_member(self, live):
+        ns, box = live
+        Kind, Payload = ns["V_Kind"], ns["V_Payload"]
+        wrapper = box.wrap(Payload(Kind.Txt, "hi"), 9)
+        assert wrapper.tag == 9
+        assert wrapper.inner == Payload(Kind.Txt, "hi")

@@ -1,0 +1,47 @@
+"""Tests for the mapping-pack registry."""
+
+import pytest
+
+from repro.mappings import MappingPack, all_packs, get_pack
+from repro.mappings.registry import register_pack
+
+
+class TestRegistry:
+    def test_all_builtin_packs_present(self):
+        names = all_packs()
+        for expected in ("heidi_cpp", "corba_cpp", "java_rmi", "tcl_orb",
+                         "python_rmi"):
+            assert expected in names
+
+    def test_get_pack_returns_fresh_instances(self):
+        assert get_pack("heidi_cpp") is not get_pack("heidi_cpp")
+
+    def test_unknown_pack_raises_with_choices(self):
+        with pytest.raises(KeyError, match="heidi_cpp"):
+            get_pack("nonexistent")
+
+    def test_custom_pack_registration(self):
+        @register_pack
+        class TestingPack(MappingPack):
+            name = "testing_pack_tmp"
+            language = "None"
+
+        try:
+            assert "testing_pack_tmp" in all_packs()
+            assert isinstance(get_pack("testing_pack_tmp"), TestingPack)
+        finally:
+            from repro.mappings import registry
+
+            registry._PACKS.pop("testing_pack_tmp", None)
+
+    def test_describe(self):
+        info = get_pack("heidi_cpp").describe()
+        assert info["name"] == "heidi_cpp"
+        assert "main.tmpl" in info["templates"]
+        assert "CPP::MapClassName" in info["maps"]
+
+    def test_every_pack_has_type_table_and_templates(self):
+        for name in all_packs():
+            pack = get_pack(name)
+            assert pack.type_table, name
+            assert pack.describe()["templates"], name

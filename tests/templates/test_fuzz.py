@@ -1,0 +1,117 @@
+"""Template-engine fuzz: generated templates always compile and run.
+
+Random (structurally valid) templates over random ESTs must produce
+output without ever raising from inside the engine — and structurally
+broken ones must fail with TemplateSyntaxError, never anything else.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.est.node import Ast
+from repro.templates import (
+    TemplateSyntaxError,
+    compile_template,
+    generate,
+    parse_template,
+)
+
+VAR_NAMES = st.sampled_from(
+    ["interfaceName", "methodName", "paramName", "type", "repoId",
+     "ifMore", "index", "missing", "defaultParam"]
+)
+
+LIST_NAMES = st.sampled_from(
+    ["interfaceList", "methodList", "paramList", "allInterfaceList",
+     "allOperationList", "members", "nothingList"]
+)
+
+TEXT_FRAGMENT = st.from_regex(r"[A-Za-z0-9_ :;(){}<>*&=./\-]{0,30}",
+                              fullmatch=True)
+
+
+@st.composite
+def text_line(draw):
+    pieces = []
+    for _ in range(draw(st.integers(1, 3))):
+        pieces.append(draw(TEXT_FRAGMENT))
+        if draw(st.booleans()):
+            pieces.append("${" + draw(VAR_NAMES) + "}")
+    line = "".join(pieces)
+    if draw(st.booleans()):
+        line += "\\"
+    return line
+
+
+@st.composite
+def template_body(draw, depth=0):
+    lines = []
+    for _ in range(draw(st.integers(1, 4))):
+        choice = draw(st.integers(0, 3 if depth < 2 else 1))
+        if choice <= 1:
+            lines.append(draw(text_line()))
+        elif choice == 2:
+            list_name = draw(LIST_NAMES)
+            modifiers = ""
+            if draw(st.booleans()):
+                modifiers += " -ifMore ','"
+            if draw(st.booleans()):
+                modifiers += " -map " + draw(VAR_NAMES) + " Upper"
+            lines.append(f"@foreach {list_name}{modifiers}")
+            lines.extend(draw(template_body(depth=depth + 1)))
+            lines.append("@end " + list_name)
+        else:
+            variable = draw(VAR_NAMES)
+            lines.append(f"@if ${{{variable}}} == \"x\"")
+            lines.extend(draw(template_body(depth=depth + 1)))
+            if draw(st.booleans()):
+                lines.append("@else")
+                lines.extend(draw(template_body(depth=depth + 1)))
+            lines.append("@fi")
+    return lines
+
+
+def sample_est():
+    root = Ast("Root", "Root")
+    module = Ast("M", "Module", root)
+    interface = Ast("I", "Interface", module)
+    interface.add_prop("repoId", "IDL:M/I:1.0")
+    op = Ast("f", "Operation", interface)
+    op.add_prop("type", "void")
+    param = Ast("p", "Param", op)
+    param.add_prop("type", "long")
+    param.add_prop("defaultParam", "")
+    enum = Ast("E", "Enum", module)
+    enum.add_prop("members", ["A", "B"])
+    return root
+
+
+@given(template_body())
+@settings(max_examples=120, deadline=None)
+def test_valid_templates_compile_and_run(lines):
+    source = "\n".join(lines) + "\n"
+    sink = generate(source, sample_est(), name="fuzz")
+    assert isinstance(sink.default_text, str)
+
+
+@given(template_body())
+@settings(max_examples=60, deadline=None)
+def test_step1_output_is_valid_python(lines):
+    source = "\n".join(lines) + "\n"
+    compiled = compile_template(source, name="fuzz")
+    compile(compiled.source, "<fuzz>", "exec")
+
+
+@given(st.lists(st.sampled_from(
+    ["@foreach xs", "@end", "@if ${x}", "@fi", "@else", "text", "@bogus",
+     "@elif ${y} == '1'"]
+), min_size=1, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_arbitrary_directive_soup_fails_cleanly(lines):
+    """Unbalanced/invalid structures raise TemplateSyntaxError only."""
+    source = "\n".join(lines) + "\n"
+    try:
+        template = parse_template(source, name="soup")
+    except TemplateSyntaxError:
+        return
+    # If it parsed, it must also compile and run.
+    generate(source, sample_est(), name="soup")

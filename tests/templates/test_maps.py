@@ -1,0 +1,88 @@
+"""Unit tests for the map-function registry."""
+
+import pytest
+
+from repro.est.node import Ast
+from repro.templates import MapRegistry, simple_map
+from repro.templates.errors import TemplateRuntimeError
+from repro.templates.maps import BUILTIN_MAPS, MapContext
+
+
+class TestRegistry:
+    def test_register_and_apply(self):
+        registry = MapRegistry()
+        registry.register_simple("X::Double", lambda v: v * 2)
+        assert registry.apply("X::Double", "ab") == "abab"
+
+    def test_decorator_registration(self):
+        registry = MapRegistry()
+
+        @registry.registered("X::F")
+        def func(value, ctx):
+            return value + "!"
+
+        assert registry.apply("X::F", "hi") == "hi!"
+
+    def test_parent_chaining(self):
+        parent = MapRegistry()
+        parent.register_simple("P", lambda v: "parent")
+        child = parent.child()
+        assert child.apply("P", "") == "parent"
+
+    def test_child_overrides_parent(self):
+        parent = MapRegistry()
+        parent.register_simple("F", lambda v: "old")
+        child = parent.child()
+        child.register_simple("F", lambda v: "new")
+        assert child.apply("F", "") == "new"
+        assert parent.apply("F", "") == "old"
+
+    def test_unknown_map_raises(self):
+        with pytest.raises(TemplateRuntimeError):
+            MapRegistry().apply("Nope", "x")
+
+    def test_none_result_becomes_empty(self):
+        registry = MapRegistry()
+        registry.register("N", lambda v, ctx: None)
+        assert registry.apply("N", "x") == ""
+
+    def test_names_merges_parents(self):
+        parent = MapRegistry()
+        parent.register_simple("A", lambda v: v)
+        child = parent.child()
+        child.register_simple("B", lambda v: v)
+        assert set(child.names()) >= {"A", "B"}
+
+
+class TestMapContext:
+    def test_prop_outward_lookup(self):
+        interface = Ast("A", "Interface")
+        interface.add_prop("repoId", "IDL:A:1.0")
+        param = Ast("x", "Param", interface)
+        ctx = MapContext(node=param)
+        assert ctx.prop("repoId") == "IDL:A:1.0"
+
+    def test_prop_default(self):
+        assert MapContext(node=None).prop("x", "d") == "d"
+
+
+class TestBuiltins:
+    def test_identity(self):
+        assert BUILTIN_MAPS.apply("Identity", "x") == "x"
+
+    def test_upper_lower(self):
+        assert BUILTIN_MAPS.apply("Upper", "abc") == "ABC"
+        assert BUILTIN_MAPS.apply("Lower", "ABC") == "abc"
+
+    def test_flatten(self):
+        assert BUILTIN_MAPS.apply("Flatten", "Heidi::A") == "Heidi_A"
+
+    def test_cap_first(self):
+        assert BUILTIN_MAPS.apply("CapFirst", "button") == "Button"
+
+    def test_simple(self):
+        assert BUILTIN_MAPS.apply("Simple", "Heidi::S") == "S"
+
+    def test_simple_map_adapter(self):
+        adapted = simple_map(str.upper)
+        assert adapted("ab", MapContext()) == "AB"
