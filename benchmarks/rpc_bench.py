@@ -1,0 +1,226 @@
+"""RPC throughput harness: calls/sec across protocols × connection modes.
+
+The measurement behind the pipelining claim: N concurrent client
+threads hammer one echo object through a single shared client ORB, over
+either the paper's exclusive-checkout connection cache or the
+multiplexed (one shared, demultiplexed channel) mode, for each wire
+protocol that supports the mode.
+
+Call styles match what each mode is for: exclusive rows issue blocking
+stub calls (one request in flight per caller — all the classic protocol
+can express), multiplexed rows drive the pipeline with windowed bursts
+(``Orb.invoke_bulk``), which is the feature under measurement.  Every
+reply is verified against its caller's token, so a cross-wired reply
+fails the run rather than inflating it.
+
+``run_matrix`` produces the deterministic document written to
+``BENCH_rpc.json`` at the repo root; ``benchmarks/run_bench.py`` is the
+command-line entry point.
+"""
+
+import json
+import os
+import platform
+import threading
+import time
+
+from repro.heidirmi import HdSkel, HdStub, Orb
+from repro.heidirmi.serialize import TypeRegistry
+
+TYPE_ID = "IDL:Bench/Echo:1.0"
+
+#: (protocol, mode) pairs measured; multiplexing needs request ids, so
+#: the classic text protocol only runs exclusive.
+CONFIGURATIONS = (
+    ("text", "exclusive"),
+    ("text2", "exclusive"),
+    ("text2", "multiplexed"),
+    ("giop", "exclusive"),
+    ("giop", "multiplexed"),
+)
+
+
+class Echo_stub(HdStub):
+    _hd_type_id_ = TYPE_ID
+
+    def echo(self, text):
+        call = self._new_call("echo")
+        call.put_string(text)
+        return self._invoke(call).get_string()
+
+
+class Echo_skel(HdSkel):
+    _hd_type_id_ = TYPE_ID
+    _hd_operations_ = (("echo", "_op_echo"),)
+
+    def _op_echo(self, call, reply):
+        reply.put_string(self.impl.echo(call.get_string()))
+
+
+class EchoImpl:
+    def echo(self, text):
+        return text
+
+
+def _registry():
+    types = TypeRegistry()
+    types.register_interface(TYPE_ID, stub_class=Echo_stub,
+                             skeleton_class=Echo_skel)
+    return types
+
+
+def _run_once(transport, protocol, mode, clients, calls_per_client,
+              window, pipeline_workers):
+    """One timed run; returns elapsed seconds (replies all verified)."""
+    types = _registry()
+    server = Orb(transport=transport, protocol=protocol, types=types,
+                 pipeline_workers=pipeline_workers).start()
+    client = Orb(transport=transport, protocol=protocol, types=types,
+                 multiplex=(mode == "multiplexed"))
+    try:
+        stub = client.resolve(
+            server.register(EchoImpl(), type_id=TYPE_ID).stringify()
+        )
+        stub.echo("warmup")
+        errors = []
+        start_barrier = threading.Barrier(clients + 1)
+        pipelined = (mode == "multiplexed")
+
+        def body(thread_index):
+            token = f"c{thread_index}"
+            start_barrier.wait()
+            try:
+                if pipelined:
+                    done = 0
+                    while done < calls_per_client:
+                        burst = min(window, calls_per_client - done)
+                        calls = []
+                        for _ in range(burst):
+                            call = stub._new_call("echo")
+                            call.put_string(token)
+                            calls.append(call)
+                        replies = client.invoke_bulk(stub.reference, calls)
+                        for reply in replies:
+                            if reply.get_string() != token:
+                                errors.append("cross-wired reply")
+                                return
+                        done += burst
+                else:
+                    for _ in range(calls_per_client):
+                        if stub.echo(token) != token:
+                            errors.append("cross-wired reply")
+                            return
+            except Exception as exc:  # noqa: BLE001 - fail the run below
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=body, args=(index,))
+                   for index in range(clients)]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise RuntimeError(f"benchmark run failed: {errors[:3]}")
+        return elapsed
+    finally:
+        client.stop()
+        server.stop()
+
+
+def measure(transport, protocol, mode, clients, calls_per_client,
+            window=64, pipeline_workers=0, trials=3):
+    """Calls/sec for one configuration, best of *trials* runs."""
+    elapsed = min(
+        _run_once(transport, protocol, mode, clients, calls_per_client,
+                  window, pipeline_workers)
+        for _ in range(trials)
+    )
+    total = clients * calls_per_client
+    return {
+        "transport": transport,
+        "protocol": protocol,
+        "mode": mode,
+        "call_style": "pipelined" if mode == "multiplexed" else "blocking",
+        "clients": clients,
+        "calls": total,
+        "seconds": round(elapsed, 6),
+        "calls_per_sec": round(total / elapsed, 1),
+    }
+
+
+def run_matrix(transport="inproc", client_counts=(1, 16),
+               calls_per_client=200, window=64, pipeline_workers=0,
+               trials=3):
+    """The full measurement document (machine info + every config)."""
+    results = []
+    for clients in client_counts:
+        for protocol, mode in CONFIGURATIONS:
+            results.append(measure(
+                transport, protocol, mode, clients, calls_per_client,
+                window=window, pipeline_workers=pipeline_workers,
+                trials=trials,
+            ))
+    document = {
+        "benchmark": "rpc_throughput",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "params": {
+            "transport": transport,
+            "client_counts": list(client_counts),
+            "calls_per_client": calls_per_client,
+            "window": window,
+            "pipeline_workers": pipeline_workers,
+            "trials": trials,
+        },
+        "results": results,
+    }
+    document["claim"] = measure_claim(
+        transport, max(client_counts), calls_per_client,
+        window=window, pipeline_workers=pipeline_workers,
+        trials=max(trials, 4),
+    )
+    return document
+
+
+def measure_claim(transport, clients, calls_per_client, window=64,
+                  pipeline_workers=0, trials=4):
+    """The headline comparison: multiplexed text2 vs exclusive text.
+
+    Measured as interleaved pairs (exclusive run, then multiplexed run,
+    repeated) so both sides of the ratio see the same machine
+    conditions; the best run of each side is kept.  Sequential rows in
+    the matrix can land in different CPU-frequency windows, which would
+    make a ratio between them noise.
+    """
+    exclusive_best = None
+    multiplexed_best = None
+    for _ in range(trials):
+        exclusive = _run_once(transport, "text", "exclusive", clients,
+                              calls_per_client, window, pipeline_workers)
+        multiplexed = _run_once(transport, "text2", "multiplexed", clients,
+                                calls_per_client, window, pipeline_workers)
+        if exclusive_best is None or exclusive < exclusive_best:
+            exclusive_best = exclusive
+        if multiplexed_best is None or multiplexed < multiplexed_best:
+            multiplexed_best = multiplexed
+    total = clients * calls_per_client
+    return {
+        "clients": clients,
+        "method": f"interleaved pairs, best of {trials}",
+        "multiplexed_text2_calls_per_sec": round(total / multiplexed_best, 1),
+        "exclusive_text_calls_per_sec": round(total / exclusive_best, 1),
+        "speedup": round(exclusive_best / multiplexed_best, 2),
+    }
+
+
+def write_document(document, path):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

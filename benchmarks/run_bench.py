@@ -1,0 +1,72 @@
+"""Command-line entry point for the RPC throughput benchmark.
+
+Runs the full protocol × connection-mode matrix and writes the
+deterministic JSON document (``BENCH_rpc.json`` at the repo root by
+default)::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --clients 1 16 \
+        --calls 200 --trials 3 --out BENCH_rpc.json
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from rpc_bench import run_matrix, write_document  # noqa: E402
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir)
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--transport", default="inproc",
+                        choices=("inproc", "tcp"))
+    parser.add_argument("--clients", type=int, nargs="+", default=[1, 16],
+                        help="concurrent caller counts to measure")
+    parser.add_argument("--calls", type=int, default=200,
+                        help="calls per client per configuration")
+    parser.add_argument("--window", type=int, default=64,
+                        help="burst size for pipelined (multiplexed) rows")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="server pipeline workers (0 = serial loop)")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="timed runs per configuration (best is kept)")
+    parser.add_argument("--out",
+                        default=os.path.join(REPO_ROOT, "BENCH_rpc.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    document = run_matrix(
+        transport=args.transport,
+        client_counts=tuple(args.clients),
+        calls_per_client=args.calls,
+        window=args.window,
+        pipeline_workers=args.workers,
+        trials=args.trials,
+    )
+    path = write_document(document, args.out)
+    claim = document["claim"]
+    print(f"wrote {path}")
+    for result in document["results"]:
+        print(
+            f"  {result['protocol']:6s} {result['mode']:11s} "
+            f"clients={result['clients']:<3d} "
+            f"{result['calls_per_sec']:>10,.1f} calls/s "
+            f"({result['call_style']})"
+        )
+    if claim.get("speedup") is not None:
+        print(
+            f"claim: multiplexed text2 vs exclusive text at "
+            f"{claim['clients']} clients: {claim['speedup']}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

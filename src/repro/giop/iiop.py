@@ -180,13 +180,19 @@ class GiopProtocol(Protocol):
 
     name = "giop"
 
+    #: GIOP's native request_id gives it out-of-order replies for free.
+    supports_multiplexing = True
+
     def __init__(self):
         self._request_ids = itertools.count(1)
         self._id_lock = threading.Lock()
 
-    def _next_request_id(self):
+    def next_request_id(self):
         with self._id_lock:
             return next(self._request_ids)
+
+    # Kept for callers of the old private spelling.
+    _next_request_id = next_request_id
 
     def new_marshaller(self):
         # Parameter payloads are encoded standalone and spliced after the
@@ -198,7 +204,10 @@ class GiopProtocol(Protocol):
     # -- requests ------------------------------------------------------------
 
     def send_request(self, channel, call):
-        request_id = self._next_request_id()
+        request_id = call.request_id
+        if request_id is None:
+            request_id = self.next_request_id()
+            call.request_id = request_id
         header = RequestHeader(
             request_id=request_id,
             object_key=call.target.encode("utf-8"),
@@ -209,7 +218,11 @@ class GiopProtocol(Protocol):
         header.encode(encoder)
         call.replay_into(CdrMarshallerView(encoder))
         channel.send(frame_message(MSG_REQUEST, encoder.data()))
-        channel._giop_last_request_id = request_id
+        if not getattr(channel, "_multiplexed", False):
+            # Serial (one-call-in-flight) clients verify the next reply
+            # against this; a demultiplexing communicator correlates by
+            # reply.request_id instead, and many ids are in flight.
+            channel._giop_last_request_id = request_id
 
     def recv_request(self, channel, object_exists=None):
         """Read the next Request, transparently serving control messages.
@@ -242,6 +255,7 @@ class GiopProtocol(Protocol):
             request.operation,
             unmarshaller=CdrUnmarshaller(decoder),
             oneway=not request.response_expected,
+            request_id=request.request_id,
         )
         call._giop_request_id = request.request_id
         # The reply to this request must echo its id; the communicator
@@ -305,6 +319,11 @@ class GiopProtocol(Protocol):
 
     def send_reply(self, channel, reply, request_id=None):
         if request_id is None:
+            request_id = reply.request_id
+        if request_id is None:
+            # Serial servers stash the id of the one request in flight;
+            # pipelined servers always set reply.request_id (replies may
+            # leave out of order, so a per-channel stash would cross-wire).
             request_id = getattr(channel, "_giop_pending_reply_id", 0)
         header = ReplyHeader(
             request_id=request_id,
@@ -328,12 +347,13 @@ class GiopProtocol(Protocol):
             body, little_endian=header.little_endian, start_align=GIOP_HEADER_SIZE
         )
         reply_header = ReplyHeader.decode(decoder)
-        expected = getattr(channel, "_giop_last_request_id", None)
-        if expected is not None and reply_header.request_id != expected:
-            raise ProtocolError(
-                f"reply for request {reply_header.request_id}, "
-                f"expected {expected}"
-            )
+        if not getattr(channel, "_multiplexed", False):
+            expected = getattr(channel, "_giop_last_request_id", None)
+            if expected is not None and reply_header.request_id != expected:
+                raise ProtocolError(
+                    f"reply for request {reply_header.request_id}, "
+                    f"expected {expected}"
+                )
         status = self._GIOP_TO_STATUS.get(reply_header.reply_status)
         if status is None:
             raise ProtocolError(
@@ -343,7 +363,10 @@ class GiopProtocol(Protocol):
         if status in (STATUS_EXCEPTION, STATUS_ERROR):
             repo_id = decoder.string()
         return Reply(
-            status=status, repo_id=repo_id, unmarshaller=CdrUnmarshaller(decoder)
+            status=status,
+            repo_id=repo_id,
+            unmarshaller=CdrUnmarshaller(decoder),
+            request_id=reply_header.request_id,
         )
 
 

@@ -22,6 +22,8 @@ STATUS_ERROR = "ERR"
 class _DelegatingWriter:
     """Shared put-surface that forwards to a marshaller."""
 
+    __slots__ = ()
+
     def __init__(self, marshaller):
         self._m = marshaller
 
@@ -94,6 +96,8 @@ class _DelegatingWriter:
 class _DelegatingReader:
     """Shared get-surface that forwards to an unmarshaller."""
 
+    __slots__ = ()
+
     def __init__(self, unmarshaller):
         self._u = unmarshaller
 
@@ -158,18 +162,28 @@ class Call(_DelegatingWriter, _DelegatingReader):
     received payload; the skeleton gets the parameters back out.
     """
 
+    # One Call per request on the hot path: keep instances dict-free.
+    # _giop_request_id is GIOP's server-side stash of the incoming id.
+    __slots__ = ("_m", "_u", "target", "operation", "oneway",
+                 "request_id", "_giop_request_id")
+
     def __init__(self, target, operation, marshaller=None, unmarshaller=None,
-                 oneway=False):
+                 oneway=False, request_id=None):
+        # The mixin __init__s are one-line slot stores; assign directly
+        # (one Call per request — the two calls are measurable).
         if marshaller is not None:
-            _DelegatingWriter.__init__(self, marshaller)
+            self._m = marshaller
         if unmarshaller is not None:
-            _DelegatingReader.__init__(self, unmarshaller)
+            self._u = unmarshaller
         if marshaller is None and unmarshaller is None:
             raise MarshalError("a Call needs a marshaller or an unmarshaller")
         #: Stringified object reference of the target (the Call header).
         self.target = target
         self.operation = operation
         self.oneway = oneway
+        #: Correlation id for pipelined protocols (``text2``, GIOP);
+        #: ``None`` on protocols without one (``text``) and on oneways.
+        self.request_id = request_id
 
     @property
     def writable(self):
@@ -203,16 +217,20 @@ class Reply(_DelegatingWriter, _DelegatingReader):
     payload a message).
     """
 
+    __slots__ = ("_m", "_u", "status", "repo_id", "request_id")
+
     def __init__(self, status=STATUS_OK, repo_id="", marshaller=None,
-                 unmarshaller=None):
+                 unmarshaller=None, request_id=None):
         if marshaller is not None:
-            _DelegatingWriter.__init__(self, marshaller)
+            self._m = marshaller
         if unmarshaller is not None:
-            _DelegatingReader.__init__(self, unmarshaller)
+            self._u = unmarshaller
         if marshaller is None and unmarshaller is None:
             raise MarshalError("a Reply needs a marshaller or an unmarshaller")
         self.status = status
         self.repo_id = repo_id
+        #: Echoes the request's correlation id on pipelined protocols.
+        self.request_id = request_id
 
     def begin(self, name=""):
         if hasattr(self, "_m"):

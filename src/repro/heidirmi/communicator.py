@@ -4,27 +4,355 @@
 channel on which individual requests can be demarcated" (paper,
 Section 3.1).  It pairs a transport channel with a protocol; the client
 side invokes calls through it, the server side pulls requests off it.
+
+Two client-side operating modes:
+
+- **exclusive** (the default, the paper's model): one call in flight at
+  a time; ``invoke`` sends the request and blocks for the reply on the
+  calling thread.
+- **multiplexed** (``multiplexed=True``, protocols with request ids
+  only): many callers share the channel concurrently.  Each request is
+  tagged with a correlation id and registered in a completion table; a
+  single demultiplexing reader thread drains replies off the channel
+  and resolves the matching future.  ``invoke_async`` returns the
+  future; ``invoke`` is just ``invoke_async(...).result()``.
+
+Oneway batching (``batch_oneways=True``) coalesces small oneway sends
+into one channel write; the buffer flushes when it grows past
+``batch_max_bytes``/``batch_max_calls``, before any two-way send (so
+ordering between a oneway and a later call is preserved), or on an
+explicit :meth:`flush`.
 """
 
+import threading
+from concurrent.futures import Future
+
 from repro.heidirmi.call import Reply, STATUS_ERROR
-from repro.heidirmi.errors import CommunicationError
+from repro.heidirmi.errors import CommunicationError, HeidiRmiError
+
+
+class _SendBuffer:
+    """A channel-shaped sink that records bytes instead of sending them."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def send(self, payload):
+        self.data += payload
+
+
+class _BulkCollector:
+    """Completion sink for a whole burst: one event, not one per call.
+
+    The demux reader files each correlated reply into ``replies`` and
+    sets the event when the last lands — far lighter than a
+    ``concurrent.futures.Future`` per call on the hot path.  Only the
+    demux thread mutates it after registration.
+    """
+
+    __slots__ = ("replies", "remaining", "event", "error")
+
+    def __init__(self, expected):
+        self.replies = {}
+        self.remaining = expected
+        self.event = threading.Event()
+        self.error = None
+
+    def add(self, request_id, reply):
+        self.replies[request_id] = reply
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.event.set()
+
+    def fail(self, exc):
+        self.error = exc
+        self.event.set()
 
 
 class ObjectCommunicator:
     """One demarcated request/reply stream over a Channel."""
 
-    def __init__(self, channel, protocol):
+    def __init__(self, channel, protocol, multiplexed=False,
+                 batch_oneways=False, batch_max_bytes=8192,
+                 batch_max_calls=32):
         self.channel = channel
         self.protocol = protocol
+        if multiplexed and not getattr(protocol, "supports_multiplexing", False):
+            raise HeidiRmiError(
+                f"protocol {protocol.name!r} has no request ids and cannot "
+                "be multiplexed; use 'text2' or 'giop'"
+            )
+        self.multiplexed = multiplexed
+        if multiplexed:
+            # Protocols with per-channel serial-reply checks (GIOP) relax
+            # them when many requests share the channel.
+            channel._multiplexed = True
+        # Completion table: request id -> Future or _BulkCollector,
+        # resolved by the demux loop.
+        self._pending = {}
+        self._pending_lock = threading.Lock()
+        self._reader = None
+        self._reader_lock = threading.Lock()
+        #: Replies whose id matched no waiter (cancelled/buggy peer);
+        #: they are dropped, not delivered — this counts them.
+        self.orphaned_replies = 0
+        self._batch_oneways = batch_oneways
+        self._batch_max_bytes = batch_max_bytes
+        self._batch_max_calls = batch_max_calls
+        self._batch = bytearray()
+        self._batch_calls = 0
+        self._batch_lock = threading.Lock()
+        # Server-side reply coalescing sink; only the serial request
+        # loop touches it, so it needs no lock.  Persistent so each
+        # buffered reply encodes straight into it with no fresh buffer.
+        self._reply_sink = _SendBuffer()
 
     # -- client side -------------------------------------------------------
 
     def invoke(self, call):
         """Send *call*; return the Reply (or None for oneway calls)."""
-        self.protocol.send_request(self.channel, call)
         if call.oneway:
+            self._send_oneway(call)
             return None
+        if self.multiplexed:
+            return self.invoke_async(call).result()
+        self.flush()
+        self.protocol.send_request(self.channel, call)
         return self.protocol.recv_reply(self.channel)
+
+    def invoke_async(self, call):
+        """Send *call* without waiting; returns a Future of the Reply.
+
+        On a multiplexed communicator the calling thread only pays for
+        the send — the demux reader completes the future when the
+        correlated reply arrives.  On an exclusive communicator the
+        round trip runs inline and the returned future is already done
+        (the Orb wraps exclusive invokes in a worker thread instead).
+        """
+        future = Future()
+        if call.oneway:
+            try:
+                self._send_oneway(call)
+            except Exception as exc:
+                future.set_exception(exc)
+            else:
+                future.set_result(None)
+            return future
+        if not self.multiplexed:
+            try:
+                future.set_result(self.invoke(call))
+            except Exception as exc:
+                future.set_exception(exc)
+            return future
+        if call.request_id is None:
+            call.request_id = self.protocol.next_request_id()
+        with self._pending_lock:
+            if self.channel.closed:
+                raise CommunicationError(
+                    f"channel to {self.channel.peer} is closed"
+                )
+            self._pending[call.request_id] = future
+        self._ensure_reader()
+        try:
+            self.flush()
+            self.protocol.send_request(self.channel, call)
+        except BaseException:
+            with self._pending_lock:
+                self._pending.pop(call.request_id, None)
+            raise
+        return future
+
+    def invoke_pipelined(self, calls):
+        """Send a burst of calls in ONE channel write; returns futures.
+
+        The transmission-policy counterpart of oneway batching for
+        two-way traffic: every request in *calls* is tagged, registered
+        in the completion table, encoded back-to-back and flushed with a
+        single send, so a window of W calls costs one syscall instead of
+        W.  Multiplexed communicators only.
+        """
+        if not self.multiplexed:
+            raise HeidiRmiError(
+                "pipelined bursts need a multiplexed communicator"
+            )
+        futures = []
+        registered = []
+        buffer = _SendBuffer()
+        try:
+            with self._pending_lock:
+                if self.channel.closed:
+                    raise CommunicationError(
+                        f"channel to {self.channel.peer} is closed"
+                    )
+                for call in calls:
+                    future = Future()
+                    if call.oneway:
+                        self.protocol.send_request(buffer, call)
+                        future.set_result(None)
+                    else:
+                        if call.request_id is None:
+                            call.request_id = self.protocol.next_request_id()
+                        self.protocol.send_request(buffer, call)
+                        self._pending[call.request_id] = future
+                        registered.append(call.request_id)
+                    futures.append(future)
+            self._ensure_reader()
+            self.flush()
+            if buffer.data:
+                self.channel.send(bytes(buffer.data))
+        except BaseException:
+            with self._pending_lock:
+                for request_id in registered:
+                    self._pending.pop(request_id, None)
+            raise
+        return futures
+
+    def invoke_pipelined_sync(self, calls):
+        """Send a burst in ONE write and block until every reply lands.
+
+        The synchronous sibling of :meth:`invoke_pipelined`: same
+        single-send transmission policy, but the whole window completes
+        through one shared :class:`_BulkCollector` event instead of a
+        future per call — the cheapest way to drive a saturated
+        pipeline.  Returns replies in call order (None for oneways).
+        """
+        if not self.multiplexed:
+            raise HeidiRmiError(
+                "pipelined bursts need a multiplexed communicator"
+            )
+        if not isinstance(calls, (list, tuple)):
+            calls = list(calls)
+        expected = sum(1 for call in calls if not call.oneway)
+        collector = _BulkCollector(expected)
+        registered = []
+        buffer = _SendBuffer()
+        send_request = self.protocol.send_request
+        next_request_id = self.protocol.next_request_id
+        pending = self._pending
+        try:
+            with self._pending_lock:
+                if self.channel.closed:
+                    raise CommunicationError(
+                        f"channel to {self.channel.peer} is closed"
+                    )
+                for call in calls:
+                    if not call.oneway:
+                        if call.request_id is None:
+                            call.request_id = next_request_id()
+                        pending[call.request_id] = collector
+                        registered.append(call.request_id)
+                    send_request(buffer, call)
+            self._ensure_reader()
+            self.flush()
+            if buffer.data:
+                self.channel.send(bytes(buffer.data))
+        except BaseException:
+            with self._pending_lock:
+                for request_id in registered:
+                    self._pending.pop(request_id, None)
+            raise
+        if registered:
+            collector.event.wait()
+            if collector.error is not None:
+                raise collector.error
+        return [None if call.oneway else collector.replies[call.request_id]
+                for call in calls]
+
+    def _send_oneway(self, call):
+        if not self._batch_oneways:
+            self.flush()
+            self.protocol.send_request(self.channel, call)
+            return
+        buffer = _SendBuffer()
+        self.protocol.send_request(buffer, call)
+        with self._batch_lock:
+            self._batch += buffer.data
+            self._batch_calls += 1
+            full = (len(self._batch) >= self._batch_max_bytes
+                    or self._batch_calls >= self._batch_max_calls)
+        if full:
+            self.flush()
+
+    def flush(self):
+        """Push any batched oneway bytes onto the wire."""
+        # Unlocked empty peek: flush-before-send ordering only matters
+        # for the calling thread's OWN earlier oneways, and those are
+        # visible to its own len() read; racing appends by other threads
+        # carry no ordering promise against this call.
+        if not self._batch:
+            return
+        with self._batch_lock:
+            if not self._batch:
+                return
+            data = bytes(self._batch)
+            self._batch.clear()
+            self._batch_calls = 0
+        self.channel.send(data)
+
+    # -- reply demultiplexing ----------------------------------------------
+
+    def _ensure_reader(self):
+        if self._reader is not None:
+            return
+        with self._reader_lock:
+            if self._reader is None:
+                self._reader = threading.Thread(
+                    target=self._demux_loop,
+                    name="heidirmi-demux",
+                    daemon=True,
+                )
+                self._reader.start()
+
+    def _demux_loop(self):
+        recv_reply = self.protocol.recv_reply
+        channel = self.channel
+        while True:
+            batch = []
+            try:
+                batch.append(recv_reply(channel))
+                # Servers coalesce replies into one send, so more whole
+                # replies usually sit in the receive buffer already —
+                # drain them now and resolve the lot under one lock.
+                while channel.has_buffered:
+                    batch.append(recv_reply(channel))
+            except CommunicationError as exc:
+                self._resolve(batch)
+                self._fail_pending(exc)
+                return
+            except Exception as exc:
+                # A framing error leaves the stream position unknown;
+                # nothing after it can be trusted, so the channel dies.
+                self._resolve(batch)
+                self.channel.close()
+                self._fail_pending(
+                    CommunicationError(f"demultiplexer failed: {exc}")
+                )
+                return
+            self._resolve(batch)
+
+    def _resolve(self, replies):
+        if not replies:
+            return
+        pending = self._pending
+        with self._pending_lock:
+            matched = [(pending.pop(reply.request_id, None), reply)
+                       for reply in replies]
+        for waiter, reply in matched:
+            if waiter is None:
+                self.orphaned_replies += 1
+            elif type(waiter) is _BulkCollector:
+                waiter.add(reply.request_id, reply)
+            else:
+                waiter.set_result(reply)
+
+    def _fail_pending(self, exc):
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for waiter in pending.values():
+            if type(waiter) is _BulkCollector:
+                waiter.fail(exc)
+            else:
+                waiter.set_exception(exc)
 
     # -- server side -------------------------------------------------------
 
@@ -34,15 +362,34 @@ class ObjectCommunicator:
                                           object_exists=object_exists)
 
     def reply(self, reply):
+        sink = self._reply_sink
+        if sink.data:
+            # Earlier coalesced replies ride along in the same send.
+            self.protocol.send_reply(sink, reply)
+            data = bytes(sink.data)
+            sink.data.clear()
+            self.channel.send(data)
+            return
         self.protocol.send_reply(self.channel, reply)
 
-    def reply_error(self, category, message):
+    def buffer_reply(self, reply):
+        """Hold *reply* to coalesce with the next reply's send.
+
+        Servers call this instead of :meth:`reply` while further
+        requests are already buffered on the channel — correlation ids
+        let the client sort the grouped replies out, and one send for a
+        backlog of replies beats one syscall each.
+        """
+        self.protocol.send_reply(self._reply_sink, reply)
+
+    def reply_error(self, category, message, request_id=None):
         """Convenience for protocol-level failures (bad request line...)."""
         marshaller = self.protocol.new_marshaller()
-        reply = Reply(status=STATUS_ERROR, repo_id=category, marshaller=marshaller)
+        reply = Reply(status=STATUS_ERROR, repo_id=category,
+                      marshaller=marshaller, request_id=request_id)
         reply.put_string(message)
         try:
-            self.protocol.send_reply(self.channel, reply)
+            self.reply(reply)
         except CommunicationError:
             pass  # peer already gone; nothing to report to
 
@@ -50,6 +397,9 @@ class ObjectCommunicator:
 
     def close(self):
         self.channel.close()
+        self._fail_pending(
+            CommunicationError(f"channel to {self.channel.peer} was closed")
+        )
 
     @property
     def closed(self):

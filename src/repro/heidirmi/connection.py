@@ -2,31 +2,75 @@
 
 "Connections are cached and reused in HeidiRMI, and only if there is no
 available connection is a new connection opened" (paper, Section 3.1).
-The cache pools idle :class:`ObjectCommunicator` instances per
-(protocol, host, port) bootstrap tuple; callers check one out for the
-duration of a call and return it afterwards.
+
+Two modes:
+
+- **exclusive** (the paper's model): the cache pools idle
+  :class:`ObjectCommunicator` instances per (protocol, host, port)
+  bootstrap tuple; callers check one out for the duration of a call and
+  return it afterwards, so concurrent callers each hold a connection.
+- **multiplexed**: one shared, demultiplexing communicator per
+  bootstrap tuple serves every concurrent caller over a single channel
+  (requires a protocol with request ids — ``text2`` or ``giop``).
+  ``acquire`` hands back the shared instance and ``release`` is a
+  no-op; a dead shared channel is replaced on the next acquire.
 """
 
 import threading
 
 from repro.heidirmi.communicator import ObjectCommunicator
+from repro.heidirmi.errors import HeidiRmiError
 
 
 class ConnectionCache:
-    """Pool of idle communicators keyed by bootstrap tuple."""
+    """Pool of communicators keyed by bootstrap tuple."""
 
-    def __init__(self, transport_factory, protocol, enabled=True, max_idle=8):
+    def __init__(self, transport_factory, protocol, enabled=True, max_idle=8,
+                 mode="exclusive", communicator_options=None):
+        if mode not in ("exclusive", "multiplexed"):
+            raise HeidiRmiError(
+                f"unknown connection mode {mode!r}; "
+                "choose 'exclusive' or 'multiplexed'"
+            )
         self._transport_factory = transport_factory
         self._protocol = protocol
         self._enabled = enabled
         self._max_idle = max_idle
+        self._mode = mode
+        self._options = dict(communicator_options or {})
         self._idle = {}
+        self._shared = {}
         self._lock = threading.Lock()
         #: Counters the caching benchmarks read.
         self.stats = {"hits": 0, "misses": 0, "opened": 0}
 
+    @property
+    def mode(self):
+        return self._mode
+
+    def _open(self, bootstrap, multiplexed):
+        protocol_name, host, port = bootstrap
+        transport = self._transport_factory(protocol_name)
+        channel = transport.connect(host, port)
+        return ObjectCommunicator(
+            channel, self._protocol, multiplexed=multiplexed, **self._options
+        )
+
     def acquire(self, bootstrap):
         """A ready communicator for (protocol, host, port) *bootstrap*."""
+        if self._mode == "multiplexed":
+            # One shared channel per peer; opening is serialized under
+            # the lock so racing callers cannot double-connect.
+            with self._lock:
+                communicator = self._shared.get(bootstrap)
+                if communicator is not None and not communicator.closed:
+                    self.stats["hits"] += 1
+                    return communicator
+                self.stats["misses"] += 1
+                self.stats["opened"] += 1
+                communicator = self._open(bootstrap, multiplexed=True)
+                self._shared[bootstrap] = communicator
+                return communicator
         if self._enabled:
             with self._lock:
                 pool = self._idle.get(bootstrap)
@@ -38,13 +82,12 @@ class ConnectionCache:
         with self._lock:
             self.stats["misses"] += 1
             self.stats["opened"] += 1
-        protocol_name, host, port = bootstrap
-        transport = self._transport_factory(protocol_name)
-        channel = transport.connect(host, port)
-        return ObjectCommunicator(channel, self._protocol)
+        return self._open(bootstrap, multiplexed=False)
 
     def release(self, bootstrap, communicator):
         """Return a communicator after use; closed ones are dropped."""
+        if self._mode == "multiplexed":
+            return  # shared communicators are never checked out
         if communicator.closed:
             return
         if not self._enabled:
@@ -60,13 +103,31 @@ class ConnectionCache:
     def discard(self, communicator):
         """Drop a communicator that failed mid-call."""
         communicator.close()
+        if self._mode == "multiplexed":
+            with self._lock:
+                for bootstrap, shared in list(self._shared.items()):
+                    if shared is communicator:
+                        del self._shared[bootstrap]
+
+    def flush_all(self):
+        """Flush batched oneway buffers on every live communicator."""
+        with self._lock:
+            communicators = list(self._shared.values())
+            for pool in self._idle.values():
+                communicators.extend(pool)
+        for communicator in communicators:
+            if not communicator.closed:
+                communicator.flush()
 
     def close_all(self):
         with self._lock:
             pools, self._idle = self._idle, {}
+            shared, self._shared = self._shared, {}
         for pool in pools.values():
             for communicator in pool:
                 communicator.close()
+        for communicator in shared.values():
+            communicator.close()
 
     @property
     def idle_count(self):

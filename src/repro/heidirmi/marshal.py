@@ -17,6 +17,8 @@ Two implementations ship: the newline-terminated text format
 class Marshaller:
     """Typed put-interface; subclasses encode into their wire format."""
 
+    __slots__ = ()
+
     def put_boolean(self, value):
         raise NotImplementedError
 
@@ -76,6 +78,8 @@ class Marshaller:
 
 class Unmarshaller:
     """Typed get-interface matching :class:`Marshaller`."""
+
+    __slots__ = ()
 
     def get_boolean(self):
         raise NotImplementedError

@@ -10,6 +10,7 @@ selects the right stub/skeleton).  The canonical stringified form is::
 """
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 
 from repro.heidirmi.errors import ProtocolError
 
@@ -24,13 +25,21 @@ class ObjectReference:
     object_id: str
     type_id: str
 
-    def stringify(self):
-        """Render the ``@proto:host:port#oid#typeid`` form."""
+    # cached_property stores straight into __dict__, which a frozen
+    # dataclass allows; the reference is immutable, so both renderings
+    # are computed once — stringify() heads every outgoing call.
+    @cached_property
+    def _stringified(self):
         return f"@{self.protocol}:{self.host}:{self.port}#{self.object_id}#{self.type_id}"
 
-    __str__ = stringify
+    def stringify(self):
+        """Render the ``@proto:host:port#oid#typeid`` form."""
+        return self._stringified
 
-    @property
+    def __str__(self):
+        return self._stringified
+
+    @cached_property
     def bootstrap(self):
         """The (protocol, host, port) channel tuple."""
         return (self.protocol, self.host, self.port)

@@ -15,6 +15,7 @@ transport, the wire protocol, the dispatch strategy, and each cache.
 
 import threading
 import traceback
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.heidirmi.call import Reply, STATUS_ERROR, STATUS_EXCEPTION, STATUS_OK, Call
 from repro.heidirmi.communicator import ObjectCommunicator
@@ -50,6 +51,9 @@ class Orb:
         cache_skeletons=True,
         cache_connections=True,
         threading_model="threaded",
+        multiplex=False,
+        pipeline_workers=0,
+        batch_oneways=False,
         trace=None,
     ):
         self.host = host
@@ -82,18 +86,50 @@ class Orb:
         self._objects = {}
         self._object_refs = {}  # id(impl) -> ObjectReference
         self._next_oid = 1
+        # Parsed-target memo for the server hot path: every request on a
+        # connection repeats the same stringified references, so parsing
+        # each once is pure win.  Bounded to stay byte-sane under churn.
+        self._parsed_targets = {}
 
         self._cache_stubs = cache_stubs
         self._cache_skeletons = cache_skeletons
+        # Front cache for the dispatch hot path: raw target string ->
+        # skeleton, skipping reference parsing entirely on a hit.
+        # Cleared wholesale on unregister; bounded against churn.
+        self._target_skeletons = {}
         self._stubs = {}
         self._skeletons = {}
+        #: True when client calls share one demultiplexed channel per
+        #: peer instead of checking a connection out exclusively.
+        self.multiplex = bool(multiplex)
+        if self.multiplex and not getattr(
+            self.protocol, "supports_multiplexing", False
+        ):
+            raise HeidiRmiError(
+                f"protocol {self.protocol.name!r} has no request ids and "
+                "cannot be multiplexed; use protocol='text2' or 'giop'"
+            )
+        #: >0 enables the server-side pipeline: the connection reader
+        #: reads ahead and dispatches to this many pooled workers, so
+        #: replies on id-carrying protocols can complete out of order.
+        self.pipeline_workers = int(pipeline_workers)
         self.connections = ConnectionCache(
-            get_transport, self.protocol, enabled=cache_connections
+            get_transport,
+            self.protocol,
+            enabled=cache_connections,
+            mode="multiplexed" if self.multiplex else "exclusive",
+            communicator_options={"batch_oneways": batch_oneways},
         )
+        self._dispatch_pool = None
+        self._async_pool = None
+        self._pool_lock = threading.Lock()
         # Accepted server-side communicators, closed on stop() so worker
         # threads blocked in recv unwind promptly.
         self._active = set()
-        #: Counters read by the caching benchmarks.
+        #: Counters read by the caching benchmarks.  Mutated through
+        #: _count() under _stats_lock — concurrent client threads and
+        #: pipelined server workers all bump them.
+        self._stats_lock = threading.Lock()
         self.stats = {
             "stub_hits": 0,
             "stub_created": 0,
@@ -102,6 +138,10 @@ class Orb:
             "requests": 0,
             "calls": 0,
         }
+
+    def _count(self, key, n=1):
+        with self._stats_lock:
+            self.stats[key] += n
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -133,6 +173,30 @@ class Orb:
         for communicator in active:
             communicator.close()
         self.connections.close_all()
+        with self._pool_lock:
+            pools = (self._dispatch_pool, self._async_pool)
+            self._dispatch_pool = None
+            self._async_pool = None
+        for pool in pools:
+            if pool is not None:
+                pool.shutdown(wait=False)
+
+    def _dispatch_executor(self):
+        with self._pool_lock:
+            if self._dispatch_pool is None:
+                self._dispatch_pool = ThreadPoolExecutor(
+                    max_workers=max(1, self.pipeline_workers),
+                    thread_name_prefix="heidirmi-dispatch",
+                )
+            return self._dispatch_pool
+
+    def _async_executor(self):
+        with self._pool_lock:
+            if self._async_pool is None:
+                self._async_pool = ThreadPoolExecutor(
+                    max_workers=8, thread_name_prefix="heidirmi-async"
+                )
+            return self._async_pool
 
     def __enter__(self):
         return self.start()
@@ -186,7 +250,8 @@ class Orb:
 
     def export(self, impl, type_id=None):
         """The reference for *impl*, registering it on first export."""
-        existing = self._object_refs.get(id(impl))
+        with self._lock:
+            existing = self._object_refs.get(id(impl))
         if existing is not None:
             return existing
         return self.register(impl, type_id=type_id)
@@ -195,6 +260,9 @@ class Orb:
         with self._lock:
             self._objects.pop(oid, None)
             self._skeletons.pop(oid, None)
+            # Target strings embed the oid; dropping the whole front
+            # cache is simpler than finding them (unregister is rare).
+            self._target_skeletons.clear()
 
     @staticmethod
     def _type_id_of(impl):
@@ -217,24 +285,29 @@ class Orb:
             reference = ObjectReference.parse(reference)
         key = reference.stringify()
         if self._cache_stubs:
+            # Lock-free read; see _skeleton_for for why this is safe.
             stub = self._stubs.get(key)
             if stub is not None:
-                self.stats["stub_hits"] += 1
+                self._count("stub_hits")
                 return stub
         stub_class = self.types.stub_class(reference.type_id) or HdStub
         stub = stub_class(reference, self)
-        self.stats["stub_created"] += 1
+        self._count("stub_created")
         self._event("orb:stub", type_id=reference.type_id,
                     cls=stub_class.__name__)
         if self._cache_stubs:
-            self._stubs[key] = stub
+            with self._lock:
+                # A racing resolver may have cached one meanwhile; keep
+                # the first so callers keep seeing a single identity.
+                stub = self._stubs.setdefault(key, stub)
         return stub
 
     # -- client call path (Fig. 4) --------------------------------------------------
 
     def create_call(self, reference, operation, oneway=False):
         """A new writable Call addressed at *reference* (Fig. 4 step 1)."""
-        self._event("call:new", operation=operation)
+        if self.trace is not None:
+            self._event("call:new", operation=operation)
         return Call(
             reference.stringify(),
             operation,
@@ -244,19 +317,109 @@ class Orb:
 
     def invoke(self, reference, call):
         """Invoke *call* (Fig. 4 steps 2–4); returns the Reply."""
-        self.stats["calls"] += 1
+        self._count("calls")
         bootstrap = reference.bootstrap
         communicator = self.connections.acquire(bootstrap)
-        self._event("call:invoke", operation=call.operation,
-                    target=call.target)
+        if self.trace is not None:
+            self._event("call:invoke", operation=call.operation,
+                        target=call.target)
         try:
             reply = communicator.invoke(call)
         except CommunicationError:
             self.connections.discard(communicator)
             raise
         self.connections.release(bootstrap, communicator)
-        self._event("call:reply", status=None if reply is None else reply.status)
+        if self.trace is not None:
+            self._event("call:reply",
+                        status=None if reply is None else reply.status)
         return reply
+
+    def invoke_async(self, reference, call):
+        """Invoke *call* without blocking; returns a Future of the Reply.
+
+        On a multiplexed ORB the request is pipelined onto the shared
+        channel and the demultiplexer completes the future.  On an
+        exclusive ORB the blocking round trip runs on a small helper
+        pool, so the caller still gets a future either way.
+        """
+        self._count("calls")
+        bootstrap = reference.bootstrap
+        communicator = self.connections.acquire(bootstrap)
+        if self.trace is not None:
+            self._event("call:invoke", operation=call.operation,
+                        target=call.target)
+        if communicator.multiplexed:
+            try:
+                future = communicator.invoke_async(call)
+            except CommunicationError:
+                self.connections.discard(communicator)
+                raise
+            self.connections.release(bootstrap, communicator)
+            return future
+
+        def _round_trip():
+            try:
+                reply = communicator.invoke(call)
+            except CommunicationError:
+                self.connections.discard(communicator)
+                raise
+            self.connections.release(bootstrap, communicator)
+            return reply
+
+        return self._async_executor().submit(_round_trip)
+
+    def invoke_many(self, reference, calls):
+        """Pipeline a burst of calls in one send; returns their futures.
+
+        On a multiplexed ORB the whole window goes out in a single
+        channel write and the demultiplexer completes each future as its
+        reply lands (possibly out of order).  On an exclusive ORB this
+        degrades to sequential :meth:`invoke_async`.
+        """
+        calls = list(calls)
+        bootstrap = reference.bootstrap
+        communicator = self.connections.acquire(bootstrap)
+        if not communicator.multiplexed:
+            self.connections.release(bootstrap, communicator)
+            return [self.invoke_async(reference, call) for call in calls]
+        self._count("calls", len(calls))
+        try:
+            futures = communicator.invoke_pipelined(calls)
+        except CommunicationError:
+            self.connections.discard(communicator)
+            raise
+        self.connections.release(bootstrap, communicator)
+        return futures
+
+    def invoke_bulk(self, reference, calls):
+        """Pipeline a burst of calls and block for all their replies.
+
+        Like :meth:`invoke_many` but synchronous: on a multiplexed ORB
+        the window goes out in one send and the caller sleeps on a
+        single completion event until the last reply lands — far less
+        per-call overhead than a future each.  Returns replies in call
+        order (None for oneways).  Exclusive ORBs fall back to
+        sequential :meth:`invoke`.
+        """
+        if not isinstance(calls, (list, tuple)):
+            calls = list(calls)
+        bootstrap = reference.bootstrap
+        communicator = self.connections.acquire(bootstrap)
+        if not communicator.multiplexed:
+            self.connections.release(bootstrap, communicator)
+            return [self.invoke(reference, call) for call in calls]
+        self._count("calls", len(calls))
+        try:
+            replies = communicator.invoke_pipelined_sync(calls)
+        except CommunicationError:
+            self.connections.discard(communicator)
+            raise
+        self.connections.release(bootstrap, communicator)
+        return replies
+
+    def flush(self):
+        """Flush any batched oneway sends on cached client connections."""
+        self.connections.flush_all()
 
     def rebuild_exception(self, reply):
         """Turn an EXC reply back into the declared exception instance."""
@@ -301,11 +464,22 @@ class Orb:
             communicator.close()
 
     def _serve_requests(self, communicator):
+        # Pipelined servers read ahead with a bounded in-flight window:
+        # the reader keeps pulling requests while pooled workers dispatch
+        # them, so replies (on id-carrying protocols) complete out of
+        # order and one slow call no longer stalls the connection.
+        window = (
+            threading.Semaphore(max(2, self.pipeline_workers * 2))
+            if self.pipeline_workers > 0
+            else None
+        )
+        # Hoisted out of the per-request loop: these run once per call.
+        next_request = communicator.next_request
+        object_key_exists = self._object_key_exists
+        count = self._count
         while self._running and not communicator.closed:
             try:
-                call = communicator.next_request(
-                    object_exists=self._object_key_exists
-                )
+                call = next_request(object_exists=object_key_exists)
             except CommunicationError:
                 return
             except ProtocolError as exc:
@@ -314,19 +488,62 @@ class Orb:
                 # what made telnet debugging possible.
                 communicator.reply_error("Protocol", str(exc))
                 continue
-            self._event("orb:request", operation=call.operation)
-            self.stats["requests"] += 1
+            if self.trace is not None:
+                self._event("orb:request", operation=call.operation)
+            count("requests")
+            if (
+                window is not None
+                and not call.oneway
+                and call.request_id is not None
+            ):
+                # Oneways stay inline (their per-connection ordering is
+                # a guarantee) and id-less requests stay serial (replies
+                # would be correlated by order alone).
+                window.acquire()
+                try:
+                    self._dispatch_executor().submit(
+                        self._dispatch_and_reply, communicator, call, window
+                    )
+                except RuntimeError:  # pool shut down mid-stop
+                    window.release()
+                    return
+                continue
             reply = self._handle_request(call)
             if call.oneway:
                 continue
             try:
+                if call.request_id is not None and communicator.channel.has_buffered:
+                    # More requests are already waiting: coalesce this
+                    # reply with theirs into one send (ids let the client
+                    # demultiplex, so grouping replies is safe).
+                    communicator.buffer_reply(reply)
+                    continue
                 communicator.reply(reply)
             except CommunicationError:
                 return
             except HeidiRmiError as exc:
                 # The reply itself failed to encode (e.g. a result value
                 # the marshaller rejects): report instead of dying.
-                communicator.reply_error(type(exc).__name__, str(exc))
+                communicator.reply_error(
+                    type(exc).__name__, str(exc), request_id=call.request_id
+                )
+
+    def _dispatch_and_reply(self, communicator, call, window):
+        """Pipeline worker body: dispatch one read-ahead request."""
+        try:
+            reply = self._handle_request(call)
+            try:
+                communicator.reply(reply)
+            except CommunicationError:
+                pass  # connection died; the reader loop notices too
+            except HeidiRmiError as exc:
+                communicator.reply_error(
+                    type(exc).__name__, str(exc), request_id=call.request_id
+                )
+        except Exception:  # defensive: bug in the pipeline itself
+            self._event("orb:server-loop-error", error=traceback.format_exc())
+        finally:
+            window.release()
 
     def _object_key_exists(self, object_key):
         """Locate support: does this address space host *object_key*?"""
@@ -341,15 +558,43 @@ class Orb:
 
     def _handle_request(self, call):
         """Select the skeleton from the call header and dispatch (Fig. 5)."""
+        reply = self._dispatch_request(call)
+        # Pipelined protocols echo the request's correlation id so the
+        # client's demultiplexer can match out-of-order replies.
+        reply.request_id = call.request_id
+        return reply
+
+    def _parse_target(self, target):
+        reference = self._parsed_targets.get(target)
+        if reference is None:
+            reference = ObjectReference.parse(target)
+            if len(self._parsed_targets) >= 4096:
+                self._parsed_targets.clear()
+            self._parsed_targets[target] = reference
+        return reference
+
+    def _dispatch_request(self, call):
         try:
-            reference = ObjectReference.parse(call.target)
-            skeleton = self._skeleton_for(reference)
+            # Fast path: target string straight to skeleton, skipping
+            # reference parsing (counts as a cache hit — the skeleton
+            # came from _skeletons originally).
+            skeleton = self._target_skeletons.get(call.target)
+            if skeleton is not None:
+                self._count("skeleton_hits")
+            else:
+                reference = self._parse_target(call.target)
+                skeleton = self._skeleton_for(reference)
+                if self._cache_skeletons:
+                    if len(self._target_skeletons) >= 4096:
+                        self._target_skeletons.clear()
+                    self._target_skeletons[call.target] = skeleton
             reply = Reply(status=STATUS_OK, marshaller=self.protocol.new_marshaller())
-            self._event(
-                "orb:dispatch",
-                operation=call.operation,
-                skeleton=type(skeleton).__name__,
-            )
+            if self.trace is not None:
+                self._event(
+                    "orb:dispatch",
+                    operation=call.operation,
+                    skeleton=type(skeleton).__name__,
+                )
             if self._dispatch_serial_lock is not None:
                 with self._dispatch_serial_lock:
                     skeleton.dispatch(call, reply)
@@ -388,11 +633,15 @@ class Orb:
         """The skeleton for a local object, created lazily and cached."""
         oid = reference.object_id
         if self._cache_skeletons:
+            # Lock-free read: dict.get is atomic under the GIL and
+            # writers only add entries (setdefault below, under _lock),
+            # so a stale miss just falls through to the slow path.
             skeleton = self._skeletons.get(oid)
             if skeleton is not None:
-                self.stats["skeleton_hits"] += 1
+                self._count("skeleton_hits")
                 return skeleton
-        entry = self._objects.get(oid)
+        with self._lock:
+            entry = self._objects.get(oid)
         if entry is None:
             raise ObjectNotFound(oid)
         impl, type_id = entry
@@ -404,8 +653,9 @@ class Orb:
                 f"no skeleton class registered for {type_id!r}"
             )
         skeleton = skel_class(impl, self, dispatch_strategy=self.dispatch_strategy)
-        self.stats["skeleton_created"] += 1
+        self._count("skeleton_created")
         self._event("orb:skeleton", type_id=type_id, cls=skel_class.__name__)
         if self._cache_skeletons:
-            self._skeletons[oid] = skeleton
+            with self._lock:
+                skeleton = self._skeletons.setdefault(oid, skeleton)
         return skeleton

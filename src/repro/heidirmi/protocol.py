@@ -7,8 +7,12 @@ of alternate protocols" (paper, Section 2).  :class:`Protocol` is that
 abstract interface; stubs and skeletons only ever see Call/Reply.
 
 Implementations: :class:`TextProtocol` here (the paper's newline
-ASCII format) and :class:`repro.giop.iiop.GiopProtocol`.
+ASCII format), :class:`Text2Protocol` (the same token grammar framed
+with a request id, enabling pipelining and connection multiplexing)
+and :class:`repro.giop.iiop.GiopProtocol`.
 """
+
+import itertools
 
 from repro.heidirmi.call import (
     STATUS_ERROR,
@@ -25,11 +29,39 @@ from repro.heidirmi.textwire import (
     unescape_token,
 )
 
+#: Memo for header tokens (targets, operation names): the same handful
+#: of strings heads every request on a connection, so escaping each
+#: once beats re-scanning them per call.  Bounded against churn.
+_HEADER_ESCAPES = {}
+
+
+def _escape_header(text):
+    token = _HEADER_ESCAPES.get(text)
+    if token is None:
+        if len(_HEADER_ESCAPES) >= 4096:
+            _HEADER_ESCAPES.clear()
+        token = escape_token(text)
+        _HEADER_ESCAPES[text] = token
+    return token
+
 
 class Protocol:
     """Encodes Calls and Replies onto a Channel."""
 
     name = "?"
+
+    #: True when the protocol frames a request id on every two-way
+    #: message, so replies can complete out of order and one channel can
+    #: be shared by many concurrent callers.  Protocols that correlate
+    #: purely by ordering (the original text protocol) leave this False.
+    supports_multiplexing = False
+
+    def next_request_id(self):
+        """Allocate a correlation id (multiplexing protocols only)."""
+        raise ProtocolError(
+            f"protocol {self.name!r} has no request ids; "
+            "it cannot be pipelined or multiplexed"
+        )
 
     def new_marshaller(self):
         raise NotImplementedError
@@ -65,11 +97,15 @@ class TextProtocol(Protocol):
     # -- requests ------------------------------------------------------------
 
     def send_request(self, channel, call):
-        verb = "ONEWAY" if call.oneway else "CALL"
-        head = f"{verb} {escape_token(call.target)} {escape_token(call.operation)}"
-        payload = call.payload().decode("ascii")
-        line = f"{head} {payload}" if payload else head
-        channel.send(line.encode("ascii") + b"\n")
+        # Build the line in one pass at the token level; going through
+        # payload() would encode and re-decode the same bytes.
+        pieces = [
+            "ONEWAY" if call.oneway else "CALL",
+            _escape_header(call.target),
+            _escape_header(call.operation),
+        ]
+        pieces += call._m.tokens()
+        channel.send((" ".join(pieces) + "\n").encode("ascii"))
 
     def recv_request(self, channel, object_exists=None):
         line = channel.recv_line().decode("ascii", errors="replace")
@@ -89,7 +125,7 @@ class TextProtocol(Protocol):
         return Call(
             target,
             operation,
-            unmarshaller=TextUnmarshaller(tokens[3:]),
+            unmarshaller=TextUnmarshaller.adopt(tokens, 3),
             oneway=(verb == "ONEWAY"),
         )
 
@@ -99,10 +135,8 @@ class TextProtocol(Protocol):
         pieces = ["RET", reply.status]
         if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
             pieces.append(escape_token(reply.repo_id))
-        payload = reply.payload().decode("ascii")
-        if payload:
-            pieces.append(payload)
-        channel.send(" ".join(pieces).encode("ascii") + b"\n")
+        pieces += reply._m.tokens()
+        channel.send((" ".join(pieces) + "\n").encode("ascii"))
 
     def recv_reply(self, channel):
         line = channel.recv_line().decode("ascii", errors="replace")
@@ -112,7 +146,7 @@ class TextProtocol(Protocol):
         status = tokens[1]
         if status == STATUS_OK:
             return Reply(
-                status=STATUS_OK, unmarshaller=TextUnmarshaller(tokens[2:])
+                status=STATUS_OK, unmarshaller=TextUnmarshaller.adopt(tokens, 2)
             )
         if status in (STATUS_EXCEPTION, STATUS_ERROR):
             if len(tokens) < 3:
@@ -120,12 +154,155 @@ class TextProtocol(Protocol):
             return Reply(
                 status=status,
                 repo_id=unescape_token(tokens[2]),
-                unmarshaller=TextUnmarshaller(tokens[3:]),
+                unmarshaller=TextUnmarshaller.adopt(tokens, 3),
             )
         raise ProtocolError(f"unknown reply status {status!r}")
 
 
-_PROTOCOLS = {"text": TextProtocol}
+class Text2Protocol(TextProtocol):
+    """The text grammar framed with a request id (``text2``).
+
+    Identical tokens and escapes to the classic protocol, but every
+    two-way message leads with a decimal request id so replies can be
+    correlated out of order::
+
+        CALL2 <id> <objref> <operation> <token>...
+        ONEWAY2 <objref> <operation> <token>...
+        RET2 <id> OK <token>...
+        RET2 <id> EXC <repo-id> <token>...
+        RET2 <id> ERR <category> <message-token>
+
+    Oneways carry no id — nothing ever correlates back to them.  The
+    wire stays one printable-ASCII line per message, so the telnet
+    debugging story survives: a human types ``CALL2 7 ...`` and greps
+    for ``RET2 7``.
+    """
+
+    name = "text2"
+    supports_multiplexing = True
+
+    def __init__(self):
+        self._request_ids = itertools.count(1)
+
+    def next_request_id(self):
+        # next() on an itertools.count is atomic under the GIL, so the
+        # hot path needs no lock here.
+        return next(self._request_ids)
+
+    # -- requests ------------------------------------------------------------
+
+    def send_request(self, channel, call):
+        if call.oneway:
+            pieces = [
+                "ONEWAY2",
+                _escape_header(call.target),
+                _escape_header(call.operation),
+            ]
+        else:
+            if call.request_id is None:
+                call.request_id = self.next_request_id()
+            pieces = [
+                "CALL2",
+                str(call.request_id),
+                _escape_header(call.target),
+                _escape_header(call.operation),
+            ]
+        pieces += call._m.tokens()
+        channel.send((" ".join(pieces) + "\n").encode("ascii"))
+
+    def recv_request(self, channel, object_exists=None):
+        line = channel.recv_line().decode("ascii", errors="replace")
+        tokens = line.split()
+        if not tokens:
+            raise ProtocolError("empty request line")
+        verb = tokens[0]
+        if verb == "CALL2":
+            # Inlined _parse_id: this runs once per incoming request.
+            try:
+                request_id = int(tokens[1])
+            except IndexError:
+                raise ProtocolError("CALL2 needs a request id") from None
+            except ValueError:
+                raise ProtocolError(
+                    f"bad request id {tokens[1]!r}"
+                ) from None
+            if request_id < 0:
+                raise ProtocolError(f"negative request id {request_id}")
+            head = 2
+            oneway = False
+        elif verb == "ONEWAY2":
+            request_id = None
+            head = 1
+            oneway = True
+        else:
+            raise ProtocolError(
+                f"expected CALL2 or ONEWAY2, got {verb!r} "
+                "(request shape: CALL2 <id> <objref> <operation> <args...>)"
+            )
+        if len(tokens) < head + 2:
+            raise ProtocolError("request needs an object reference and an operation")
+        return Call(
+            unescape_token(tokens[head]),
+            unescape_token(tokens[head + 1]),
+            unmarshaller=TextUnmarshaller.adopt(tokens, head + 2),
+            oneway=oneway,
+            request_id=request_id,
+        )
+
+    @staticmethod
+    def _parse_id(token):
+        if token is None:
+            raise ProtocolError("CALL2 needs a request id")
+        try:
+            request_id = int(token)
+        except ValueError:
+            raise ProtocolError(f"bad request id {token!r}") from None
+        if request_id < 0:
+            raise ProtocolError(f"negative request id {request_id}")
+        return request_id
+
+    # -- replies ----------------------------------------------------------------
+
+    def send_reply(self, channel, reply):
+        request_id = reply.request_id if reply.request_id is not None else 0
+        pieces = ["RET2", str(request_id), reply.status]
+        if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
+            pieces.append(escape_token(reply.repo_id))
+        pieces += reply._m.tokens()
+        channel.send((" ".join(pieces) + "\n").encode("ascii"))
+
+    def recv_reply(self, channel):
+        line = channel.recv_line().decode("ascii", errors="replace")
+        tokens = line.split()
+        if len(tokens) < 3 or tokens[0] != "RET2":
+            raise ProtocolError(f"malformed reply line {line!r}")
+        # Inlined _parse_id: this runs once per reply on the demux thread.
+        try:
+            request_id = int(tokens[1])
+        except ValueError:
+            raise ProtocolError(f"bad request id {tokens[1]!r}") from None
+        if request_id < 0:
+            raise ProtocolError(f"negative request id {request_id}")
+        status = tokens[2]
+        if status == STATUS_OK:
+            return Reply(
+                status=STATUS_OK,
+                unmarshaller=TextUnmarshaller.adopt(tokens, 3),
+                request_id=request_id,
+            )
+        if status in (STATUS_EXCEPTION, STATUS_ERROR):
+            if len(tokens) < 4:
+                raise ProtocolError(f"{status} reply needs an identifier")
+            return Reply(
+                status=status,
+                repo_id=unescape_token(tokens[3]),
+                unmarshaller=TextUnmarshaller.adopt(tokens, 4),
+                request_id=request_id,
+            )
+        raise ProtocolError(f"unknown reply status {status!r}")
+
+
+_PROTOCOLS = {"text": TextProtocol, "text2": Text2Protocol}
 
 
 def get_protocol(name):

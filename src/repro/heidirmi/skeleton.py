@@ -40,6 +40,10 @@ class HdSkel:
         self._strategy = dispatch_strategy or (
             orb.dispatch_strategy if orb is not None else "hash"
         )
+        # Resolution memo: operation -> unbound handler.  The recursive
+        # walk up the skeleton hierarchy always lands on the same
+        # handler for a given operation, so each name resolves once.
+        self._handlers = {}
 
     @property
     def _orb(self):
@@ -71,11 +75,32 @@ class HdSkel:
 
     def dispatch(self, call, reply):
         """Dispatch *call*; raises MethodNotFound if no class handles it."""
-        if self._dispatch_class(type(self), call, reply):
+        handler = self._handlers.get(call.operation)
+        if handler is not None:
+            handler(self, call, reply)
+            return
+        handler = self._resolve_handler(type(self), call.operation)
+        if handler is not None:
+            self._handlers[call.operation] = handler
+            handler(self, call, reply)
             return
         if self._dispatch_builtin(call, reply):
             return
         raise MethodNotFound(call.operation, self._hd_type_id_)
+
+    def _resolve_handler(self, skel_class, operation):
+        """The recursive hierarchy walk, yielding the handler function."""
+        dispatcher = skel_class._own_dispatcher(self._strategy)
+        method_name = dispatcher.lookup(operation)
+        if method_name is not None:
+            return getattr(skel_class, method_name)
+        for parent in skel_class.__dict__.get(
+            "_hd_parent_skels_", skel_class._hd_parent_skels_
+        ):
+            handler = self._resolve_handler(parent, operation)
+            if handler is not None:
+                return handler
+        return None
 
     def _dispatch_builtin(self, call, reply):
         """CORBA-style built-in operations every object answers.

@@ -8,6 +8,7 @@ Stub *classes* mirror the IDL inheritance graph (``A_stub(S_stub)``),
 so inherited operations come for free.
 """
 
+from repro.heidirmi.call import Call
 from repro.heidirmi.errors import RemoteError
 from repro.heidirmi.serialize import get_object, put_object
 
@@ -75,7 +76,16 @@ class HdStub:
 
     def _new_call(self, operation, oneway=False):
         """A writable Call addressed at this stub's object."""
-        return self._hd_orb.create_call(self._hd_ref, operation, oneway=oneway)
+        orb = self._hd_orb
+        if orb.trace is not None:
+            # The Orb wrapper exists to fire the call:new trace event.
+            return orb.create_call(self._hd_ref, operation, oneway=oneway)
+        return Call(
+            self._hd_ref.stringify(),
+            operation,
+            marshaller=orb.protocol.new_marshaller(),
+            oneway=oneway,
+        )
 
     def _invoke(self, call):
         """Send *call*; returns the Reply (already checked for errors)."""

@@ -21,11 +21,17 @@ Message shapes (see :mod:`repro.heidirmi.protocol`)::
     RET ERR <category> <message-token>
 """
 
+import re
+
 from repro.heidirmi.errors import MarshalError, ProtocolError
 from repro.heidirmi.marshal import Marshaller, Unmarshaller
 
 #: The token standing for an empty string (an empty token would vanish).
 _EMPTY = "%e"
+
+#: Matches any character the wire format cannot carry verbatim; used as
+#: a C-speed pre-check so clean strings skip the per-byte escape loop.
+_NEEDS_ESCAPE_RE = re.compile(r"[\x00-\x20%\x7f]|[^\x00-\x7f]")
 
 
 def _needs_escape(byte):
@@ -53,6 +59,8 @@ def escape_token(text):
     """
     if text == "":
         return _EMPTY
+    if _NEEDS_ESCAPE_RE.search(text) is None:
+        return text  # pure printable ASCII already; nothing to escape
     out = []
     for byte in text.encode("utf-8"):
         if _needs_escape(byte):
@@ -66,6 +74,8 @@ def unescape_token(token):
     """Invert :func:`escape_token`."""
     if token == _EMPTY:
         return ""
+    if "%" not in token:
+        return token  # no escapes: the token is already the string
     out = bytearray()
     index = 0
     while index < len(token):
@@ -93,6 +103,8 @@ def unescape_token(token):
 
 class TextMarshaller(Marshaller):
     """Marshals typed values into a list of text tokens."""
+
+    __slots__ = ("_tokens", "_depth")
 
     def __init__(self):
         self._tokens = []
@@ -175,9 +187,10 @@ class TextMarshaller(Marshaller):
     # -- output ------------------------------------------------------------
 
     def tokens(self):
+        """The marshalled token list (borrowed — do not mutate)."""
         if self._depth != 0:
             raise MarshalError(f"{self._depth} begin() blocks left open")
-        return list(self._tokens)
+        return self._tokens
 
     def payload(self):
         return " ".join(self.tokens()).encode("ascii")
@@ -185,6 +198,8 @@ class TextMarshaller(Marshaller):
 
 class TextUnmarshaller(Unmarshaller):
     """Pulls typed values back out of a token list."""
+
+    __slots__ = ("_tokens", "_pos", "_depth")
 
     def __init__(self, tokens):
         self._tokens = list(tokens)
@@ -195,6 +210,19 @@ class TextUnmarshaller(Unmarshaller):
     def from_payload(cls, payload):
         text = payload.decode("ascii") if isinstance(payload, bytes) else payload
         return cls(text.split()) if text else cls([])
+
+    @classmethod
+    def adopt(cls, tokens, pos):
+        """Wrap an already-split token list without copying it.
+
+        The protocol layer hands over the freshly split request/reply
+        line and a start offset — the caller must not reuse the list.
+        """
+        self = cls.__new__(cls)
+        self._tokens = tokens
+        self._pos = pos
+        self._depth = 0
+        return self
 
     def _next(self, what):
         if self._pos >= len(self._tokens):

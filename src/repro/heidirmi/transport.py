@@ -11,6 +11,7 @@ A channel supports line reads (text protocol) and exact-count reads
 (GIOP framing), with its own receive buffer so the two can interleave.
 """
 
+import collections
 import socket
 import threading
 
@@ -18,13 +19,20 @@ from repro.heidirmi.errors import CommunicationError
 
 _MAX_LINE = 1 << 20  # 1 MiB: a request line beyond this is an attack/bug.
 
+#: Compact the receive buffer once this much consumed prefix accumulates.
+_COMPACT_THRESHOLD = 1 << 16
+
 
 class Channel:
     """A bidirectional byte stream over a connected socket."""
 
     def __init__(self, sock, peer="?"):
         self._sock = sock
-        self._buffer = b""
+        # Receive buffer: a growable bytearray with a consumed-prefix
+        # offset, so per-segment appends and reads are amortized O(n)
+        # instead of recopying the whole buffer (b"" += chunk) each time.
+        self._buffer = bytearray()
+        self._start = 0
         self._closed = False
         self.peer = peer
         # Serialize writers: an ORB may share a channel between threads.
@@ -50,21 +58,59 @@ class Channel:
             raise CommunicationError(f"peer {self.peer} closed the connection")
         self._buffer += chunk
 
+    @property
+    def has_buffered(self):
+        """Bytes already received but not yet consumed?
+
+        Servers use this as a cheap backlog probe: while more requests
+        are already waiting in the buffer, replies can be coalesced into
+        one send instead of paying a syscall each.
+        """
+        return len(self._buffer) > self._start
+
+    def _compact(self):
+        if self._start == len(self._buffer):
+            self._buffer.clear()
+            self._start = 0
+        elif self._start > _COMPACT_THRESHOLD:
+            del self._buffer[: self._start]
+            self._start = 0
+
     def recv_line(self):
         """Read up to and including ``\\n``; returns the line without it."""
-        while b"\n" not in self._buffer:
-            if len(self._buffer) > _MAX_LINE:
+        scan = self._start
+        while True:
+            index = self._buffer.find(b"\n", scan)
+            if index >= 0:
+                break
+            scan = len(self._buffer)
+            if scan - self._start > _MAX_LINE:
                 self.close()
                 raise CommunicationError("request line too long")
             self._fill()
-        line, _, self._buffer = self._buffer.partition(b"\n")
-        return line.rstrip(b"\r")
+        buffer = self._buffer
+        line = buffer[self._start : index]
+        # Inline _compact(): this runs once per message.
+        start = index + 1
+        if start == len(buffer):
+            buffer.clear()
+            self._start = 0
+        elif start > _COMPACT_THRESHOLD:
+            del buffer[:start]
+            self._start = 0
+        else:
+            self._start = start
+        while line and line[-1] == 0x0D:  # rstrip(b"\r"), no realloc
+            del line[-1]
+        return line
 
     def recv_exact(self, count):
         """Read exactly *count* bytes."""
-        while len(self._buffer) < count:
+        while len(self._buffer) - self._start < count:
             self._fill()
-        data, self._buffer = self._buffer[:count], self._buffer[count:]
+        data = bytes(self._buffer[self._start : self._start + count])
+        self._start += count
+        self._compact()
         return data
 
     def close(self):
@@ -160,6 +206,10 @@ class TcpTransport(Transport):
             sock = socket.create_connection((host, port), timeout=30)
         except OSError as exc:
             raise CommunicationError(f"cannot connect {host}:{port}: {exc}") from exc
+        # The 30s budget only covers connection establishment; a pooled
+        # connection must block indefinitely on its next recv, not time
+        # out (and kill the channel) after sitting idle in the cache.
+        sock.settimeout(None)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return Channel(sock, peer=f"{host}:{port}")
 
@@ -210,7 +260,7 @@ class InProcListener(Listener):
         self._host = host
         self._port = port
         self._registry = registry
-        self._pending = []
+        self._pending = collections.deque()
         self._cond = threading.Condition()
         self.closed = False
 
@@ -225,7 +275,7 @@ class InProcListener(Listener):
                 self._cond.wait(timeout=0.5)
             if self.closed:
                 raise CommunicationError("listener closed")
-            return self._pending.pop(0)
+            return self._pending.popleft()
 
     def close(self):
         self._registry.unregister(self._host, self._port)

@@ -42,8 +42,11 @@ def simple_type(draw):
 
 
 @st.composite
-def operation(draw, index):
-    name = f"op{index}_{draw(IDENT)}"
+def operation(draw, tag):
+    # The tag includes the owning interface's index: redeclaring an
+    # inherited operation's name is illegal IDL, so names must be
+    # unique across an inheritance chain, not just within one body.
+    name = f"op{tag}_{draw(IDENT)}"
     params = []
     for p_index in range(draw(st.integers(0, 3))):
         direction = draw(st.sampled_from(["in", "out", "inout", "incopy"]))
@@ -64,7 +67,7 @@ def interface(draw, index, known):
         bases = " : " + draw(st.sampled_from(known))
     body = []
     for op_index in range(draw(st.integers(0, 4))):
-        body.append("  " + draw(operation(op_index)))
+        body.append("  " + draw(operation(f"{index}x{op_index}")))
     if draw(st.booleans()):
         qualifier = "readonly " if draw(st.booleans()) else ""
         body.append(f"  {qualifier}attribute long attr{index};")

@@ -1,0 +1,50 @@
+"""Smoke test for the benchmark harness.
+
+Runs ``benchmarks/run_bench.py`` with tiny parameters so a broken
+harness fails the fast suite without paying for a real measurement.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+
+def test_run_bench_smoke(tmp_path):
+    out = tmp_path / "bench.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(REPO_ROOT, "benchmarks", "run_bench.py"),
+            "--clients", "1", "2",
+            "--calls", "5",
+            "--trials", "1",
+            "--window", "4",
+            "--out", str(out),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+    document = json.loads(out.read_text())
+    assert document["benchmark"] == "rpc_throughput"
+    # 5 configurations x 2 client counts.
+    assert len(document["results"]) == 10
+    for result in document["results"]:
+        assert result["calls_per_sec"] > 0
+        assert result["mode"] in ("exclusive", "multiplexed")
+        assert result["call_style"] in ("blocking", "pipelined")
+    claim = document["claim"]
+    assert claim["clients"] == 2
+    assert claim["multiplexed_text2_calls_per_sec"] is not None
+    assert claim["exclusive_text_calls_per_sec"] is not None
