@@ -74,7 +74,8 @@ class ObjectCommunicator:
 
     def __init__(self, channel, protocol, multiplexed=False,
                  batch_oneways=False, batch_max_bytes=8192,
-                 batch_max_calls=32):
+                 batch_max_calls=32, reply_max_bytes=65536,
+                 reply_max_calls=256):
         self.channel = channel
         self.protocol = protocol
         if multiplexed and not getattr(protocol, "supports_multiplexing", False):
@@ -105,7 +106,14 @@ class ObjectCommunicator:
         # Server-side reply coalescing sink; only the serial request
         # loop touches it, so it needs no lock.  Persistent so each
         # buffered reply encodes straight into it with no fresh buffer.
+        # Bounded by the reply caps above: coalescing must never
+        # withhold replies without limit, but the bound is looser than
+        # the oneway batch so a whole pipelined window still goes out
+        # in one send.
+        self._reply_max_bytes = reply_max_bytes
+        self._reply_max_calls = reply_max_calls
         self._reply_sink = _SendBuffer()
+        self._sink_replies = 0
 
     # -- client side -------------------------------------------------------
 
@@ -317,6 +325,12 @@ class ObjectCommunicator:
                     batch.append(recv_reply(channel))
             except CommunicationError as exc:
                 self._resolve(batch)
+                # Mark the channel dead before failing waiters: the
+                # multiplexed ConnectionCache only replaces a shared
+                # communicator once it reads as closed, and this reader
+                # thread is never restarted — leaving the channel "open"
+                # would hang every later invoke on it.
+                self.channel.close()
                 self._fail_pending(exc)
                 return
             except Exception as exc:
@@ -339,6 +353,21 @@ class ObjectCommunicator:
                        for reply in replies]
         for waiter, reply in matched:
             if waiter is None:
+                if reply.status == STATUS_ERROR and reply.request_id == 0:
+                    # Id 0 is reserved: the server failed on a request it
+                    # could not even parse, so it cannot name the call it
+                    # is rejecting.  One of our waiters would otherwise
+                    # never complete — fail them all with the server's
+                    # diagnosis rather than hang the unlucky one.
+                    try:
+                        detail = reply.get_string()
+                    except Exception:
+                        detail = ""
+                    self._fail_pending(CommunicationError(
+                        "peer reported an uncorrelatable protocol error "
+                        f"[{reply.repo_id}] {detail}".rstrip()
+                    ))
+                    continue
                 self.orphaned_replies += 1
             elif type(waiter) is _BulkCollector:
                 waiter.add(reply.request_id, reply)
@@ -368,6 +397,7 @@ class ObjectCommunicator:
             self.protocol.send_reply(sink, reply)
             data = bytes(sink.data)
             sink.data.clear()
+            self._sink_replies = 0
             self.channel.send(data)
             return
         self.protocol.send_reply(self.channel, reply)
@@ -378,9 +408,31 @@ class ObjectCommunicator:
         Servers call this instead of :meth:`reply` while further
         requests are already buffered on the channel — correlation ids
         let the client sort the grouped replies out, and one send for a
-        backlog of replies beats one syscall each.
+        backlog of replies beats one syscall each.  Coalescing is capped
+        by ``reply_max_bytes``/``reply_max_calls`` so a saturated
+        pipeline cannot have its replies withheld without bound.
         """
-        self.protocol.send_reply(self._reply_sink, reply)
+        sink = self._reply_sink
+        self.protocol.send_reply(sink, reply)
+        self._sink_replies += 1
+        if (len(sink.data) >= self._reply_max_bytes
+                or self._sink_replies >= self._reply_max_calls):
+            self.flush_replies()
+
+    def flush_replies(self):
+        """Send any coalesced replies held in the sink.
+
+        The server loop calls this before blocking for the next request:
+        a trailing oneway (or a client that simply stops sending) would
+        otherwise leave buffered replies stranded forever.
+        """
+        sink = self._reply_sink
+        if not sink.data:
+            return
+        data = bytes(sink.data)
+        sink.data.clear()
+        self._sink_replies = 0
+        self.channel.send(data)
 
     def reply_error(self, category, message, request_id=None):
         """Convenience for protocol-level failures (bad request line...)."""

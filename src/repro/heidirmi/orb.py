@@ -478,6 +478,16 @@ class Orb:
         object_key_exists = self._object_key_exists
         count = self._count
         while self._running and not communicator.closed:
+            if not communicator.channel.has_buffered:
+                # The read-ahead backlog drained: nothing further can
+                # coalesce with any withheld replies (the next request
+                # may be a oneway, or never come at all), so push them
+                # out before blocking — otherwise a burst ending in a
+                # oneway would strand its replies in the sink forever.
+                try:
+                    communicator.flush_replies()
+                except CommunicationError:
+                    return
             try:
                 call = next_request(object_exists=object_key_exists)
             except CommunicationError:

@@ -172,10 +172,13 @@ class Text2Protocol(TextProtocol):
         RET2 <id> EXC <repo-id> <token>...
         RET2 <id> ERR <category> <message-token>
 
-    Oneways carry no id — nothing ever correlates back to them.  The
-    wire stays one printable-ASCII line per message, so the telnet
-    debugging story survives: a human types ``CALL2 7 ...`` and greps
-    for ``RET2 7``.
+    Oneways carry no id — nothing ever correlates back to them.
+    Request ids start at 1; **id 0 is reserved** for ``RET2 0 ERR``
+    replies to requests the server could not parse (there is no id to
+    echo), which a multiplexed client treats as a channel-level failure
+    rather than an orphaned reply.  The wire stays one printable-ASCII
+    line per message, so the telnet debugging story survives: a human
+    types ``CALL2 7 ...`` and greps for ``RET2 7``.
     """
 
     name = "text2"
@@ -264,6 +267,9 @@ class Text2Protocol(TextProtocol):
     # -- replies ----------------------------------------------------------------
 
     def send_reply(self, channel, reply):
+        # Id 0 is the reserved "no correlation" id: only error replies
+        # to unparseable requests carry it (real ids start at 1), and
+        # the client side treats an ERR so tagged as channel-level.
         request_id = reply.request_id if reply.request_id is not None else 0
         pieces = ["RET2", str(request_id), reply.status]
         if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):

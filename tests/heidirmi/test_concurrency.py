@@ -8,10 +8,15 @@ must survive both.
 
 import threading
 import time
+from concurrent.futures import Future
 
 import pytest
 
 from repro.heidirmi import HdSkel, HdStub, Orb
+from repro.heidirmi.call import Reply, STATUS_OK
+from repro.heidirmi.communicator import ObjectCommunicator
+from repro.heidirmi.errors import CommunicationError
+from repro.heidirmi.protocol import get_protocol
 from repro.heidirmi.serialize import TypeRegistry
 
 TYPE_ID = "IDL:Stress/Worker:1.0"
@@ -204,6 +209,132 @@ def test_exclusive_clients_open_per_concurrent_caller():
     finally:
         client.stop()
         server.stop()
+
+
+def test_bulk_ending_in_oneway_flushes_coalesced_reply():
+    """A reply coalesced behind a trailing oneway must still go out.
+
+    On a serial server the two-way's reply is withheld while the oneway
+    sits in the receive buffer, but the oneway itself produces no
+    reply() send — the sink must be flushed before the server blocks
+    for the next request, or the client waits forever.
+    """
+    server, client, stub, _ = run_pair("inproc", "text2", True)
+    try:
+        ref = stub._hd_ref
+        two_way = client.create_call(ref, "mark")
+        two_way.put_string("head")
+        two_way.put_long(0)
+        oneway = client.create_call(ref, "log", oneway=True)
+        oneway.put_string("tail")
+        done = []
+
+        def body():
+            done.append(client.invoke_bulk(ref, [two_way, oneway]))
+
+        worker = threading.Thread(target=body, daemon=True)
+        worker.start()
+        worker.join(timeout=15)
+        assert not worker.is_alive(), (
+            "invoke_bulk hung: reply coalesced behind a trailing "
+            "oneway was never flushed"
+        )
+        replies = done[0]
+        assert replies[0].get_string() == "ack:head"
+        assert replies[1] is None
+    finally:
+        client.stop()
+        server.stop()
+
+
+def test_demux_death_closes_channel_and_cache_reopens():
+    """A dead reader must mark the communicator closed, not strand it.
+
+    The multiplexed cache only replaces the shared communicator once it
+    reads as closed; if the demux loop exits without closing the
+    channel, every later call registers a future no thread completes.
+    """
+    server, client, stub, _ = run_pair("inproc", "text2", True)
+    try:
+        assert stub.mark("warm") == "ack:warm"
+        shared = next(iter(client.connections._shared.values()))
+        with server._lock:
+            active = list(server._active)
+        for communicator in active:
+            communicator.close()
+        deadline = time.time() + 10
+        while not shared.closed and time.time() < deadline:
+            time.sleep(0.01)
+        assert shared.closed, (
+            "demux reader exited without closing the channel; the cache "
+            "would keep handing out a communicator nobody reads for"
+        )
+        assert stub.mark("again") == "ack:again"
+        assert client.connections.stats["opened"] == 2
+    finally:
+        client.stop()
+        server.stop()
+
+
+def test_uncorrelatable_error_reply_fails_pending():
+    """RET2 0 ERR (a request the server could not parse) must surface.
+
+    The reserved id 0 matches no waiter by construction; if the demux
+    merely counted it as orphaned, the future for the request the
+    server choked on would hang forever.
+    """
+    server, client, stub, _ = run_pair("inproc", "text2", True)
+    try:
+        shared = client.connections.acquire(stub._hd_ref.bootstrap)
+        future = Future()
+        with shared._pending_lock:
+            shared._pending[999] = future
+        shared._ensure_reader()
+        # Simulate a buggy peer layer: an id the server cannot parse
+        # back out, so its error reply cannot name the request.
+        shared.channel.send(b"CALL2 notanumber target op\n")
+        with pytest.raises(CommunicationError, match="uncorrelatable"):
+            future.result(timeout=15)
+    finally:
+        client.stop()
+        server.stop()
+
+
+class _RecordingChannel:
+    closed = False
+    peer = "fake"
+
+    def __init__(self):
+        self.sends = []
+
+    def send(self, data):
+        self.sends.append(bytes(data))
+
+
+def _ok_reply(protocol, request_id):
+    return Reply(status=STATUS_OK, marshaller=protocol.new_marshaller(),
+                 request_id=request_id)
+
+
+def test_reply_coalescing_is_bounded_by_call_count():
+    protocol = get_protocol("text2")
+    channel = _RecordingChannel()
+    communicator = ObjectCommunicator(channel, protocol)
+    for index in range(communicator._reply_max_calls):
+        communicator.buffer_reply(_ok_reply(protocol, index + 1))
+    assert channel.sends, "reply sink hit the call cap without flushing"
+    assert not communicator._reply_sink.data
+
+
+def test_reply_coalescing_is_bounded_by_bytes():
+    protocol = get_protocol("text2")
+    channel = _RecordingChannel()
+    communicator = ObjectCommunicator(channel, protocol)
+    reply = _ok_reply(protocol, 1)
+    reply.put_string("x" * (communicator._reply_max_bytes + 1))
+    communicator.buffer_reply(reply)
+    assert len(channel.sends) == 1
+    assert not communicator._reply_sink.data
 
 
 def test_stats_counters_survive_concurrency():
