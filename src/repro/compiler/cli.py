@@ -65,6 +65,16 @@ def build_arg_parser():
         help="list the entries and interfaces of the interface "
         "repository at DIR and exit",
     )
+    parser.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the lint passes that normally run before generation",
+    )
+    parser.add_argument(
+        "--strict-templates", action="store_true",
+        help="force strict template resolution (undefined ${var} is an "
+        "error); by default strict turns on automatically when lint is "
+        "clean and the mapping's template is strict-safe",
+    )
     return parser
 
 
@@ -104,7 +114,32 @@ def main(argv=None):
         print(f"error: cannot read {args.idl}: {exc}", file=sys.stderr)
         return 1
 
-    pipeline = Pipeline(args.mapping)
+    pipeline = Pipeline(
+        args.mapping,
+        lint=not args.no_lint,
+        strict_templates=True if args.strict_templates else None,
+    )
+    strict = args.strict_templates
+    if not args.no_lint:
+        from repro.lint.diagnostics import Severity
+
+        diagnostics = pipeline.lint_source(
+            source, filename=args.idl, include_paths=args.include
+        )
+        reportable = [
+            d for d in diagnostics
+            if Severity.at_least(d.severity, Severity.WARNING)
+        ]
+        for diagnostic in sorted(reportable, key=lambda d: d.sort_key):
+            print(diagnostic, file=sys.stderr)
+        errors = [d for d in diagnostics if d.severity == Severity.ERROR]
+        if errors:
+            print(f"error: lint found {len(errors)} error(s); "
+                  "not generating (use --no-lint to override)",
+                  file=sys.stderr)
+            return 1
+        strict = pipeline.resolve_strict(diagnostics)
+
     try:
         if args.dump_generator:
             print(pipeline.compile_template().source)
@@ -132,7 +167,7 @@ def main(argv=None):
             repository.save(args.ir)
             print(f"recorded {_os.path.basename(args.idl)} in repository "
                   f"{args.ir}", file=sys.stderr)
-        files = pipeline.generate(spec, est=est)
+        files = pipeline.generate(spec, est=est, strict=strict)
     except (IdlError, TemplateError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -9,6 +9,15 @@ The paper's architecture (Fig. 6)::
 Each arrow is a method here, so the Fig. 6 bench can show the artifact
 produced at every stage, and the EST-program hand-off can be measured
 against re-parsing (the paper's efficiency argument in Section 4.1).
+
+Compilation is lint-first: before any code is generated, the
+:mod:`repro.lint` passes check the IDL source and the mapping pack's
+templates, and error-severity findings abort with
+:class:`repro.lint.diagnostics.LintError` listing *every* problem (no
+fail-fast).  When the lint run is clean and the pack's main template is
+strict-safe, generation runs with ``Runtime(strict=True)`` so a
+regression to an undefined ``${var}`` fails loudly instead of
+substituting "".
 """
 
 import time
@@ -16,8 +25,8 @@ from dataclasses import dataclass, field
 
 from repro.est import build_est, emit_program, load_program
 from repro.idl import parse as parse_idl
+from repro.lint.diagnostics import LintError, Severity
 from repro.mappings.registry import get_pack
-from repro.templates.runtime import Runtime
 
 
 @dataclass
@@ -30,18 +39,30 @@ class CompileResult:
     files: dict
     #: Seconds spent in each stage, keyed by stage name.
     timings: dict = field(default_factory=dict)
+    #: Lint findings (empty when linting was disabled).
+    lint_diagnostics: list = field(default_factory=list)
+    #: Whether generation ran with strict template resolution.
+    strict: bool = False
 
 
 class Pipeline:
     """A configured compiler: one mapping pack, reusable across files."""
 
-    def __init__(self, pack="heidi_cpp", use_est_program=False):
+    def __init__(self, pack="heidi_cpp", use_est_program=False, lint=True,
+                 strict_templates=None):
         self.pack = get_pack(pack) if isinstance(pack, str) else pack
         #: When true, the EST crosses stages as an executable program
         #: (exactly the paper's two-stage hand-off); when false it is
         #: passed as the in-process object (the merged design the paper
         #: plans as future work).
         self.use_est_program = use_est_program
+        #: Run the lint passes before generating (the default).
+        self.lint = lint
+        #: Tri-state: True/False force strict template resolution on or
+        #: off; None (auto) enables it when lint came back clean AND the
+        #: pack's main template is strict-safe.
+        self.strict_templates = strict_templates
+        self._pack_lint = None  # cached (diagnostics, strict_safe)
 
     # -- individual stages -------------------------------------------------
 
@@ -61,16 +82,56 @@ class Pipeline:
         """Step 1 of code generation; cached inside the pack."""
         return self.pack.compiled(template_name)
 
-    def generate(self, spec, est=None, variables=None):
+    def lint_source(self, source, filename="<string>", include_paths=()):
+        """Run the IDL lint pass plus the (cached) pack self-lint."""
+        from repro.lint.idl_rules import lint_idl_source
+
+        _, diagnostics = lint_idl_source(
+            source, filename=filename, include_paths=tuple(include_paths)
+        )
+        return list(diagnostics) + list(self._pack_lint_results()[0])
+
+    def _pack_lint_results(self):
+        if self._pack_lint is None:
+            from repro.lint.mapping_rules import lint_pack, pack_strict_safe
+
+            self._pack_lint = (lint_pack(self.pack),
+                               pack_strict_safe(self.pack))
+        return self._pack_lint
+
+    def resolve_strict(self, diagnostics):
+        """The effective strict-templates setting for one compile."""
+        if self.strict_templates is not None:
+            return bool(self.strict_templates)
+        clean = not any(
+            Severity.at_least(d.severity, Severity.WARNING)
+            for d in diagnostics
+        )
+        return clean and self._pack_lint_results()[1]
+
+    def generate(self, spec, est=None, variables=None, strict=False):
         """Step 2: run the compiled template against the EST."""
-        sink = self.pack.generate(spec, est=est, variables=variables)
+        sink = self.pack.generate(spec, est=est, variables=variables,
+                                  strict=strict)
         return sink.files()
 
     # -- end to end -----------------------------------------------------------
 
     def run(self, source, filename="<string>", include_paths=()):
-        """Full pipeline with per-stage timings."""
+        """Full pipeline with per-stage timings; lint-first by default."""
         timings = {}
+
+        diagnostics = []
+        strict = bool(self.strict_templates)
+        if self.lint:
+            start = time.perf_counter()
+            diagnostics = self.lint_source(
+                source, filename=filename, include_paths=include_paths
+            )
+            if any(d.severity == Severity.ERROR for d in diagnostics):
+                raise LintError(diagnostics)
+            strict = self.resolve_strict(diagnostics)
+            timings["lint"] = time.perf_counter() - start
 
         start = time.perf_counter()
         spec = self.parse(source, filename=filename, include_paths=include_paths)
@@ -94,17 +155,18 @@ class Pipeline:
         timings["compile_template"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        files = self.generate(spec, est=est)
+        files = self.generate(spec, est=est, strict=strict)
         timings["generate"] = time.perf_counter() - start
 
         return CompileResult(
             spec=spec, est=est, est_program=est_program, files=files,
-            timings=timings,
+            timings=timings, lint_diagnostics=diagnostics, strict=strict,
         )
 
 
-def compile_idl(source, pack="heidi_cpp", filename="<string>", include_paths=()):
+def compile_idl(source, pack="heidi_cpp", filename="<string>", include_paths=(),
+                lint=True, strict_templates=None):
     """One-call convenience: IDL text → {path: generated text}."""
-    return Pipeline(pack).run(
+    return Pipeline(pack, lint=lint, strict_templates=strict_templates).run(
         source, filename=filename, include_paths=include_paths
     ).files

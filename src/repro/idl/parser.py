@@ -503,7 +503,8 @@ class Parser:
         if token.kind is TokenKind.KEYWORD:
             return self._parse_keyword_type()
         if token.kind in (TokenKind.IDENTIFIER, TokenKind.SCOPE):
-            return NamedType(scoped_name=self._parse_scoped_name())
+            return NamedType(scoped_name=self._parse_scoped_name(),
+                             location=token.location)
         self._error(f"expected a type, found {token.text!r}")
 
     def _parse_keyword_type(self):

@@ -6,6 +6,13 @@ inheritance, evaluates constant expressions (including default parameter
 values), and assigns CORBA repository IDs of the familiar
 ``IDL:Heidi/A:1.0`` form, honouring ``#pragma prefix``, ``#pragma
 version`` and ``#pragma ID``.
+
+Every check reports through a *reporter* with the minimal protocol
+``error(code, message, location)``.  The default reporter raises
+:class:`~repro.idl.errors.IdlSemanticError` on the first problem — the
+historical fail-fast behaviour of :func:`analyze` — while
+:class:`repro.lint.diagnostics.DiagnosticReporter` collects every
+problem in one run for ``python -m repro.lint``.
 """
 
 from repro.idl import ast
@@ -20,13 +27,21 @@ from repro.idl.types import (
 )
 
 
+class _RaisingReporter:
+    """The fail-fast default: the first error aborts analysis."""
+
+    def error(self, code, message, location=None):
+        raise IdlSemanticError(message, location)
+
+
 class Scope:
     """A lexical scope mapping simple names to declarations."""
 
-    def __init__(self, declaration, parent=None):
+    def __init__(self, declaration, parent=None, reporter=None):
         self.declaration = declaration
         self.parent = parent
         self.names = {}
+        self.reporter = reporter if reporter is not None else _RaisingReporter()
         #: Scopes of inherited interfaces (searched after local names).
         self.inherited = []
 
@@ -40,11 +55,13 @@ class Scope:
                 return
             if isinstance(declaration, ast.Forward):
                 return
-            raise IdlSemanticError(
+            self.reporter.error(
+                "IDL001",
                 f"redefinition of {name!r} in scope "
                 f"{self.declaration.scoped_name() or '<file>'}",
                 location or declaration.location,
             )
+            return
         self.names[name] = declaration
 
     def lookup_local(self, name):
@@ -70,9 +87,10 @@ class Scope:
 class SemanticAnalyzer:
     """Runs all semantic passes over a Specification in place."""
 
-    def __init__(self, spec):
+    def __init__(self, spec, reporter=None):
         self._spec = spec
-        self._root_scope = Scope(spec)
+        self._reporter = reporter if reporter is not None else _RaisingReporter()
+        self._root_scope = Scope(spec, reporter=self._reporter)
         self._scopes = {id(spec): self._root_scope}
         self._pragma_versions = getattr(spec, "pragma_versions", {})
         self._pragma_ids = getattr(spec, "pragma_ids", {})
@@ -84,6 +102,20 @@ class SemanticAnalyzer:
         self._assign_repository_ids(self._spec, prefix=self._spec.prefix, path=())
         self._check_operations()
         return self._spec
+
+    def _error(self, code, message, location=None):
+        self._reporter.error(code, message, location)
+
+    def _try_evaluate(self, expr, location=None):
+        """Evaluate a constant expression, reporting failures.
+
+        Returns ``(ok, value)``; in fail-fast mode a failure raises.
+        """
+        try:
+            return True, evaluate_const(expr)
+        except IdlSemanticError as exc:
+            self._error("IDL006", exc.message, exc.location or location)
+            return False, None
 
     # -- pass 1: build scopes -------------------------------------------------
 
@@ -104,7 +136,7 @@ class SemanticAnalyzer:
                 for enumerator in child.enumerators:
                     scope.define(enumerator, child, child.location)
             if isinstance(child, (ast.Module, ast.InterfaceDecl)):
-                child_scope = Scope(child, parent=scope)
+                child_scope = Scope(child, parent=scope, reporter=self._reporter)
                 self._scopes[id(child)] = child_scope
                 self._collect(child, child_scope)
 
@@ -126,19 +158,26 @@ class SemanticAnalyzer:
             node.resolved_bases = []
             for base_name in node.bases:
                 base = self._lookup_scoped(base_name, scope.parent, node.location)
+                if base is None:
+                    continue
                 if isinstance(base, ast.Forward):
                     if base.definition is None:
                         base.definition = self._find_definition(base)
                     base = base.definition or base
                 if not isinstance(base, ast.InterfaceDecl):
-                    raise IdlSemanticError(
+                    self._error(
+                        "IDL003",
                         f"{base_name!r} is not an interface and cannot be inherited",
                         node.location,
                     )
+                    continue
                 if base is node or node in base.all_bases():
-                    raise IdlSemanticError(
-                        f"inheritance cycle through {node.scoped_name()!r}", node.location
+                    self._error(
+                        "IDL003",
+                        f"inheritance cycle through {node.scoped_name()!r}",
+                        node.location,
                     )
+                    continue
                 node.resolved_bases.append(base)
                 base_scope = self._scopes.get(id(base))
                 if base_scope is not None:
@@ -158,7 +197,8 @@ class SemanticAnalyzer:
             owner = member.parent
             previous = seen.get(member.name)
             if previous is not None and previous is not owner:
-                raise IdlSemanticError(
+                self._error(
+                    "IDL003",
                     f"interface {interface.scoped_name()!r} inherits member "
                     f"{member.name!r} from both {previous.scoped_name()!r} and "
                     f"{owner.scoped_name()!r}",
@@ -197,8 +237,11 @@ class SemanticAnalyzer:
                 self._bind_type(child.idl_type, scope, child.location)
                 self._bind_expr(child.value, scope,
                                 after=getattr(child, "_decl_order", None))
-                child.evaluated = evaluate_const(child.value)
-                self._check_const_range(child)
+                ok, child.evaluated = self._try_evaluate(
+                    child.value, child.location
+                )
+                if ok:
+                    self._check_const_range(child)
 
     def _resolve_operation(self, op, scope):
         self._bind_type(op.return_type, scope, op.location)
@@ -209,16 +252,24 @@ class SemanticAnalyzer:
         op.resolved_raises = []
         for raised in op.raises:
             decl = self._lookup_scoped(raised, scope, op.location)
+            if decl is None:
+                continue
             if not isinstance(decl, ast.ExceptionDecl):
-                raise IdlSemanticError(
+                self._error(
+                    "IDL004",
                     f"raises clause names {raised!r}, which is not an exception",
                     op.location,
                 )
+                continue
             op.resolved_raises.append(decl)
 
     def _bind_type(self, idl_type, scope, location):
         if isinstance(idl_type, NamedType):
-            decl = self._lookup_scoped(idl_type.scoped_name, scope, location)
+            # A NamedType carries its own source location; the enclosing
+            # declaration's location is only the fallback, so diagnostics
+            # anchor to the exact type reference.
+            where = getattr(idl_type, "location", None) or location
+            decl = self._lookup_scoped(idl_type.scoped_name, scope, where)
             if isinstance(decl, ast.Forward) and decl.definition is None:
                 decl.definition = self._find_definition(decl)
             idl_type.declaration = decl
@@ -236,12 +287,16 @@ class SemanticAnalyzer:
         if expr is None:
             return
         self._bind_expr(expr, scope)
-        value = evaluate_const(expr)
+        ok, value = self._try_evaluate(expr, location)
+        if not ok:
+            return
         if not isinstance(value, int) or isinstance(value, bool) or value < 0:
-            raise IdlSemanticError(
+            self._error(
+                "IDL006",
                 f"bound must be a non-negative integer constant, got {value!r}",
                 location,
             )
+            return
         object.__setattr__(idl_type, "bound", value)
 
     def _bind_expr(self, expr, scope, after=None):
@@ -250,7 +305,8 @@ class SemanticAnalyzer:
             if (after is not None
                     and isinstance(expr.declaration, ast.ConstDecl)
                     and getattr(expr.declaration, "_decl_order", 0) >= after):
-                raise IdlSemanticError(
+                self._error(
+                    "IDL006",
                     f"constant {expr.scoped_name!r} referenced before its "
                     "declaration",
                     expr.location,
@@ -266,11 +322,14 @@ class SemanticAnalyzer:
         if isinstance(idl_type, PrimitiveType) and idl_type.kind in INTEGER_RANGES:
             low, high = INTEGER_RANGES[idl_type.kind]
             if not isinstance(const.evaluated, int) or isinstance(const.evaluated, bool):
-                raise IdlSemanticError(
+                self._error(
+                    "IDL006",
                     f"constant {const.name!r} must be an integer", const.location
                 )
+                return
             if not low <= const.evaluated <= high:
-                raise IdlSemanticError(
+                self._error(
+                    "IDL006",
                     f"constant {const.name!r} value {const.evaluated} out of range "
                     f"for {idl_type.idl_name()}",
                     const.location,
@@ -279,6 +338,7 @@ class SemanticAnalyzer:
     # -- scoped-name lookup -------------------------------------------------------
 
     def _lookup_scoped(self, scoped_name, scope, location):
+        """Resolve a scoped name, or report IDL002 and return None."""
         parts = scoped_name.split("::")
         if parts and parts[0] == "":
             # Leading :: — absolute lookup from file scope.
@@ -288,7 +348,8 @@ class SemanticAnalyzer:
         if scope is not None:
             decl = scope.lookup(parts[0])
         if decl is None:
-            raise IdlSemanticError(f"undefined name {parts[0]!r}", location)
+            self._error("IDL002", f"undefined name {parts[0]!r}", location)
+            return None
         for part in parts[1:]:
             # Enum scoped like Heidi::Start resolves through the module; an
             # EnumDecl also answers for its enumerators.
@@ -296,16 +357,20 @@ class SemanticAnalyzer:
                 return decl
             inner_scope = self._scopes.get(id(decl))
             if inner_scope is None:
-                raise IdlSemanticError(
+                self._error(
+                    "IDL002",
                     f"{decl.name!r} does not name a scope (while resolving "
                     f"{scoped_name!r})",
                     location,
                 )
+                return None
             decl = inner_scope.lookup_local(part)
             if decl is None:
-                raise IdlSemanticError(
+                self._error(
+                    "IDL002",
                     f"{part!r} not found while resolving {scoped_name!r}", location
                 )
+                return None
         return decl
 
     # -- repository IDs --------------------------------------------------------------
@@ -359,32 +424,36 @@ class SemanticAnalyzer:
     def _check_operation(self, op):
         if op.is_oneway:
             if op.return_type.idl_name() != "void":
-                raise IdlSemanticError(
+                self._error(
+                    "IDL005",
                     f"oneway operation {op.name!r} must return void", op.location
                 )
             for param in op.parameters:
                 if param.direction not in ("in", "incopy"):
-                    raise IdlSemanticError(
+                    self._error(
+                        "IDL005",
                         f"oneway operation {op.name!r} may not have "
                         f"{param.direction!r} parameters",
-                        op.location,
+                        param.location or op.location,
                     )
         # Default parameters must be trailing, exactly as in C++.
         seen_default = False
         for param in op.parameters:
             if param.default is not None:
                 seen_default = True
-                value = evaluate_const(param.default)
-                param.default_evaluated = value
+                ok, value = self._try_evaluate(param.default, param.location)
+                param.default_evaluated = value if ok else None
             elif seen_default:
-                raise IdlSemanticError(
+                self._error(
+                    "IDL007",
                     f"parameter {param.name!r} of {op.name!r} follows a defaulted "
                     "parameter but has no default",
                     param.location,
                 )
         names = [p.name for p in op.parameters]
         if len(names) != len(set(names)):
-            raise IdlSemanticError(
+            self._error(
+                "IDL007",
                 f"duplicate parameter names in operation {op.name!r}", op.location
             )
 
@@ -458,6 +527,12 @@ _BINARY_OPS = {
 }
 
 
-def analyze(spec):
-    """Run semantic analysis over *spec* in place and return it."""
-    return SemanticAnalyzer(spec).run()
+def analyze(spec, reporter=None):
+    """Run semantic analysis over *spec* in place and return it.
+
+    Without a *reporter* the first problem raises
+    :class:`~repro.idl.errors.IdlSemanticError` (fail-fast); with one —
+    e.g. :class:`repro.lint.diagnostics.DiagnosticReporter` — every
+    problem is collected and analysis continues as far as it can.
+    """
+    return SemanticAnalyzer(spec, reporter=reporter).run()

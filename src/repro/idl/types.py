@@ -196,6 +196,9 @@ class NamedType(IdlType):
 
     scoped_name: str
     declaration: object = field(default=None, repr=False)
+    #: Where the reference appears, so diagnostics anchor to the exact
+    #: type spelling rather than the enclosing declaration.
+    location: object = field(default=None, repr=False)
 
     @property
     def is_variable(self):

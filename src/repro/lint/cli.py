@@ -1,0 +1,174 @@
+"""``python -m repro.lint`` — run the diagnostics engine from the shell.
+
+Targets may be ``.idl`` files (IDL lint pass), ``.tmpl`` files (bare
+template analysis against the engine built-ins), ``.py`` files
+(embedded IDL string literals are extracted and linted — the repo's
+examples carry their IDL inline), or directories (scanned recursively
+for all three).  ``--mapping`` lints a bundled pack by name; with no
+targets at all, every registered pack is linted.
+
+Exit status is 1 when any finding reaches ``--fail-on`` severity
+(default: error), 2 on usage errors.
+"""
+
+import argparse
+import ast as python_ast
+import os
+import sys
+
+from repro.lint.diagnostics import Severity, Span
+from repro.lint.formats import render_json, render_sarif, render_text
+from repro.lint.idl_rules import lint_idl_source
+from repro.lint.mapping_rules import lint_pack
+from repro.lint.template_rules import lint_template_source
+
+
+def build_arg_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Statically check IDL files, templates, and mapping packs.",
+    )
+    parser.add_argument(
+        "targets", nargs="*",
+        help=".idl/.tmpl/.py files or directories to lint",
+    )
+    parser.add_argument(
+        "--mapping", "-m", action="append", default=[], metavar="NAME",
+        help="lint a bundled mapping pack (repeatable)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on", choices=(Severity.ERROR, Severity.WARNING),
+        default=Severity.ERROR,
+        help="lowest severity that makes the exit status non-zero",
+    )
+    parser.add_argument(
+        "--include", "-I", action="append", default=[], metavar="DIR",
+        help="IDL include search path (repeatable)",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_arg_parser().parse_args(argv)
+    diagnostics = []
+
+    for name in args.mapping:
+        try:
+            diagnostics.extend(lint_pack(name))
+        except KeyError:
+            print(f"error: unknown mapping {name!r}", file=sys.stderr)
+            return 2
+
+    files = _expand_targets(args.targets)
+    if files is None:
+        return 2
+    for path in files:
+        diagnostics.extend(_lint_file(path, args.include))
+
+    if not args.targets and not args.mapping:
+        from repro.mappings.registry import all_packs
+
+        for pack in all_packs():
+            diagnostics.extend(lint_pack(pack))
+
+    renderer = {"text": render_text, "json": render_json,
+                "sarif": render_sarif}[args.format]
+    sys.stdout.write(renderer(diagnostics))
+    failing = [
+        d for d in diagnostics if Severity.at_least(d.severity, args.fail_on)
+    ]
+    return 1 if failing else 0
+
+
+def _expand_targets(targets):
+    files = []
+    for target in targets:
+        if os.path.isdir(target):
+            for root, _dirs, names in sorted(os.walk(target)):
+                for name in sorted(names):
+                    if name.endswith((".idl", ".tmpl", ".py")):
+                        files.append(os.path.join(root, name))
+        elif os.path.isfile(target):
+            files.append(target)
+        else:
+            print(f"error: no such file or directory: {target}",
+                  file=sys.stderr)
+            return None
+    return files
+
+
+def _lint_file(path, include_paths):
+    if path.endswith(".idl"):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        _, diagnostics = lint_idl_source(
+            source, filename=path, include_paths=tuple(include_paths)
+        )
+        return diagnostics
+    if path.endswith(".tmpl"):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        directory = os.path.dirname(path) or "."
+
+        def loader(name):
+            candidate = os.path.join(directory, name)
+            if not os.path.isfile(candidate):
+                raise KeyError(name)
+            with open(candidate, "r", encoding="utf-8") as handle:
+                return handle.read()
+
+        result = lint_template_source(source, name=path, loader=loader)
+        return result.diagnostics
+    if path.endswith(".py"):
+        return _lint_embedded_idl(path, include_paths)
+    return []
+
+
+def _lint_embedded_idl(path, include_paths):
+    """Lint IDL carried as string literals inside a Python file.
+
+    The examples embed their IDL as module-level strings; any string
+    constant that looks like IDL (declares a module/interface and uses
+    braces) is linted, with diagnostic lines re-anchored into the
+    Python file.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = python_ast.parse(source, filename=path)
+    except SyntaxError:
+        return []
+    diagnostics = []
+    for node in python_ast.walk(tree):
+        if not isinstance(node, python_ast.Constant):
+            continue
+        value = node.value
+        if not isinstance(value, str) or not _looks_like_idl(value):
+            continue
+        _, found = lint_idl_source(
+            value, filename=path, include_paths=tuple(include_paths)
+        )
+        # The literal's first line is node.lineno; IDL line N sits at
+        # Python line (lineno + N - 1).
+        offset = node.lineno - 1
+        for diagnostic in found:
+            span = diagnostic.span
+            if span.line:
+                diagnostic.span = Span(
+                    file=span.file, line=span.line + offset, column=span.column
+                )
+            diagnostics.append(diagnostic)
+    return diagnostics
+
+
+def _looks_like_idl(text):
+    stripped = text.strip()
+    if "{" not in stripped or ";" not in stripped:
+        return False
+    return any(
+        keyword in stripped for keyword in ("interface ", "module ")
+    )

@@ -1,0 +1,109 @@
+"""Diagnostic output renderers: text, JSON, and SARIF 2.1.0.
+
+SARIF (Static Analysis Results Interchange Format) is what CI services
+ingest for code-scanning annotations; the renderer emits one run with
+one rule per entry in :data:`repro.lint.diagnostics.CODES` and one
+result per diagnostic.
+"""
+
+import json
+
+from repro.lint.diagnostics import CODES, Severity
+
+TOOL_NAME = "repro.lint"
+TOOL_VERSION = "1.0.0"
+
+#: SARIF "level" values for our severities.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def render_text(diagnostics):
+    """One line per diagnostic (plus indented notes), sorted by span."""
+    lines = []
+    for diagnostic in sorted(diagnostics, key=lambda d: d.sort_key):
+        lines.append(str(diagnostic))
+        for note in diagnostic.notes:
+            lines.append(f"    {note}")
+    counts = {
+        severity: sum(1 for d in diagnostics if d.severity == severity)
+        for severity in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+    }
+    summary = ", ".join(
+        f"{count} {severity}(s)" for severity, count in counts.items() if count
+    )
+    lines.append(summary or "no findings")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(diagnostics):
+    payload = {
+        "tool": TOOL_NAME,
+        "version": TOOL_VERSION,
+        "diagnostics": [
+            d.as_dict() for d in sorted(diagnostics, key=lambda d: d.sort_key)
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def render_sarif(diagnostics):
+    """A SARIF 2.1.0 log with one run for the whole lint invocation."""
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": summary},
+            "helpUri": f"https://example.invalid/repro-lint/{code}",
+        }
+        for code, summary in sorted(CODES.items())
+    ]
+    results = []
+    for diagnostic in sorted(diagnostics, key=lambda d: d.sort_key):
+        result = {
+            "ruleId": diagnostic.code,
+            "level": _SARIF_LEVELS.get(diagnostic.severity, "none"),
+            "message": {"text": diagnostic.message},
+            "locations": [_sarif_location(diagnostic.span)],
+        }
+        if diagnostic.notes:
+            result["relatedLocations"] = [
+                dict(_sarif_location(note.span),
+                     message={"text": note.message})
+                for note in diagnostic.notes
+                if note.span is not None
+            ]
+        results.append(result)
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2) + "\n"
+
+
+def _sarif_location(span):
+    physical = {"artifactLocation": {"uri": span.file if span else "<unknown>"}}
+    if span is not None and span.line:
+        region = {"startLine": span.line}
+        if span.column:
+            region["startColumn"] = span.column
+        physical["region"] = region
+    return {"physicalLocation": physical}

@@ -1,0 +1,158 @@
+"""Cross-layer coverage checks for mapping packs.
+
+A mapping pack is "a template plus a table of map functions" — this
+pass verifies the two halves reference each other consistently:
+
+- **MAP001** the pack's entry templates must exist and parse;
+- every ``-map`` in a pack template must name a function the pack (or
+  the engine built-ins) registers — that is the template analyzer's
+  TPL003, run here with the pack's real registry;
+- **MAP002** every map function the pack registers should be referenced
+  by at least one of its templates (a registered-but-unreferenced map
+  is dead customization surface, usually a renamed hook);
+- **MAP003** the pack's primitive type table should cover the core IDL
+  primitives (the paper's Table 1 rows).
+
+Every ``.tmpl`` file is analyzed *standalone*, with ``@include``
+resolving to an empty fragment: the bundled packs include fragments
+only at top level (root context), so each fragment analyzes correctly
+under its own name — which keeps diagnostic file/line attribution
+exact, where inlining (what the parser does at generation time) would
+re-anchor a fragment's findings to the includer's line numbering.
+"""
+
+import os
+
+from repro.lint.diagnostics import DiagnosticReporter, Span
+from repro.lint.template_rules import lint_template_source
+
+#: The Table 1 rows every pack's type table is expected to cover.
+CORE_PRIMITIVES = (
+    "boolean", "char", "octet", "short", "unsigned short", "long",
+    "unsigned long", "float", "double", "string", "void",
+)
+
+
+def _resolve_pack(name_or_pack):
+    if isinstance(name_or_pack, str):
+        from repro.mappings.registry import get_pack
+
+        return get_pack(name_or_pack)
+    return name_or_pack
+
+
+def pack_globals(pack):
+    """The template globals a pack defines, split into scalars and lists."""
+    try:
+        variables = pack.variables(None, None)
+    except Exception:
+        variables = {"basename": "", "idlFile": "", "topoInterfaceList": []}
+    scalars, lists = set(), {}
+    for name, value in variables.items():
+        scalars.add(name)
+        if isinstance(value, (list, tuple)):
+            # Every bundled list global holds Interface nodes; anything
+            # exotic degrades to "could be any kind" (permissive).
+            if name.endswith("InterfaceList"):
+                lists[name] = ("Interface",)
+            else:
+                lists[name] = tuple(sorted(_known_kinds()))
+    return scalars, lists
+
+
+def _known_kinds():
+    from repro.lint import vartable
+
+    return vartable.known_kinds()
+
+
+def lint_pack(name_or_pack, reporter=None):
+    """Lint one mapping pack; returns the diagnostics list."""
+    pack = _resolve_pack(name_or_pack)
+    if reporter is None:
+        reporter = DiagnosticReporter(default_file=pack.name, source="mapping")
+
+    template_dir = pack.template_dir()
+    sources = {}
+    for entry in sorted(os.listdir(template_dir)):
+        if not entry.endswith(".tmpl"):
+            continue
+        try:
+            sources[entry] = pack.load_template_source(entry)
+        except (OSError, KeyError) as exc:
+            reporter.error(
+                "MAP001",
+                f"pack {pack.name!r}: template {entry!r} is unreadable: {exc}",
+                Span(file=os.path.join(template_dir, entry)),
+            )
+    if pack.main_template not in sources:
+        reporter.error(
+            "MAP001",
+            f"pack {pack.name!r}: entry template {pack.main_template!r} "
+            f"not found in {template_dir}",
+            Span(file=template_dir),
+        )
+
+    scalars, lists = pack_globals(pack)
+    used_maps = set()
+    for entry in sorted(sources):
+        result = lint_template_source(
+            sources[entry],
+            name=f"{pack.name}/{entry}",
+            loader=lambda name: "",
+            maps=pack.maps,
+            extra_globals=scalars,
+            extra_global_lists=lists,
+            reporter=reporter,
+        )
+        used_maps |= result.used_maps
+
+    _check_unreferenced_maps(pack, used_maps, reporter)
+    _check_type_table(pack, reporter)
+    return reporter.diagnostics
+
+
+def pack_strict_safe(pack, template_name=None):
+    """Whether a pack's entry template is strict-safe (see
+    :class:`repro.lint.template_rules.TemplateLintResult`)."""
+    pack = _resolve_pack(pack)
+    template_name = template_name or pack.main_template
+    try:
+        source = pack.load_template_source(template_name)
+    except (OSError, KeyError):
+        return False
+    scalars, lists = pack_globals(pack)
+    result = lint_template_source(
+        source,
+        name=f"{pack.name}/{template_name}",
+        loader=pack.load_template_source,
+        maps=pack.maps,
+        extra_globals=scalars,
+        extra_global_lists=lists,
+    )
+    return result.strict_safe and not result.diagnostics
+
+
+def _check_unreferenced_maps(pack, used_maps, reporter):
+    from repro.templates.maps import BUILTIN_MAPS
+
+    own = set(pack.maps.names()) - set(BUILTIN_MAPS.names())
+    for name in sorted(own - used_maps):
+        reporter.info(
+            "MAP002",
+            f"pack {pack.name!r} registers map function {name!r} but no "
+            "template references it",
+            Span(file=pack.name),
+        )
+
+
+def _check_type_table(pack, reporter):
+    table = pack.type_table or {}
+    missing = [p for p in CORE_PRIMITIVES if p not in table]
+    if missing:
+        reporter.info(
+            "MAP003",
+            f"pack {pack.name!r} type table misses core primitive(s): "
+            f"{', '.join(missing)}",
+            Span(file=pack.name),
+        )

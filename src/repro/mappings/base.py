@@ -119,18 +119,22 @@ class MappingPack:
 
     # -- generation ---------------------------------------------------------------
 
-    def generate(self, spec, template_name=None, variables=None, est=None):
+    def generate(self, spec, template_name=None, variables=None, est=None,
+                 strict=False):
         """Generate code for a parsed Specification (or prebuilt EST).
 
-        Returns the :class:`repro.templates.output.OutputSink`; use
-        ``sink.files()`` for the generated files or ``sink.write_to``.
+        *strict* is forwarded to the :class:`Runtime`: an undefined
+        ``${var}`` raises instead of substituting "".  Returns the
+        :class:`repro.templates.output.OutputSink`; use ``sink.files()``
+        for the generated files or ``sink.write_to``.
         """
         if est is None:
             est = spec if isinstance(spec, Ast) else build_est(spec)
         merged_vars = self.variables(spec, est)
         if variables:
             merged_vars.update(variables)
-        runtime = Runtime(est, maps=self.maps.child(), variables=merged_vars)
+        runtime = Runtime(est, maps=self.maps.child(), variables=merged_vars,
+                          strict=strict)
         compiled = self.compiled(template_name)
         compiled.run(runtime)
         sink = runtime.sink

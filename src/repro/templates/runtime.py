@@ -162,10 +162,11 @@ class Runtime:
             kind = list_name[3:-4]
             value = [n for n in self.est.walk() if n.kind == kind] if self.est else []
         if value is None:
-            if self.strict:
-                raise TemplateRuntimeError(
-                    f"@foreach {list_name}: no such list", line=line
-                )
+            # Not an error even under strict: a node legitimately has no
+            # group for a child kind with zero children (an operation
+            # without parameters has no paramList), and strict only
+            # governs undefined ${var}.  Statically-unknown list names
+            # are the lint engine's job (TPL002).
             return []
         if isinstance(value, (list, tuple)):
             return list(value)

@@ -1,0 +1,126 @@
+"""``python -m repro.lint`` end-to-end: formats, exit codes, acceptance."""
+
+import json
+import os
+
+import pytest
+
+from repro.lint.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def _fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def test_error_finding_exits_nonzero(capsys):
+    assert main([_fixture("IDL002.idl")]) == 1
+    out = capsys.readouterr().out
+    assert "IDL002" in out
+
+
+def test_info_finding_exits_zero_by_default(capsys):
+    assert main([_fixture("IDL013.idl")]) == 0
+    assert "IDL013" in capsys.readouterr().out
+
+
+def test_fail_on_warning_promotes_warnings(capsys):
+    assert main([_fixture("IDL011.idl")]) == 0
+    assert main(["--fail-on", "warning", _fixture("IDL011.idl")]) == 1
+
+
+def test_json_output_is_valid(capsys):
+    main(["--format", "json", _fixture("IDL016.idl")])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "repro.lint"
+    codes = {d["code"] for d in payload["diagnostics"]}
+    assert "IDL016" in codes
+
+
+def test_sarif_output_is_valid(capsys):
+    main(["--format", "sarif", _fixture("IDL010.idl")])
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.lint"
+    results = run["results"]
+    assert any(r["ruleId"] == "IDL010" for r in results)
+    warning = next(r for r in results if r["ruleId"] == "IDL010")
+    assert warning["level"] == "warning"
+    location = warning["locations"][0]["physicalLocation"]
+    assert location["region"]["startLine"] == 2
+    # The case-collision note travels as a relatedLocation.
+    assert warning["relatedLocations"]
+
+
+def test_unknown_mapping_is_usage_error(capsys):
+    assert main(["--mapping", "no_such_pack"]) == 2
+    assert "unknown mapping" in capsys.readouterr().err
+
+
+def test_missing_target_is_usage_error(capsys):
+    assert main(["definitely/not/a/file.idl"]) == 2
+
+
+def test_embedded_idl_in_python_is_reanchored(tmp_path, capsys):
+    script = tmp_path / "example.py"
+    script.write_text(
+        "#!/usr/bin/env python\n"
+        "# a comment line\n"
+        'IDL = """\n'
+        "interface A {\n"
+        "    NoSuchType f();\n"
+        "};\n"
+        '"""\n'
+    )
+    assert main([str(script)]) == 1
+    out = capsys.readouterr().out
+    # IDL line 3 sits at Python line 5 (literal opens on line 3).
+    assert "example.py:5:" in out
+    assert "IDL002" in out
+
+
+def test_bundled_mappings_and_examples_lint_clean(capsys):
+    """The repo's own inputs pass at the strictest gate."""
+    examples = os.path.join(REPO_ROOT, "examples")
+    code = main(["--fail-on", "warning", examples,
+                 "--mapping", "heidi_cpp", "--mapping", "corba_cpp",
+                 "--mapping", "java_rmi", "--mapping", "python_rmi",
+                 "--mapping", "tcl_orb"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+
+
+def test_acceptance_broken_corpus_one_run(capsys):
+    """ISSUE acceptance: one CLI run over a deliberately broken IDL +
+    template corpus reports >= 8 distinct codes, exits non-zero, and the
+    same corpus serializes to valid SARIF."""
+    targets = [
+        _fixture("IDL002.idl"), _fixture("IDL006.idl"),
+        _fixture("IDL010.idl"), _fixture("IDL011.idl"),
+        _fixture("IDL015.idl"), _fixture("IDL016.idl"),
+        _fixture("TPL001.tmpl"), _fixture("TPL002.tmpl"),
+        _fixture("TPL004.tmpl"), _fixture("TPL005.tmpl"),
+    ]
+    assert main(targets) == 1
+    out = capsys.readouterr().out
+    codes = {line.split("[")[1].split("]")[0]
+             for line in out.splitlines() if "[" in line and "]:" in line}
+    assert len(codes) >= 8, codes
+
+    assert main(["--format", "sarif"] + targets) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    rule_ids = {r["ruleId"] for r in sarif["runs"][0]["results"]}
+    assert len(rule_ids) >= 8
+
+
+def test_no_arguments_lints_every_pack(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    # Packs produce only info-severity findings (MAP002/MAP003 etc).
+    assert "error[" not in out
+    assert "warning[" not in out

@@ -1,0 +1,81 @@
+"""Golden tests: one minimal bad IDL input per diagnostic code."""
+
+import os
+
+import pytest
+
+from repro.idl.errors import IdlSemanticError
+from repro.lint.formats import render_text
+from repro.lint.idl_rules import lint_idl_source
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+IDL_FIXTURES = sorted(
+    name for name in os.listdir(FIXTURES) if name.endswith(".idl")
+)
+
+
+def _lint_fixture(name):
+    with open(os.path.join(FIXTURES, name), "r", encoding="utf-8") as handle:
+        source = handle.read()
+    # Lint under the basename so the goldens are path-independent.
+    return lint_idl_source(source, filename=name)
+
+
+@pytest.mark.parametrize("name", IDL_FIXTURES)
+def test_idl_fixture_matches_golden(name):
+    _, diagnostics = _lint_fixture(name)
+    with open(os.path.join(FIXTURES, name + ".expected"), "r",
+              encoding="utf-8") as handle:
+        expected = handle.read()
+    assert render_text(diagnostics) == expected
+
+
+@pytest.mark.parametrize("name", IDL_FIXTURES)
+def test_idl_fixture_triggers_its_own_code(name):
+    code = name.split(".")[0]
+    _, diagnostics = _lint_fixture(name)
+    assert code in {d.code for d in diagnostics}
+
+
+def test_collect_many_no_fail_fast():
+    """One run over compounded bad IDL reports every problem at once."""
+    source = """\
+    const short tooBig = 70000;
+    typedef sequence<long> NeverUsed;
+    interface Monitor { void f(); };
+    interface monitor { Missing g(); };
+    interface Ghost;
+    struct Loop { Loop next; };
+    interface Svc {
+        oneway long bad();
+        void dup(in long a, in long a);
+    };
+    """
+    _, diagnostics = lint_idl_source(source, filename="many.idl")
+    codes = {d.code for d in diagnostics}
+    assert {"IDL002", "IDL005", "IDL006", "IDL007", "IDL010", "IDL011",
+            "IDL016"} <= codes
+    # Findings carry real positions, not a shared fallback anchor.
+    lines = {d.span.line for d in diagnostics}
+    assert len(lines) > 3
+
+
+def test_default_parse_still_raises():
+    """Without a collecting reporter, semantic errors fail fast as before."""
+    from repro.idl import parse
+
+    with pytest.raises(IdlSemanticError):
+        parse("interface A { NoSuchType f(); };")
+
+
+def test_clean_idl_produces_no_findings():
+    source = """\
+    interface Account {
+        readonly attribute long balance;
+        void deposit(in long amount);
+    };
+    """
+    spec, diagnostics = lint_idl_source(source, filename="clean.idl")
+    assert spec is not None
+    assert diagnostics == []

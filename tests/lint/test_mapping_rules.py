@@ -1,0 +1,107 @@
+"""Pack self-lint: bundled packs are clean; MAP0xx rules fire on bad packs."""
+
+import pytest
+
+from repro.lint.diagnostics import Severity
+from repro.lint.mapping_rules import lint_pack, pack_strict_safe
+from repro.mappings.base import MappingPack
+from repro.mappings.registry import all_packs, get_pack
+
+
+@pytest.mark.parametrize("name", all_packs())
+def test_bundled_pack_lints_clean(name):
+    """No bundled mapping may carry warning- or error-severity findings."""
+    diagnostics = lint_pack(name)
+    noisy = [d for d in diagnostics
+             if Severity.at_least(d.severity, Severity.WARNING)]
+    assert noisy == [], "\n".join(str(d) for d in noisy)
+
+
+def test_corba_cpp_is_strict_safe():
+    assert pack_strict_safe(get_pack("corba_cpp"))
+
+
+def test_heidi_cpp_is_not_strict_safe():
+    """heidi_cpp renders the optional ${Parent}, so strict stays off."""
+    assert not pack_strict_safe(get_pack("heidi_cpp"))
+
+
+class _TmpPack(MappingPack):
+    """A pack whose templates live in a test-controlled directory."""
+
+    name = "tmp_pack"
+    language = "test"
+    main_template = "main.tmpl"
+    _dir = None
+
+    def template_dir(self):
+        return self._dir
+
+
+def _make_pack(tmp_path, templates, type_table=None, maps=None):
+    directory = tmp_path / "pack"
+    directory.mkdir()
+    for filename, text in templates.items():
+        (directory / filename).write_text(text)
+
+    class Pack(_TmpPack):
+        pass
+
+    Pack._dir = str(directory)
+    Pack.type_table = dict(type_table or {})
+    if maps:
+        def register_maps(self, registry):
+            for name, fn in maps.items():
+                registry.register(name, fn)
+
+        Pack.register_maps = register_maps
+    return Pack()
+
+
+FULL_TABLE = {
+    "boolean": "b", "char": "c", "octet": "o", "short": "s",
+    "unsigned short": "us", "long": "l", "unsigned long": "ul",
+    "float": "f", "double": "d", "string": "str", "void": "v",
+}
+
+
+def test_map001_missing_entry_template(tmp_path):
+    pack = _make_pack(tmp_path, {"other.tmpl": "text\n"},
+                      type_table=FULL_TABLE)
+    codes = {d.code for d in lint_pack(pack)}
+    assert "MAP001" in codes
+
+
+def test_map002_unreferenced_map_function(tmp_path):
+    pack = _make_pack(
+        tmp_path,
+        {"main.tmpl": "nothing mapped here\n"},
+        type_table=FULL_TABLE,
+        maps={"T::Orphan": lambda node, runtime: ""},
+    )
+    diagnostics = lint_pack(pack)
+    orphans = [d for d in diagnostics if d.code == "MAP002"]
+    assert len(orphans) == 1
+    assert "T::Orphan" in orphans[0].message
+
+
+def test_map003_incomplete_type_table(tmp_path):
+    pack = _make_pack(tmp_path, {"main.tmpl": "text\n"},
+                      type_table={"long": "int"})
+    gaps = [d for d in lint_pack(pack) if d.code == "MAP003"]
+    assert len(gaps) == 1
+    assert "double" in gaps[0].message
+
+
+def test_pack_template_errors_carry_exact_file(tmp_path):
+    """Findings point at the fragment file, not the includer."""
+    pack = _make_pack(
+        tmp_path,
+        {"main.tmpl": "@include frag.tmpl\n",
+         "frag.tmpl": "line one\n${bogusVar}\n"},
+        type_table=FULL_TABLE,
+    )
+    findings = [d for d in lint_pack(pack) if d.code == "TPL001"]
+    assert len(findings) == 1
+    assert findings[0].span.file.endswith("frag.tmpl")
+    assert findings[0].span.line == 2

@@ -1,0 +1,67 @@
+"""Lint-first compilation: the pipeline wiring and auto-strict logic."""
+
+import pytest
+
+from repro.compiler.pipeline import Pipeline, compile_idl
+from repro.lint.diagnostics import LintError
+
+CLEAN_IDL = """\
+interface Echo {
+    string say(in string text);
+};
+"""
+
+BROKEN_IDL = """\
+interface A { NoSuchType f(); };
+interface Ghost;
+const short big = 70000;
+"""
+
+
+def test_lint_error_aborts_before_generation():
+    with pytest.raises(LintError) as excinfo:
+        Pipeline("heidi_cpp").run(BROKEN_IDL, filename="broken.idl")
+    codes = {d.code for d in excinfo.value.diagnostics}
+    # Every problem is in the one exception — no fail-fast.
+    assert {"IDL002", "IDL006", "IDL011"} <= codes
+
+
+def test_no_lint_flag_restores_old_behavior():
+    from repro.idl.errors import IdlSemanticError
+
+    with pytest.raises(IdlSemanticError):
+        compile_idl(BROKEN_IDL, lint=False)
+
+
+def test_clean_compile_records_lint_and_timing():
+    result = Pipeline("heidi_cpp").run(CLEAN_IDL, filename="echo.idl")
+    assert "lint" in result.timings
+    assert result.files
+    assert not any(d.severity == "error" for d in result.lint_diagnostics)
+
+
+def test_auto_strict_engages_for_strict_safe_pack():
+    result = Pipeline("corba_cpp").run(CLEAN_IDL, filename="echo.idl")
+    assert result.strict is True
+    assert result.files
+
+
+def test_auto_strict_stays_off_for_unsafe_pack():
+    result = Pipeline("heidi_cpp").run(CLEAN_IDL, filename="echo.idl")
+    assert result.strict is False
+
+
+def test_forced_strict_overrides_auto():
+    result = Pipeline("heidi_cpp", strict_templates=False).run(
+        CLEAN_IDL, filename="echo.idl")
+    assert result.strict is False
+    result = Pipeline("corba_cpp", strict_templates=True).run(
+        CLEAN_IDL, filename="echo.idl")
+    assert result.strict is True
+
+
+def test_lint_disabled_pipeline_still_compiles():
+    result = Pipeline("heidi_cpp", lint=False).run(CLEAN_IDL)
+    assert result.files
+    assert result.lint_diagnostics == []
+    assert "lint" not in result.timings
