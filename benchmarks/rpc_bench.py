@@ -26,6 +26,8 @@ import time
 
 from repro.heidirmi import HdSkel, HdStub, Orb
 from repro.heidirmi.serialize import TypeRegistry
+from repro.observe import Observer
+from repro.observe.cli import percentile
 
 TYPE_ID = "IDL:Bench/Echo:1.0"
 
@@ -219,7 +221,133 @@ def measure_claim(transport, clients, calls_per_client, window=64,
     }
 
 
+#: (protocol, mode) pairs for the traced suite: the classic blocking
+#: path, plus the two multiplexed protocols whose pipeline stages the
+#: spans are meant to attribute.
+TRACED_CONFIGURATIONS = (
+    ("text", "exclusive"),
+    ("text2", "multiplexed"),
+    ("giop", "multiplexed"),
+)
+
+
+def _wait_spans(observer, n, timeout=5.0):
+    """Server spans finish on server threads; poll briefly for export."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        spans = observer.exporter.snapshot()
+        if len(spans) >= n:
+            return spans
+        time.sleep(0.005)
+    return observer.exporter.snapshot()
+
+
+def _stage_quantiles(spans):
+    """p50/p99 of span durations and of each stage, in microseconds."""
+    durations = [span["duration_us"] for span in spans
+                 if span.get("duration_us") is not None]
+    stages = {}
+    for span in spans:
+        for name, micros in span.get("stages", ()):
+            stages.setdefault(name, []).append(micros)
+    return {
+        "count": len(durations),
+        "p50_us": round(percentile(durations, 0.50) or 0, 1),
+        "p99_us": round(percentile(durations, 0.99) or 0, 1),
+        "stages": {
+            name: {
+                "p50_us": round(percentile(values, 0.50) or 0, 1),
+                "p99_us": round(percentile(values, 0.99) or 0, 1),
+            }
+            for name, values in sorted(stages.items())
+        },
+    }
+
+
+def _run_traced_once(transport, protocol, mode, calls, pipeline_workers):
+    """One traced run; returns (client spans, server spans, elapsed s)."""
+    types = _registry()
+    client_observer, server_observer = Observer(), Observer()
+    server = Orb(transport=transport, protocol=protocol, types=types,
+                 pipeline_workers=pipeline_workers,
+                 observer=server_observer).start()
+    client = Orb(transport=transport, protocol=protocol, types=types,
+                 multiplex=(mode == "multiplexed"),
+                 observer=client_observer)
+    try:
+        stub = client.resolve(
+            server.register(EchoImpl(), type_id=TYPE_ID).stringify()
+        )
+        started = time.perf_counter()
+        for index in range(calls):
+            token = f"t{index}"
+            if stub.echo(token) != token:
+                raise RuntimeError("cross-wired reply in traced run")
+        elapsed = time.perf_counter() - started
+        client_spans = _wait_spans(client_observer, calls)
+        server_spans = _wait_spans(server_observer, calls)
+        return client_spans, server_spans, elapsed
+    finally:
+        client.stop()
+        server.stop()
+
+
+def run_traced(transport="inproc", calls=100, pipeline_workers=0):
+    """The traced suite: per-stage latency attribution under tracing.
+
+    Runs each configuration with observers on both ends, then reduces
+    the exported spans to p50/p99 per pipeline stage.  Returns the
+    ``BENCH_obs.json`` document plus every raw span (for spans.jsonl).
+    """
+    results = []
+    all_spans = []
+    for protocol, mode in TRACED_CONFIGURATIONS:
+        client_spans, server_spans, elapsed = _run_traced_once(
+            transport, protocol, mode, calls, pipeline_workers
+        )
+        all_spans.extend(client_spans)
+        all_spans.extend(server_spans)
+        linked = {span["parent_id"] for span in server_spans}
+        results.append({
+            "transport": transport,
+            "protocol": protocol,
+            "mode": mode,
+            "calls": calls,
+            "seconds": round(elapsed, 6),
+            "traced_calls_per_sec": round(calls / elapsed, 1),
+            "linked_spans": sum(
+                1 for span in client_spans if span["span_id"] in linked
+            ),
+            "client": _stage_quantiles(client_spans),
+            "server": _stage_quantiles(server_spans),
+        })
+    document = {
+        "benchmark": "rpc_traced_stages",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "params": {
+            "transport": transport,
+            "calls": calls,
+            "pipeline_workers": pipeline_workers,
+        },
+        "results": results,
+    }
+    return document, all_spans
+
+
+def write_spans(spans, path):
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span, sort_keys=True) + "\n")
+    return path
+
+
 def write_document(document, path):
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

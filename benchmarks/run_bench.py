@@ -7,6 +7,12 @@ default)::
     PYTHONPATH=src python benchmarks/run_bench.py
     PYTHONPATH=src python benchmarks/run_bench.py --clients 1 16 \
         --calls 200 --trials 3 --out BENCH_rpc.json
+
+With ``--trace`` it instead runs the traced suite — observers on both
+ends, per-stage p50/p99 attribution — writing ``BENCH_obs.json`` plus
+the raw spans to ``benchmarks/out/spans.jsonl``::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --trace --calls 100
 """
 
 import argparse
@@ -16,7 +22,12 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 sys.path.insert(0, os.path.dirname(__file__))
 
-from rpc_bench import run_matrix, write_document  # noqa: E402
+from rpc_bench import (  # noqa: E402
+    run_matrix,
+    run_traced,
+    write_document,
+    write_spans,
+)
 
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir)
@@ -37,11 +48,23 @@ def main(argv=None):
                         help="server pipeline workers (0 = serial loop)")
     parser.add_argument("--trials", type=int, default=3,
                         help="timed runs per configuration (best is kept)")
-    parser.add_argument("--out",
-                        default=os.path.join(REPO_ROOT, "BENCH_rpc.json"),
-                        help="output JSON path")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_rpc.json, "
+                             "or BENCH_obs.json with --trace)")
+    parser.add_argument("--trace", action="store_true",
+                        help="run the traced suite instead: per-stage "
+                             "p50/p99 to BENCH_obs.json + spans.jsonl")
+    parser.add_argument("--spans-out",
+                        default=os.path.join(REPO_ROOT, "benchmarks",
+                                             "out", "spans.jsonl"),
+                        help="span export path for --trace")
     args = parser.parse_args(argv)
 
+    if args.trace:
+        return _main_traced(args)
+
+    if args.out is None:
+        args.out = os.path.join(REPO_ROOT, "BENCH_rpc.json")
     document = run_matrix(
         transport=args.transport,
         client_counts=tuple(args.clients),
@@ -64,6 +87,32 @@ def main(argv=None):
         print(
             f"claim: multiplexed text2 vs exclusive text at "
             f"{claim['clients']} clients: {claim['speedup']}x"
+        )
+    return 0
+
+
+def _main_traced(args):
+    document, spans = run_traced(
+        transport=args.transport,
+        calls=args.calls,
+        pipeline_workers=args.workers,
+    )
+    out = args.out or os.path.join(REPO_ROOT, "BENCH_obs.json")
+    path = write_document(document, out)
+    spans_path = write_spans(spans, args.spans_out)
+    print(f"wrote {path}")
+    print(f"wrote {spans_path} ({len(spans)} spans)")
+    for result in document["results"]:
+        client = result["client"]
+        stage_bits = " ".join(
+            f"{name}={quantiles['p50_us']:.0f}us"
+            for name, quantiles in client["stages"].items()
+        )
+        print(
+            f"  {result['protocol']:6s} {result['mode']:11s} "
+            f"linked={result['linked_spans']}/{result['calls']} "
+            f"client p50={client['p50_us']:.0f}us "
+            f"p99={client['p99_us']:.0f}us [{stage_bits}]"
         )
     return 0
 

@@ -33,10 +33,12 @@ from repro.giop.messages import (
     REPLY_NO_EXCEPTION,
     REPLY_SYSTEM_EXCEPTION,
     REPLY_USER_EXCEPTION,
+    SERVICE_CONTEXT_TRACE,
     LocateReplyHeader,
     LocateRequestHeader,
     ReplyHeader,
     RequestHeader,
+    ServiceContext,
     frame_message,
     read_message,
 )
@@ -208,11 +210,20 @@ class GiopProtocol(Protocol):
         if request_id is None:
             request_id = self.next_request_id()
             call.request_id = request_id
+        service_context = []
+        if call.trace_context is not None:
+            # GIOP's native extension point: the trace context travels
+            # as a ServiceContext entry, which unaware peers skip.
+            service_context.append(ServiceContext(
+                SERVICE_CONTEXT_TRACE,
+                call.trace_context.encode("ascii", errors="replace"),
+            ))
         header = RequestHeader(
             request_id=request_id,
             object_key=call.target.encode("utf-8"),
             operation=call.operation,
             response_expected=not call.oneway,
+            service_context=service_context,
         )
         encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
         header.encode(encoder)
@@ -242,7 +253,9 @@ class GiopProtocol(Protocol):
             if header.message_type == MSG_CANCEL_REQUEST:
                 continue  # nothing in flight to cancel: requests are serial
             if header.message_type == MSG_CLOSE_CONNECTION:
-                raise CommunicationError("peer sent GIOP CloseConnection")
+                raise CommunicationError(
+                    "peer sent GIOP CloseConnection", kind="peer-closed"
+                )
             raise ProtocolError(
                 f"expected GIOP Request, got message type {header.message_type}"
             )
@@ -258,6 +271,12 @@ class GiopProtocol(Protocol):
             request_id=request.request_id,
         )
         call._giop_request_id = request.request_id
+        for context in request.service_context:
+            if context.context_id == SERVICE_CONTEXT_TRACE:
+                call.trace_context = context.context_data.decode(
+                    "ascii", errors="replace"
+                )
+                break
         # The reply to this request must echo its id; the communicator
         # replies through the channel without call context, so stash it.
         channel._giop_pending_reply_id = request.request_id

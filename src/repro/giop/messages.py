@@ -20,6 +20,13 @@ from repro.heidirmi.errors import ProtocolError
 GIOP_MAGIC = b"GIOP"
 GIOP_HEADER_SIZE = 12
 
+#: ServiceContext id carrying the HeidiRMI trace context ("HDTC"):
+#: context_data is the ASCII ``trace_id-span_id`` token used by the
+#: text protocols' ``ctx=`` header field.  Peers that don't recognise
+#: the id skip the entry, as the CORBA spec requires, so traced and
+#: untraced ORBs interoperate.
+SERVICE_CONTEXT_TRACE = 0x48445443
+
 MSG_REQUEST = 0
 MSG_REPLY = 1
 MSG_CANCEL_REQUEST = 2

@@ -165,7 +165,8 @@ class Call(_DelegatingWriter, _DelegatingReader):
     # One Call per request on the hot path: keep instances dict-free.
     # _giop_request_id is GIOP's server-side stash of the incoming id.
     __slots__ = ("_m", "_u", "target", "operation", "oneway",
-                 "request_id", "_giop_request_id")
+                 "request_id", "_giop_request_id",
+                 "trace_context", "trace_span")
 
     def __init__(self, target, operation, marshaller=None, unmarshaller=None,
                  oneway=False, request_id=None):
@@ -184,6 +185,13 @@ class Call(_DelegatingWriter, _DelegatingReader):
         #: Correlation id for pipelined protocols (``text2``, GIOP);
         #: ``None`` on protocols without one (``text``) and on oneways.
         self.request_id = request_id
+        #: Wire-propagated trace context token (``trace_id-span_id``):
+        #: set by an observing client before send, recovered from the
+        #: header by the server-side protocol parser; None when untraced.
+        self.trace_context = None
+        #: The in-process Span riding this call (client span on the
+        #: sending side, server span while dispatching); never on wire.
+        self.trace_span = None
 
     @property
     def writable(self):

@@ -75,7 +75,7 @@ class ObjectCommunicator:
     def __init__(self, channel, protocol, multiplexed=False,
                  batch_oneways=False, batch_max_bytes=8192,
                  batch_max_calls=32, reply_max_bytes=65536,
-                 reply_max_calls=256):
+                 reply_max_calls=256, observer=None):
         self.channel = channel
         self.protocol = protocol
         if multiplexed and not getattr(protocol, "supports_multiplexing", False):
@@ -114,6 +114,33 @@ class ObjectCommunicator:
         self._reply_max_calls = reply_max_calls
         self._reply_sink = _SendBuffer()
         self._sink_replies = 0
+        # Pre-resolved instruments (repro.observe): resolving each once
+        # here keeps recording to one method call on the hot path, and
+        # the unobserved path to bare ``is None`` tests.
+        self._observer = observer
+        if observer is not None:
+            metrics = observer.metrics
+            self._pending_gauge = metrics.gauge("rpc.pending_replies")
+            self._demux_batch = metrics.histogram(
+                "rpc.demux_batch_replies", buckets=(1, 2, 4, 8, 16, 32, 64,
+                                                    128, 256, 512))
+            self._coalesced_replies = metrics.counter("rpc.replies_coalesced")
+            self._reply_flushes = metrics.counter("rpc.reply_flushes")
+            self._oneway_flushes = metrics.counter("rpc.oneway_flushes")
+            self._metrics = metrics
+        else:
+            self._pending_gauge = None
+            self._demux_batch = None
+            self._coalesced_replies = None
+            self._reply_flushes = None
+            self._oneway_flushes = None
+            self._metrics = None
+
+    def _count_error(self, exc):
+        """Bump the per-kind channel error counter (observed mode only)."""
+        if self._metrics is not None:
+            kind = getattr(exc, "kind", "communication")
+            self._metrics.counter("channel.errors", kind=kind).inc()
 
     # -- client side -------------------------------------------------------
 
@@ -126,6 +153,8 @@ class ObjectCommunicator:
             return self.invoke_async(call).result()
         self.flush()
         self.protocol.send_request(self.channel, call)
+        if call.trace_span is not None:
+            call.trace_span.stage("send")
         return self.protocol.recv_reply(self.channel)
 
     def invoke_async(self, call):
@@ -157,9 +186,13 @@ class ObjectCommunicator:
         with self._pending_lock:
             if self.channel.closed:
                 raise CommunicationError(
-                    f"channel to {self.channel.peer} is closed"
+                    f"channel to {self.channel.peer} is closed",
+                    kind="channel-closed",
                 )
             self._pending[call.request_id] = future
+            depth = len(self._pending)
+        if self._pending_gauge is not None:
+            self._pending_gauge.set(depth)
         self._ensure_reader()
         try:
             self.flush()
@@ -168,6 +201,8 @@ class ObjectCommunicator:
             with self._pending_lock:
                 self._pending.pop(call.request_id, None)
             raise
+        if call.trace_span is not None:
+            call.trace_span.stage("send")
         return future
 
     def invoke_pipelined(self, calls):
@@ -190,7 +225,8 @@ class ObjectCommunicator:
             with self._pending_lock:
                 if self.channel.closed:
                     raise CommunicationError(
-                        f"channel to {self.channel.peer} is closed"
+                        f"channel to {self.channel.peer} is closed",
+                        kind="channel-closed",
                     )
                 for call in calls:
                     future = Future()
@@ -204,6 +240,9 @@ class ObjectCommunicator:
                         self._pending[call.request_id] = future
                         registered.append(call.request_id)
                     futures.append(future)
+                depth = len(self._pending)
+            if self._pending_gauge is not None:
+                self._pending_gauge.set(depth)
             self._ensure_reader()
             self.flush()
             if buffer.data:
@@ -241,7 +280,8 @@ class ObjectCommunicator:
             with self._pending_lock:
                 if self.channel.closed:
                     raise CommunicationError(
-                        f"channel to {self.channel.peer} is closed"
+                        f"channel to {self.channel.peer} is closed",
+                        kind="channel-closed",
                     )
                 for call in calls:
                     if not call.oneway:
@@ -250,6 +290,9 @@ class ObjectCommunicator:
                         pending[call.request_id] = collector
                         registered.append(call.request_id)
                     send_request(buffer, call)
+                depth = len(pending)
+            if self._pending_gauge is not None:
+                self._pending_gauge.set(depth)
             self._ensure_reader()
             self.flush()
             if buffer.data:
@@ -296,6 +339,8 @@ class ObjectCommunicator:
             self._batch.clear()
             self._batch_calls = 0
         self.channel.send(data)
+        if self._oneway_flushes is not None:
+            self._oneway_flushes.inc()
 
     # -- reply demultiplexing ----------------------------------------------
 
@@ -336,12 +381,19 @@ class ObjectCommunicator:
             except Exception as exc:
                 # A framing error leaves the stream position unknown;
                 # nothing after it can be trusted, so the channel dies.
+                # kind="reader-died" distinguishes this from transport
+                # failures (recv-failed/peer-closed), which keep their
+                # own kind from the except branch above.
                 self._resolve(batch)
                 self.channel.close()
                 self._fail_pending(
-                    CommunicationError(f"demultiplexer failed: {exc}")
+                    CommunicationError(
+                        f"demultiplexer failed: {exc}", kind="reader-died"
+                    )
                 )
                 return
+            if self._demux_batch is not None:
+                self._demux_batch.record(len(batch))
             self._resolve(batch)
 
     def _resolve(self, replies):
@@ -351,6 +403,9 @@ class ObjectCommunicator:
         with self._pending_lock:
             matched = [(pending.pop(reply.request_id, None), reply)
                        for reply in replies]
+            depth = len(pending)
+        if self._pending_gauge is not None:
+            self._pending_gauge.set(depth)
         for waiter, reply in matched:
             if waiter is None:
                 if reply.status == STATUS_ERROR and reply.request_id == 0:
@@ -365,7 +420,8 @@ class ObjectCommunicator:
                         detail = ""
                     self._fail_pending(CommunicationError(
                         "peer reported an uncorrelatable protocol error "
-                        f"[{reply.repo_id}] {detail}".rstrip()
+                        f"[{reply.repo_id}] {detail}".rstrip(),
+                        kind="peer-protocol-error",
                     ))
                     continue
                 self.orphaned_replies += 1
@@ -377,6 +433,9 @@ class ObjectCommunicator:
     def _fail_pending(self, exc):
         with self._pending_lock:
             pending, self._pending = self._pending, {}
+        if pending and self._metrics is not None:
+            self._count_error(exc)
+            self._pending_gauge.set(0)
         for waiter in pending.values():
             if type(waiter) is _BulkCollector:
                 waiter.fail(exc)
@@ -399,6 +458,8 @@ class ObjectCommunicator:
             sink.data.clear()
             self._sink_replies = 0
             self.channel.send(data)
+            if self._reply_flushes is not None:
+                self._reply_flushes.inc()
             return
         self.protocol.send_reply(self.channel, reply)
 
@@ -415,6 +476,8 @@ class ObjectCommunicator:
         sink = self._reply_sink
         self.protocol.send_reply(sink, reply)
         self._sink_replies += 1
+        if self._coalesced_replies is not None:
+            self._coalesced_replies.inc()
         if (len(sink.data) >= self._reply_max_bytes
                 or self._sink_replies >= self._reply_max_calls):
             self.flush_replies()
@@ -433,6 +496,8 @@ class ObjectCommunicator:
         sink.data.clear()
         self._sink_replies = 0
         self.channel.send(data)
+        if self._reply_flushes is not None:
+            self._reply_flushes.inc()
 
     def reply_error(self, category, message, request_id=None):
         """Convenience for protocol-level failures (bad request line...)."""
@@ -450,7 +515,10 @@ class ObjectCommunicator:
     def close(self):
         self.channel.close()
         self._fail_pending(
-            CommunicationError(f"channel to {self.channel.peer} was closed")
+            CommunicationError(
+                f"channel to {self.channel.peer} was closed",
+                kind="channel-closed",
+            )
         )
 
     @property

@@ -14,6 +14,13 @@ Two modes:
   (requires a protocol with request ids — ``text2`` or ``giop``).
   ``acquire`` hands back the shared instance and ``release`` is a
   no-op; a dead shared channel is replaced on the next acquire.
+
+``stats`` counts hits/misses/opened/evicted; *evicted* is any cached
+connection the cache dropped (pool overflow on release, a dead pooled
+or shared connection discovered on acquire, a shared connection
+discarded after a mid-call failure).  With an observer attached the
+same counts mirror into its metrics registry under
+``connection_cache.*`` labeled by mode.
 """
 
 import threading
@@ -26,7 +33,7 @@ class ConnectionCache:
     """Pool of communicators keyed by bootstrap tuple."""
 
     def __init__(self, transport_factory, protocol, enabled=True, max_idle=8,
-                 mode="exclusive", communicator_options=None):
+                 mode="exclusive", communicator_options=None, observer=None):
         if mode not in ("exclusive", "multiplexed"):
             raise HeidiRmiError(
                 f"unknown connection mode {mode!r}; "
@@ -42,16 +49,53 @@ class ConnectionCache:
         self._shared = {}
         self._lock = threading.Lock()
         #: Counters the caching benchmarks read.
-        self.stats = {"hits": 0, "misses": 0, "opened": 0}
+        self.stats = {"hits": 0, "misses": 0, "opened": 0, "evicted": 0}
+        self._observer = observer
+        if observer is not None:
+            metrics = observer.metrics
+            self._hit_counter = metrics.counter("connection_cache.hits",
+                                                mode=mode)
+            self._miss_counter = metrics.counter("connection_cache.misses",
+                                                 mode=mode)
+            self._open_counter = metrics.counter("connection_cache.opened",
+                                                 mode=mode)
+            self._evict_counter = metrics.counter("connection_cache.evicted",
+                                                  mode=mode)
+            self._meter = observer.channel_meter("client")
+        else:
+            self._hit_counter = None
+            self._miss_counter = None
+            self._open_counter = None
+            self._evict_counter = None
+            self._meter = None
 
     @property
     def mode(self):
         return self._mode
 
+    def _hit(self):
+        self.stats["hits"] += 1
+        if self._hit_counter is not None:
+            self._hit_counter.inc()
+
+    def _miss(self):
+        self.stats["misses"] += 1
+        self.stats["opened"] += 1
+        if self._miss_counter is not None:
+            self._miss_counter.inc()
+            self._open_counter.inc()
+
+    def _evict(self, count=1):
+        self.stats["evicted"] += count
+        if self._evict_counter is not None:
+            self._evict_counter.inc(count)
+
     def _open(self, bootstrap, multiplexed):
         protocol_name, host, port = bootstrap
         transport = self._transport_factory(protocol_name)
         channel = transport.connect(host, port)
+        if self._meter is not None:
+            channel.meter = self._meter
         return ObjectCommunicator(
             channel, self._protocol, multiplexed=multiplexed, **self._options
         )
@@ -64,10 +108,13 @@ class ConnectionCache:
             with self._lock:
                 communicator = self._shared.get(bootstrap)
                 if communicator is not None and not communicator.closed:
-                    self.stats["hits"] += 1
+                    self._hit()
                     return communicator
-                self.stats["misses"] += 1
-                self.stats["opened"] += 1
+                if communicator is not None:
+                    # Dead shared channel found in place: replacing it
+                    # is an eviction.
+                    self._evict()
+                self._miss()
                 communicator = self._open(bootstrap, multiplexed=True)
                 self._shared[bootstrap] = communicator
                 return communicator
@@ -77,11 +124,11 @@ class ConnectionCache:
                 while pool:
                     communicator = pool.pop()
                     if not communicator.closed:
-                        self.stats["hits"] += 1
+                        self._hit()
                         return communicator
+                    self._evict()
         with self._lock:
-            self.stats["misses"] += 1
-            self.stats["opened"] += 1
+            self._miss()
         return self._open(bootstrap, multiplexed=False)
 
     def release(self, bootstrap, communicator):
@@ -97,6 +144,7 @@ class ConnectionCache:
             pool = self._idle.setdefault(bootstrap, [])
             if len(pool) >= self._max_idle:
                 communicator.close()
+                self._evict()
             else:
                 pool.append(communicator)
 
@@ -108,6 +156,7 @@ class ConnectionCache:
                 for bootstrap, shared in list(self._shared.items()):
                     if shared is communicator:
                         del self._shared[bootstrap]
+                        self._evict()
 
     def flush_all(self):
         """Flush batched oneway buffers on every live communicator."""

@@ -14,7 +14,31 @@ class ProtocolError(HeidiRmiError):
 
 
 class CommunicationError(HeidiRmiError):
-    """A channel failed (connect refused, peer closed, short read)."""
+    """A channel failed (connect refused, peer closed, short read).
+
+    ``kind`` normalizes the failure cause into a small vocabulary so
+    span error tags and metrics can distinguish, e.g., a demultiplexer
+    reader dying mid-flight from a refused connect.  Raisers across the
+    transport and communicator layers use:
+
+    - ``connect-refused`` — the peer could not be reached at all;
+    - ``bind-failed`` / ``accept-failed`` / ``listener-closed`` — the
+      server side of connection establishment failed;
+    - ``send-failed`` / ``recv-failed`` — an I/O error on a live socket;
+    - ``peer-closed`` — the peer shut the connection down (EOF or a
+      protocol-level close notification);
+    - ``channel-closed`` — this side already closed the channel;
+    - ``reader-died`` — the demultiplexing reply reader failed, taking
+      every pending call on the shared channel with it;
+    - ``peer-protocol-error`` — the peer reported a request it could
+      not parse (e.g. ``RET2 0 ERR``), failing the whole channel;
+    - ``frame-overflow`` — a message exceeded the wire-format bounds;
+    - ``communication`` — the unclassified default.
+    """
+
+    def __init__(self, message, kind="communication"):
+        self.kind = kind
+        super().__init__(message)
 
 
 class ObjectNotFound(HeidiRmiError):

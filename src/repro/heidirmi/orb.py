@@ -34,6 +34,7 @@ from repro.heidirmi.protocol import get_protocol
 from repro.heidirmi.serialize import GLOBAL_TYPES
 from repro.heidirmi.stub import HdStub
 from repro.heidirmi.transport import get_transport
+from repro.observe import context as _trace_state
 
 
 class Orb:
@@ -55,6 +56,7 @@ class Orb:
         pipeline_workers=0,
         batch_oneways=False,
         trace=None,
+        observer=None,
     ):
         self.host = host
         self.transport_name = transport
@@ -75,6 +77,12 @@ class Orb:
         )
         self.types = types if types is not None else GLOBAL_TYPES
         self.trace = trace
+        #: ``repro.observe.Observer``: when set, every invoke produces a
+        #: client span, every served request a server span (linked via
+        #: the wire-propagated trace context), and the ORB records the
+        #: metric catalogue of docs/OBSERVABILITY.md into its registry.
+        #: None (the default) keeps the hot path to ``is None`` tests.
+        self.observer = observer
         self._transport = get_transport(transport)
         self._requested_port = port
         self._listener = None
@@ -118,7 +126,9 @@ class Orb:
             self.protocol,
             enabled=cache_connections,
             mode="multiplexed" if self.multiplex else "exclusive",
-            communicator_options={"batch_oneways": batch_oneways},
+            communicator_options={"batch_oneways": batch_oneways,
+                                  "observer": observer},
+            observer=observer,
         )
         self._dispatch_pool = None
         self._async_pool = None
@@ -138,10 +148,80 @@ class Orb:
             "requests": 0,
             "calls": 0,
         }
+        # Pre-resolved observe instruments; per-operation latency
+        # histograms are memoized in _op_instruments so the hot path
+        # never touches the registry dict.
+        if observer is not None:
+            metrics = observer.metrics
+            self._requests_counter = metrics.counter(
+                "rpc.requests", protocol=self.protocol.name
+            )
+            self._pipeline_gauge = metrics.gauge("rpc.pipeline_inflight")
+            self._server_meter = observer.channel_meter("server")
+        else:
+            self._requests_counter = None
+            self._pipeline_gauge = None
+            self._server_meter = None
+        self._op_instruments = {}
 
     def _count(self, key, n=1):
         with self._stats_lock:
             self.stats[key] += n
+
+    # -- observe helpers -----------------------------------------------------
+
+    def _op_histogram(self, side, operation):
+        """Memoized per-(side, operation) latency histogram."""
+        key = (side, operation)
+        histogram = self._op_instruments.get(key)
+        if histogram is None:
+            histogram = self.observer.metrics.histogram(
+                f"rpc.{side}_us",
+                protocol=self.protocol.name,
+                operation=operation,
+            )
+            self._op_instruments[key] = histogram
+        return histogram
+
+    def _finish_client_span(self, call, reply=None, error=None):
+        """Close a client span: wait stage, status/error tags, latency."""
+        span = call.trace_span
+        if span is None:
+            return
+        if error is not None:
+            span.finish(error=error)
+            self.observer.metrics.counter(
+                "rpc.errors", kind=getattr(error, "kind", "error")
+            ).inc()
+        else:
+            span.stage("wait")
+            if reply is not None:
+                span.set("status", reply.status)
+            span.finish()
+        self._op_histogram("invoke", call.operation).record(span.duration_us)
+
+    def _finish_server_span(self, call, reply=None, coalesced=False):
+        """Close a server span after its reply left (or was buffered)."""
+        span = call.trace_span
+        if span is None:
+            return
+        if reply is not None:
+            span.set("status", reply.status)
+            if coalesced:
+                span.set("coalesced", True)
+            span.stage("reply")
+        span.finish()
+        self._op_histogram("dispatch", call.operation).record(span.duration_us)
+
+    def _watch_future(self, call, future):
+        """Finish the call's client span when its reply future resolves."""
+        def _complete(done):
+            error = done.exception()
+            if error is not None:
+                self._finish_client_span(call, error=error)
+            else:
+                self._finish_client_span(call, reply=done.result())
+        future.add_done_callback(_complete)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -308,16 +388,30 @@ class Orb:
         """A new writable Call addressed at *reference* (Fig. 4 step 1)."""
         if self.trace is not None:
             self._event("call:new", operation=operation)
-        return Call(
+        call = Call(
             reference.stringify(),
             operation,
             marshaller=self.protocol.new_marshaller(),
             oneway=oneway,
         )
+        if self.observer is not None:
+            # The span starts here so parameter marshalling (between
+            # create_call and invoke) shows up as the marshal stage;
+            # its context token rides the wire to link the server span.
+            span = self.observer.start_span(
+                "client", operation, protocol=self.protocol.name
+            )
+            call.trace_span = span
+            call.trace_context = span.context.token()
+        return call
 
     def invoke(self, reference, call):
         """Invoke *call* (Fig. 4 steps 2–4); returns the Reply."""
         self._count("calls")
+        span = call.trace_span
+        if span is not None:
+            # Everything since create_call was parameter marshalling.
+            span.stage("marshal")
         bootstrap = reference.bootstrap
         communicator = self.connections.acquire(bootstrap)
         if self.trace is not None:
@@ -325,13 +419,16 @@ class Orb:
                         target=call.target)
         try:
             reply = communicator.invoke(call)
-        except CommunicationError:
+        except CommunicationError as exc:
             self.connections.discard(communicator)
+            self._finish_client_span(call, error=exc)
             raise
         self.connections.release(bootstrap, communicator)
         if self.trace is not None:
             self._event("call:reply",
                         status=None if reply is None else reply.status)
+        if span is not None:
+            self._finish_client_span(call, reply=reply)
         return reply
 
     def invoke_async(self, reference, call):
@@ -343,6 +440,9 @@ class Orb:
         pool, so the caller still gets a future either way.
         """
         self._count("calls")
+        span = call.trace_span
+        if span is not None:
+            span.stage("marshal")
         bootstrap = reference.bootstrap
         communicator = self.connections.acquire(bootstrap)
         if self.trace is not None:
@@ -351,19 +451,24 @@ class Orb:
         if communicator.multiplexed:
             try:
                 future = communicator.invoke_async(call)
-            except CommunicationError:
+            except CommunicationError as exc:
                 self.connections.discard(communicator)
+                self._finish_client_span(call, error=exc)
                 raise
             self.connections.release(bootstrap, communicator)
+            if span is not None:
+                self._watch_future(call, future)
             return future
 
         def _round_trip():
             try:
                 reply = communicator.invoke(call)
-            except CommunicationError:
+            except CommunicationError as exc:
                 self.connections.discard(communicator)
+                self._finish_client_span(call, error=exc)
                 raise
             self.connections.release(bootstrap, communicator)
+            self._finish_client_span(call, reply=reply)
             return reply
 
         return self._async_executor().submit(_round_trip)
@@ -385,10 +490,17 @@ class Orb:
         self._count("calls", len(calls))
         try:
             futures = communicator.invoke_pipelined(calls)
-        except CommunicationError:
+        except CommunicationError as exc:
             self.connections.discard(communicator)
+            if self.observer is not None:
+                for call in calls:
+                    self._finish_client_span(call, error=exc)
             raise
         self.connections.release(bootstrap, communicator)
+        if self.observer is not None:
+            for call, future in zip(calls, futures):
+                if call.trace_span is not None:
+                    self._watch_future(call, future)
         return futures
 
     def invoke_bulk(self, reference, calls):
@@ -411,10 +523,16 @@ class Orb:
         self._count("calls", len(calls))
         try:
             replies = communicator.invoke_pipelined_sync(calls)
-        except CommunicationError:
+        except CommunicationError as exc:
             self.connections.discard(communicator)
+            if self.observer is not None:
+                for call in calls:
+                    self._finish_client_span(call, error=exc)
             raise
         self.connections.release(bootstrap, communicator)
+        if self.observer is not None:
+            for call, reply in zip(calls, replies):
+                self._finish_client_span(call, reply=reply)
         return replies
 
     def flush(self):
@@ -451,7 +569,10 @@ class Orb:
         # Whatever happens inside, this worker must never die without
         # closing the channel — a silently leaked connection would leave
         # the client blocked forever.
-        communicator = ObjectCommunicator(channel, self.protocol)
+        if self._server_meter is not None:
+            channel.meter = self._server_meter
+        communicator = ObjectCommunicator(channel, self.protocol,
+                                          observer=self.observer)
         with self._lock:
             self._active.add(communicator)
         try:
@@ -477,6 +598,7 @@ class Orb:
         next_request = communicator.next_request
         object_key_exists = self._object_key_exists
         count = self._count
+        observer = self.observer
         while self._running and not communicator.closed:
             if not communicator.channel.has_buffered:
                 # The read-ahead backlog drained: nothing further can
@@ -501,6 +623,16 @@ class Orb:
             if self.trace is not None:
                 self._event("orb:request", operation=call.operation)
             count("requests")
+            if observer is not None:
+                # Server span: starts once the request is fully parsed
+                # (not at loop top, which would count idle blocking) and
+                # parents onto the wire-propagated client context when
+                # the peer sent one; untraced peers just get a root span.
+                call.trace_span = observer.start_span(
+                    "server", call.operation, parent=call.trace_context,
+                    protocol=self.protocol.name,
+                )
+                self._requests_counter.inc()
             if (
                 window is not None
                 and not call.oneway
@@ -510,16 +642,22 @@ class Orb:
                 # a guarantee) and id-less requests stay serial (replies
                 # would be correlated by order alone).
                 window.acquire()
+                if self._pipeline_gauge is not None:
+                    self._pipeline_gauge.add(1)
                 try:
                     self._dispatch_executor().submit(
                         self._dispatch_and_reply, communicator, call, window
                     )
                 except RuntimeError:  # pool shut down mid-stop
                     window.release()
+                    if self._pipeline_gauge is not None:
+                        self._pipeline_gauge.add(-1)
                     return
                 continue
             reply = self._handle_request(call)
             if call.oneway:
+                if call.trace_span is not None:
+                    self._finish_server_span(call)
                 continue
             try:
                 if call.request_id is not None and communicator.channel.has_buffered:
@@ -527,6 +665,8 @@ class Orb:
                     # reply with theirs into one send (ids let the client
                     # demultiplex, so grouping replies is safe).
                     communicator.buffer_reply(reply)
+                    if call.trace_span is not None:
+                        self._finish_server_span(call, reply, coalesced=True)
                     continue
                 communicator.reply(reply)
             except CommunicationError:
@@ -537,9 +677,15 @@ class Orb:
                 communicator.reply_error(
                     type(exc).__name__, str(exc), request_id=call.request_id
                 )
+            if call.trace_span is not None:
+                self._finish_server_span(call, reply)
 
     def _dispatch_and_reply(self, communicator, call, window):
         """Pipeline worker body: dispatch one read-ahead request."""
+        span = call.trace_span
+        if span is not None:
+            # Time between read-off-the-wire and worker pickup.
+            span.stage("queue")
         try:
             reply = self._handle_request(call)
             try:
@@ -550,10 +696,14 @@ class Orb:
                 communicator.reply_error(
                     type(exc).__name__, str(exc), request_id=call.request_id
                 )
+            if span is not None:
+                self._finish_server_span(call, reply)
         except Exception:  # defensive: bug in the pipeline itself
             self._event("orb:server-loop-error", error=traceback.format_exc())
         finally:
             window.release()
+            if self._pipeline_gauge is not None:
+                self._pipeline_gauge.add(-1)
 
     def _object_key_exists(self, object_key):
         """Locate support: does this address space host *object_key*?"""
@@ -605,6 +755,23 @@ class Orb:
                     operation=call.operation,
                     skeleton=type(skeleton).__name__,
                 )
+            span = call.trace_span
+            if span is not None:
+                span.stage("select")
+                # Activate this span's context for the upcall: any
+                # outbound calls the implementation makes on this thread
+                # parent onto the server span and extend the trace.
+                previous = _trace_state.activate(span.context)
+                try:
+                    if self._dispatch_serial_lock is not None:
+                        with self._dispatch_serial_lock:
+                            skeleton.dispatch(call, reply)
+                    else:
+                        skeleton.dispatch(call, reply)
+                finally:
+                    _trace_state.restore(previous)
+                span.stage("dispatch")
+                return reply
             if self._dispatch_serial_lock is not None:
                 with self._dispatch_serial_lock:
                     skeleton.dispatch(call, reply)
@@ -628,6 +795,8 @@ class Orb:
         except Exception as exc:  # implementation bug: report, don't die
             self._event("orb:implementation-error",
                         error=traceback.format_exc())
+            if call.trace_span is not None:
+                call.trace_span.fail(exc)
             return self._error_reply("Implementation", f"{type(exc).__name__}: {exc}")
 
     def _error_reply(self, category, message):

@@ -29,6 +29,14 @@ from repro.heidirmi.textwire import (
     unescape_token,
 )
 
+#: Prefix of the optional trace-context header token.  A stringified
+#: object reference always starts with ``@``, so a ``ctx=`` token in
+#: target position is unambiguous — peers that never send it (or strip
+#: it) interoperate with peers that do.  The token body is the pure-hex
+#: ``trace_id-span_id`` pair (see ``repro.observe.context``), already
+#: printable ASCII, so it needs no escaping.
+_CTX_PREFIX = "ctx="
+
 #: Memo for header tokens (targets, operation names): the same handful
 #: of strings heads every request on a connection, so escaping each
 #: once beats re-scanning them per call.  Bounded against churn.
@@ -99,11 +107,13 @@ class TextProtocol(Protocol):
     def send_request(self, channel, call):
         # Build the line in one pass at the token level; going through
         # payload() would encode and re-decode the same bytes.
-        pieces = [
-            "ONEWAY" if call.oneway else "CALL",
-            _escape_header(call.target),
-            _escape_header(call.operation),
-        ]
+        pieces = ["ONEWAY" if call.oneway else "CALL"]
+        if call.trace_context is not None:
+            # Optional service context: traced callers lead the header
+            # with a ctx= token; untraced peers simply never emit one.
+            pieces.append(_CTX_PREFIX + call.trace_context)
+        pieces.append(_escape_header(call.target))
+        pieces.append(_escape_header(call.operation))
         pieces += call._m.tokens()
         channel.send((" ".join(pieces) + "\n").encode("ascii"))
 
@@ -118,16 +128,23 @@ class TextProtocol(Protocol):
                 f"expected CALL or ONEWAY, got {verb!r} "
                 "(request shape: CALL <objref> <operation> <args...>)"
             )
-        if len(tokens) < 3:
+        head = 1
+        trace_context = None
+        if len(tokens) > 1 and tokens[1].startswith(_CTX_PREFIX):
+            # Unambiguous: a target is a stringified reference and
+            # always starts with '@'.
+            trace_context = tokens[1][len(_CTX_PREFIX):]
+            head = 2
+        if len(tokens) < head + 2:
             raise ProtocolError("request needs an object reference and an operation")
-        target = unescape_token(tokens[1])
-        operation = unescape_token(tokens[2])
-        return Call(
-            target,
-            operation,
-            unmarshaller=TextUnmarshaller.adopt(tokens, 3),
+        call = Call(
+            unescape_token(tokens[head]),
+            unescape_token(tokens[head + 1]),
+            unmarshaller=TextUnmarshaller.adopt(tokens, head + 2),
             oneway=(verb == "ONEWAY"),
         )
+        call.trace_context = trace_context
+        return call
 
     # -- replies ----------------------------------------------------------------
 
@@ -196,20 +213,18 @@ class Text2Protocol(TextProtocol):
 
     def send_request(self, channel, call):
         if call.oneway:
-            pieces = [
-                "ONEWAY2",
-                _escape_header(call.target),
-                _escape_header(call.operation),
-            ]
+            pieces = ["ONEWAY2"]
         else:
             if call.request_id is None:
                 call.request_id = self.next_request_id()
-            pieces = [
-                "CALL2",
-                str(call.request_id),
-                _escape_header(call.target),
-                _escape_header(call.operation),
-            ]
+            pieces = ["CALL2", str(call.request_id)]
+        if call.trace_context is not None:
+            # Same optional service-context slot as the classic text
+            # protocol: right before the target, which always starts
+            # with '@' and so can never read as a ctx= token.
+            pieces.append(_CTX_PREFIX + call.trace_context)
+        pieces.append(_escape_header(call.target))
+        pieces.append(_escape_header(call.operation))
         pieces += call._m.tokens()
         channel.send((" ".join(pieces) + "\n").encode("ascii"))
 
@@ -242,15 +257,21 @@ class Text2Protocol(TextProtocol):
                 f"expected CALL2 or ONEWAY2, got {verb!r} "
                 "(request shape: CALL2 <id> <objref> <operation> <args...>)"
             )
+        trace_context = None
+        if len(tokens) > head and tokens[head].startswith(_CTX_PREFIX):
+            trace_context = tokens[head][len(_CTX_PREFIX):]
+            head += 1
         if len(tokens) < head + 2:
             raise ProtocolError("request needs an object reference and an operation")
-        return Call(
+        call = Call(
             unescape_token(tokens[head]),
             unescape_token(tokens[head + 1]),
             unmarshaller=TextUnmarshaller.adopt(tokens, head + 2),
             oneway=oneway,
             request_id=request_id,
         )
+        call.trace_context = trace_context
+        return call
 
     @staticmethod
     def _parse_id(token):

@@ -77,13 +77,19 @@ class HdSkel:
         """Dispatch *call*; raises MethodNotFound if no class handles it."""
         handler = self._handlers.get(call.operation)
         if handler is not None:
+            if call.trace_span is not None:
+                call.trace_span.set("dispatch.path", "memo")
             handler(self, call, reply)
             return
         handler = self._resolve_handler(type(self), call.operation)
         if handler is not None:
             self._handlers[call.operation] = handler
+            if call.trace_span is not None:
+                call.trace_span.set("dispatch.path", "resolved")
             handler(self, call, reply)
             return
+        if call.trace_span is not None:
+            call.trace_span.set("dispatch.path", "builtin")
         if self._dispatch_builtin(call, reply):
             return
         raise MethodNotFound(call.operation, self._hd_type_id_)

@@ -77,8 +77,9 @@ class HdStub:
     def _new_call(self, operation, oneway=False):
         """A writable Call addressed at this stub's object."""
         orb = self._hd_orb
-        if orb.trace is not None:
-            # The Orb wrapper exists to fire the call:new trace event.
+        if orb.trace is not None or orb.observer is not None:
+            # The Orb wrapper fires the call:new trace event and starts
+            # the client span; untraced stubs skip it entirely.
             return orb.create_call(self._hd_ref, operation, oneway=oneway)
         return Call(
             self._hd_ref.stringify(),

@@ -26,6 +26,11 @@ _COMPACT_THRESHOLD = 1 << 16
 class Channel:
     """A bidirectional byte stream over a connected socket."""
 
+    #: Optional byte-accounting hook (``repro.observe`` ChannelMeter):
+    #: when set, every send/recv reports its byte count.  A class-level
+    #: None default keeps the unobserved hot path at one attribute test.
+    meter = None
+
     def __init__(self, sock, peer="?"):
         self._sock = sock
         # Receive buffer: a growable bytearray with a consumed-prefix
@@ -40,22 +45,34 @@ class Channel:
 
     def send(self, data):
         if self._closed:
-            raise CommunicationError(f"channel to {self.peer} is closed")
+            raise CommunicationError(
+                f"channel to {self.peer} is closed", kind="channel-closed"
+            )
         try:
             with self._send_lock:
                 self._sock.sendall(data)
         except OSError as exc:
             self.close()
-            raise CommunicationError(f"send to {self.peer} failed: {exc}") from exc
+            raise CommunicationError(
+                f"send to {self.peer} failed: {exc}", kind="send-failed"
+            ) from exc
+        if self.meter is not None:
+            self.meter.sent(len(data))
 
     def _fill(self):
         try:
             chunk = self._sock.recv(65536)
         except OSError as exc:
             self.close()
-            raise CommunicationError(f"recv from {self.peer} failed: {exc}") from exc
+            raise CommunicationError(
+                f"recv from {self.peer} failed: {exc}", kind="recv-failed"
+            ) from exc
         if not chunk:
-            raise CommunicationError(f"peer {self.peer} closed the connection")
+            raise CommunicationError(
+                f"peer {self.peer} closed the connection", kind="peer-closed"
+            )
+        if self.meter is not None:
+            self.meter.received(len(chunk))
         self._buffer += chunk
 
     @property
@@ -86,7 +103,9 @@ class Channel:
             scan = len(self._buffer)
             if scan - self._start > _MAX_LINE:
                 self.close()
-                raise CommunicationError("request line too long")
+                raise CommunicationError(
+                    "request line too long", kind="frame-overflow"
+                )
             self._fill()
         buffer = self._buffer
         line = buffer[self._start : index]
@@ -169,7 +188,9 @@ class TcpListener(Listener):
         try:
             self._sock.bind((host, port))
         except OSError as exc:
-            raise CommunicationError(f"cannot bind {host}:{port}: {exc}") from exc
+            raise CommunicationError(
+                f"cannot bind {host}:{port}: {exc}", kind="bind-failed"
+            ) from exc
         self._sock.listen(64)
         self._closed = False
 
@@ -178,8 +199,12 @@ class TcpListener(Listener):
             conn, peer = self._sock.accept()
         except OSError as exc:
             if self._closed:
-                raise CommunicationError("listener closed") from exc
-            raise CommunicationError(f"accept failed: {exc}") from exc
+                raise CommunicationError(
+                    "listener closed", kind="listener-closed"
+                ) from exc
+            raise CommunicationError(
+                f"accept failed: {exc}", kind="accept-failed"
+            ) from exc
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return Channel(conn, peer=f"{peer[0]}:{peer[1]}")
 
@@ -205,7 +230,9 @@ class TcpTransport(Transport):
         try:
             sock = socket.create_connection((host, port), timeout=30)
         except OSError as exc:
-            raise CommunicationError(f"cannot connect {host}:{port}: {exc}") from exc
+            raise CommunicationError(
+                f"cannot connect {host}:{port}: {exc}", kind="connect-refused"
+            ) from exc
         # The 30s budget only covers connection establishment; a pooled
         # connection must block indefinitely on its next recv, not time
         # out (and kill the channel) after sitting idle in the cache.
@@ -236,7 +263,10 @@ class _InProcRegistry:
                 self._next_port += 1
             key = (host, port)
             if key in self._listeners:
-                raise CommunicationError(f"inproc address {host}:{port} already bound")
+                raise CommunicationError(
+                    f"inproc address {host}:{port} already bound",
+                    kind="bind-failed",
+                )
             listener = InProcListener(host, port, self)
             self._listeners[key] = listener
             return listener
@@ -245,7 +275,9 @@ class _InProcRegistry:
         with self._lock:
             listener = self._listeners.get((host, port))
         if listener is None or listener.closed:
-            raise CommunicationError(f"no inproc listener at {host}:{port}")
+            raise CommunicationError(
+                f"no inproc listener at {host}:{port}", kind="connect-refused"
+            )
         client_sock, server_sock = socket.socketpair()
         listener.enqueue(Channel(server_sock, peer="inproc-client"))
         return Channel(client_sock, peer=f"inproc:{host}:{port}")
@@ -274,7 +306,9 @@ class InProcListener(Listener):
             while not self._pending and not self.closed:
                 self._cond.wait(timeout=0.5)
             if self.closed:
-                raise CommunicationError("listener closed")
+                raise CommunicationError(
+                    "listener closed", kind="listener-closed"
+                )
             return self._pending.popleft()
 
     def close(self):

@@ -1,0 +1,69 @@
+"""``repro.observe`` — end-to-end RPC tracing and ORB metrics.
+
+The observability layer for the configurable ORB: spans over the full
+client and server call paths, linked across the wire by a trace context
+every protocol can carry; a registry of counters/gauges/histograms the
+runtime records into; JSON-lines span export; and a CLI
+(``python -m repro.observe``) that summarizes trace files and renders
+per-call waterfalls.
+
+Quickstart::
+
+    from repro.observe import Observer, file_observer
+
+    obs = file_observer("trace.jsonl")
+    server = Orb(protocol="text2", observer=obs).start()
+    client = Orb(protocol="text2", multiplex=True, observer=obs)
+    ...
+    obs.close()          # then: python -m repro.observe summary trace.jsonl
+
+See ``docs/OBSERVABILITY.md`` for the span model, the metric catalogue
+and the wire format of the trace context.
+"""
+
+from repro.observe.context import (
+    TraceContext,
+    activate,
+    current,
+    new_span_id,
+    new_trace_id,
+    restore,
+)
+from repro.observe.export import (
+    Exporter,
+    InMemoryExporter,
+    JsonLinesExporter,
+    load_spans,
+)
+from repro.observe.metrics import (
+    ChannelMeter,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.observe.observer import Observer, file_observer
+from repro.observe.span import Span
+
+__all__ = [
+    "TraceContext",
+    "activate",
+    "current",
+    "restore",
+    "new_trace_id",
+    "new_span_id",
+    "Span",
+    "Observer",
+    "file_observer",
+    "Exporter",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "load_spans",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ChannelMeter",
+    "MetricsRegistry",
+    "global_registry",
+]

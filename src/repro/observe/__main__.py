@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.observe``."""
+
+import sys
+
+from repro.observe.cli import main
+
+sys.exit(main())

@@ -1,0 +1,257 @@
+"""``python -m repro.observe`` — inspect span files from the terminal.
+
+Three subcommands over a JSON-lines trace file::
+
+    python -m repro.observe summary trace.jsonl
+    python -m repro.observe waterfall trace.jsonl [--trace ID]
+    python -m repro.observe tail trace.jsonl [--follow] [--limit N]
+
+``summary`` aggregates latency percentiles and the mean stage breakdown
+per (span kind, operation); ``waterfall`` renders one trace's spans as
+an aligned timeline with stage segments; ``tail`` prints spans one per
+line, optionally following the file as a live run appends to it.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.observe.export import load_spans
+
+
+def percentile(values, q):
+    """The q-quantile (0..1) of a sorted or unsorted value list."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def _fmt_us(us):
+    if us is None:
+        return "-"
+    if us >= 1_000_000:
+        return f"{us / 1_000_000:.2f}s"
+    if us >= 1_000:
+        return f"{us / 1_000:.2f}ms"
+    if isinstance(us, float) and not us.is_integer():
+        return f"{us:.1f}us"
+    return f"{int(us)}us"
+
+
+# -- summary ----------------------------------------------------------------
+
+
+def summarize(spans):
+    """Aggregate spans into per-(kind, operation) rows of plain data."""
+    groups = {}
+    for span in spans:
+        if span.get("duration_us") is None:
+            continue
+        key = (span.get("name", "?"), span.get("operation", "?"))
+        groups.setdefault(key, []).append(span)
+    rows = []
+    for (kind, operation), members in sorted(groups.items()):
+        durations = [span["duration_us"] for span in members]
+        stage_totals = {}
+        for span in members:
+            for stage, us in span.get("stages") or ():
+                stage_totals[stage] = stage_totals.get(stage, 0) + us
+        errors = sum(1 for span in members if span.get("error"))
+        rows.append({
+            "kind": kind,
+            "operation": operation,
+            "count": len(members),
+            "errors": errors,
+            "p50_us": percentile(durations, 0.50),
+            "p95_us": percentile(durations, 0.95),
+            "p99_us": percentile(durations, 0.99),
+            "mean_stages_us": {
+                stage: total / len(members)
+                for stage, total in sorted(stage_totals.items())
+            },
+        })
+    return rows
+
+
+def render_summary(spans):
+    rows = summarize(spans)
+    if not rows:
+        return "no finished spans\n"
+    lines = [
+        f"{'kind':8s} {'operation':20s} {'count':>6s} {'err':>4s} "
+        f"{'p50':>9s} {'p95':>9s} {'p99':>9s}  stage breakdown (mean)"
+    ]
+    for row in rows:
+        stages = " ".join(
+            f"{stage}={_fmt_us(int(us))}"
+            for stage, us in row["mean_stages_us"].items()
+        )
+        lines.append(
+            f"{row['kind']:8s} {row['operation']:20s} {row['count']:>6d} "
+            f"{row['errors']:>4d} {_fmt_us(row['p50_us']):>9s} "
+            f"{_fmt_us(row['p95_us']):>9s} {_fmt_us(row['p99_us']):>9s}  "
+            f"{stages}"
+        )
+    lines.append(f"{len(spans)} spans")
+    return "\n".join(lines) + "\n"
+
+
+# -- waterfall ---------------------------------------------------------------
+
+#: Width of the timeline bar in characters.
+_BAR_WIDTH = 48
+
+
+def _trace_spans(spans, trace_id=None):
+    """The spans of one trace (default: the trace of the last span)."""
+    finished = [span for span in spans if span.get("duration_us") is not None]
+    if trace_id is None and finished:
+        trace_id = finished[-1].get("trace_id")
+    members = [span for span in finished if span.get("trace_id") == trace_id]
+    members.sort(key=lambda span: span.get("start", 0))
+    return trace_id, members
+
+
+def render_waterfall(spans, trace_id=None):
+    trace_id, members = _trace_spans(spans, trace_id)
+    if not members:
+        return f"no spans for trace {trace_id}\n" if trace_id else "no spans\n"
+    origin = min(span["start"] for span in members)
+    extent = max(
+        span["start"] - origin + span["duration_us"] / 1_000_000
+        for span in members
+    ) or 1e-9
+    lines = [f"trace {trace_id} — {len(members)} span(s), "
+             f"{_fmt_us(int(extent * 1_000_000))} total"]
+    for span in members:
+        offset = span["start"] - origin
+        duration = span["duration_us"] / 1_000_000
+        left = int(round(_BAR_WIDTH * offset / extent))
+        width = max(1, int(round(_BAR_WIDTH * duration / extent)))
+        width = min(width, _BAR_WIDTH - left) or 1
+        bar = [" "] * _BAR_WIDTH
+        # Stage segments: each stage paints its first letter across its
+        # share of the span's bar, so `msw` reads marshal → send → wait.
+        stages = span.get("stages") or ()
+        total_us = span["duration_us"] or 1
+        cursor = 0
+        for stage, us in stages:
+            cells = int(round(width * us / total_us))
+            for _ in range(cells):
+                if cursor < width:
+                    bar[left + cursor] = stage[0]
+                    cursor += 1
+        while cursor < width:
+            bar[left + cursor] = "#"
+            cursor += 1
+        label = f"{span.get('name', '?')}:{span.get('operation', '?')}"
+        error = "  !" + span["error"] if span.get("error") else ""
+        lines.append(
+            f"  {label:24s} |{''.join(bar)}| "
+            f"+{_fmt_us(int(offset * 1_000_000)):>8s} "
+            f"{_fmt_us(span['duration_us']):>9s}{error}"
+        )
+    legend = []
+    for span in members:
+        for stage, _ in span.get("stages") or ():
+            key = f"{stage[0]}={stage}"
+            if key not in legend:
+                legend.append(key)
+    if legend:
+        lines.append("  stages: " + " ".join(legend))
+    return "\n".join(lines) + "\n"
+
+
+# -- tail --------------------------------------------------------------------
+
+
+def format_span_line(span):
+    stages = " ".join(
+        f"{stage}={_fmt_us(us)}" for stage, us in span.get("stages") or ()
+    )
+    error = f" !{span['error']}" if span.get("error") else ""
+    clock = time.strftime("%H:%M:%S", time.localtime(span.get("start", 0)))
+    return (
+        f"{clock} {span.get('name', '?'):7s} "
+        f"{span.get('operation', '?'):16s} "
+        f"{_fmt_us(span.get('duration_us')):>9s} "
+        f"trace={span.get('trace_id', '?')} {stages}{error}"
+    )
+
+
+def tail(path, follow=False, limit=None, out=None, poll=0.2):
+    """Print spans one per line; with *follow*, keep reading appends."""
+    if out is None:
+        out = sys.stdout
+    printed = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            line = handle.readline()
+            if not line:
+                if not follow:
+                    return printed
+                time.sleep(poll)
+                continue
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except ValueError:
+                continue
+            out.write(format_span_line(span) + "\n")
+            printed += 1
+            if limit is not None and printed >= limit:
+                return printed
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe", description=__doc__
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser("summary", help="aggregate a span file")
+    cmd.add_argument("path")
+
+    cmd = commands.add_parser("waterfall", help="render one trace's timeline")
+    cmd.add_argument("path")
+    cmd.add_argument("--trace", default=None, help="trace id (default: last)")
+
+    cmd = commands.add_parser("tail", help="print spans one per line")
+    cmd.add_argument("path")
+    cmd.add_argument("--follow", action="store_true",
+                     help="keep reading as the file grows")
+    cmd.add_argument("--limit", type=int, default=None,
+                     help="stop after N spans")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "summary":
+            sys.stdout.write(render_summary(load_spans(args.path)))
+        elif args.command == "waterfall":
+            sys.stdout.write(render_waterfall(load_spans(args.path),
+                                              trace_id=args.trace))
+        elif args.command == "tail":
+            tail(args.path, follow=args.follow, limit=args.limit)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

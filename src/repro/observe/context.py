@@ -1,0 +1,101 @@
+"""Trace-context identity and in-process propagation.
+
+A trace context is the pair (trace id, span id) that links every span
+of one logical request chain.  It crosses process boundaries *on the
+wire* — as the optional ``ctx=`` header token of the text protocols and
+as a GIOP ServiceContext entry (see ``docs/OBSERVABILITY.md``) — and
+crosses *thread* boundaries in-process through the active-context
+thread-local below, so a server upcall that makes further remote calls
+extends the incoming trace instead of starting a new one.
+
+Identifiers are lowercase hex (64-bit trace id, 32-bit span id) and the
+wire token is ``<trace_id>-<span_id>`` — pure printable ASCII, so it
+needs no escaping in any of the wire protocols.
+"""
+
+import os
+import threading
+
+#: Prefix of the optional trace-context token in text-protocol headers.
+WIRE_PREFIX = "ctx="
+
+_HEX = set("0123456789abcdef")
+
+
+def new_trace_id():
+    """A fresh 64-bit trace id as 16 lowercase hex characters."""
+    return os.urandom(8).hex()
+
+
+def new_span_id():
+    """A fresh 32-bit span id as 8 lowercase hex characters."""
+    return os.urandom(4).hex()
+
+
+class TraceContext:
+    """The (trace id, span id) pair a span hands to its children."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id, span_id):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def token(self):
+        """The wire rendering, ``<trace_id>-<span_id>``."""
+        return f"{self.trace_id}-{self.span_id}"
+
+    @classmethod
+    def parse(cls, token):
+        """Parse a wire token; returns None for anything malformed.
+
+        Tolerant by design: a peer sending a context we cannot read
+        must degrade to "untraced", never to a protocol error.
+        """
+        if not token or not isinstance(token, str):
+            return None
+        trace_id, sep, span_id = token.partition("-")
+        if not sep or not trace_id or not span_id:
+            return None
+        if not (_HEX.issuperset(trace_id) and _HEX.issuperset(span_id)):
+            return None
+        return cls(trace_id, span_id)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, TraceContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+        )
+
+    def __hash__(self):
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self):
+        return f"<TraceContext {self.token()}>"
+
+
+# -- the active context (thread-local) -----------------------------------
+
+_active = threading.local()
+
+
+def current():
+    """The active TraceContext on this thread, or None."""
+    return getattr(_active, "context", None)
+
+
+def activate(context):
+    """Make *context* the active context; returns the previous one.
+
+    Callers must restore the returned value with :func:`restore` (the
+    server dispatch path does this around every traced upcall).
+    """
+    previous = getattr(_active, "context", None)
+    _active.context = context
+    return previous
+
+
+def restore(previous):
+    """Undo a matching :func:`activate`."""
+    _active.context = previous

@@ -1,0 +1,91 @@
+"""Span exporters: where finished spans go.
+
+Two exporters ship: :class:`JsonLinesExporter` appends one JSON object
+per span to a file (the format ``python -m repro.observe`` reads), and
+:class:`InMemoryExporter` keeps them in a list for tests and the
+in-process snapshot API.  Both accept the plain-dict form produced by
+``Span.to_dict`` and are safe to share between the client and server
+side of one process (exports are serialized per exporter).
+"""
+
+import json
+import threading
+
+
+class Exporter:
+    """Receives finished spans as plain dicts."""
+
+    def export(self, record):
+        raise NotImplementedError
+
+    def snapshot(self):
+        """Exported spans, when the exporter retains them (else [])."""
+        return []
+
+    def close(self):
+        pass
+
+
+class InMemoryExporter(Exporter):
+    """Collects span records in memory; ``spans`` is the live list."""
+
+    def __init__(self):
+        self.spans = []
+        self._lock = threading.Lock()
+
+    def export(self, record):
+        with self._lock:
+            self.spans.append(record)
+
+    def snapshot(self):
+        with self._lock:
+            return list(self.spans)
+
+    def clear(self):
+        with self._lock:
+            self.spans.clear()
+
+
+class JsonLinesExporter(Exporter):
+    """Appends spans to *path*, one compact JSON object per line."""
+
+    def __init__(self, path, append=False):
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = open(path, "a" if append else "w", encoding="utf-8")
+
+    def export(self, record):
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            handle = self._handle
+            if handle is None:
+                return  # closed under a racing exporter: drop, don't die
+            handle.write(line + "\n")
+            handle.flush()
+
+    def close(self):
+        with self._lock:
+            handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
+
+
+def load_spans(path):
+    """Read a JSON-lines span file; malformed lines are skipped.
+
+    Tolerant so a file being written concurrently (``--follow`` tails,
+    a crashed run's torn last line) still loads.
+    """
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                spans.append(record)
+    return spans

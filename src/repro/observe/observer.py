@@ -1,0 +1,71 @@
+"""The Observer: the one object an ORB needs for tracing + metrics.
+
+Pass an :class:`Observer` to ``Orb(observer=...)`` and the whole RPC
+path lights up: every invoke produces a client span, every served
+request a server span (linked through the wire-propagated trace
+context), and the runtime records the metric catalogue documented in
+``docs/OBSERVABILITY.md`` into the observer's registry.
+
+With no observer installed (the default) the runtime pays only
+``is None`` checks — no spans, no metrics, no allocation.
+"""
+
+from repro.observe import context as _context
+from repro.observe.context import TraceContext
+from repro.observe.export import InMemoryExporter, JsonLinesExporter
+from repro.observe.metrics import ChannelMeter, MetricsRegistry
+from repro.observe.span import Span
+
+
+class Observer:
+    """Tracing + metrics facade handed to an Orb."""
+
+    def __init__(self, exporter=None, metrics=None):
+        self.exporter = exporter if exporter is not None else InMemoryExporter()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- spans ------------------------------------------------------------
+
+    def start_span(self, name, operation, parent=None, **attrs):
+        """Open a span; *parent* is a TraceContext, a wire token, or None.
+
+        With no explicit parent the thread's active context (set by the
+        server dispatch path) is used, so calls made from inside a
+        traced upcall extend the incoming trace.
+        """
+        if isinstance(parent, str):
+            parent = TraceContext.parse(parent)
+        if parent is None:
+            parent = _context.current()
+        return Span(name, operation, parent=parent, observer=self,
+                    attrs=attrs or None)
+
+    def _finished(self, span):
+        self.exporter.export(span.to_dict())
+
+    # -- metrics helpers ---------------------------------------------------
+
+    def channel_meter(self, side):
+        """A byte meter for channels on *side* ("client"/"server")."""
+        return ChannelMeter(
+            self.metrics.counter("channel.bytes_sent", side=side),
+            self.metrics.counter("channel.bytes_received", side=side),
+        )
+
+    # -- snapshot / lifecycle ----------------------------------------------
+
+    def snapshot(self):
+        """In-process snapshot: metric state plus any retained spans."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "spans": self.exporter.snapshot(),
+        }
+
+    def close(self):
+        self.exporter.close()
+
+
+def file_observer(path, metrics=None, append=False):
+    """An Observer exporting spans as JSON lines to *path*."""
+    return Observer(exporter=JsonLinesExporter(path, append=append),
+                    metrics=metrics)

@@ -1,0 +1,126 @@
+"""The span model: one timed slice of an RPC, with named stages.
+
+A span is created by an :class:`~repro.observe.Observer`, rides the
+``Call`` object through the layers of the RPC path (each layer stamps a
+*stage mark* when its part of the work completes), and is finished and
+exported exactly once.
+
+Stage marks are cumulative timestamps; at finish they become per-stage
+durations whose sum equals the span's wall-clock duration *exactly* (a
+residual ``tail`` stage absorbs any time after the last mark), so a
+waterfall over the stages always accounts for the whole call — nothing
+hides between stages.
+"""
+
+import time
+
+from repro.observe.context import TraceContext, new_span_id, new_trace_id
+
+
+class Span:
+    """One timed operation; create through ``Observer.start_span``."""
+
+    __slots__ = (
+        "name", "operation", "context", "parent_id",
+        "start_time", "_t0", "_marks", "attrs",
+        "duration_us", "stages", "error", "_observer",
+    )
+
+    def __init__(self, name, operation, parent=None, observer=None, attrs=None):
+        self.name = name
+        self.operation = operation
+        if parent is not None:
+            trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        else:
+            trace_id = new_trace_id()
+            self.parent_id = None
+        self.context = TraceContext(trace_id, new_span_id())
+        self.start_time = time.time()
+        self._t0 = time.perf_counter()
+        self._marks = []
+        self.attrs = dict(attrs) if attrs else {}
+        self.duration_us = None
+        self.stages = None
+        self.error = None
+        self._observer = observer
+
+    @property
+    def finished(self):
+        return self.duration_us is not None
+
+    @property
+    def trace_id(self):
+        return self.context.trace_id
+
+    @property
+    def span_id(self):
+        return self.context.span_id
+
+    def stage(self, name):
+        """Mark the end of stage *name* (time since the previous mark)."""
+        self._marks.append((name, time.perf_counter()))
+
+    def set(self, key, value):
+        """Attach an attribute (string-keyed tag) to the span."""
+        self.attrs[key] = value
+
+    def fail(self, exc):
+        """Tag the span with an error before (or instead of) results.
+
+        ``CommunicationError`` kinds become the ``error.kind`` tag so a
+        reader can tell reader-death from connect-refused at a glance.
+        """
+        self.error = f"{type(exc).__name__}: {exc}"
+        kind = getattr(exc, "kind", None)
+        if kind:
+            self.attrs["error.kind"] = kind
+
+    def finish(self, error=None):
+        """Close the span (idempotent) and hand it to the observer."""
+        if self.duration_us is not None:
+            return
+        if error is not None:
+            self.fail(error)
+        end = time.perf_counter()
+        self.duration_us = max(0, int((end - self._t0) * 1_000_000))
+        stages = []
+        consumed = 0
+        for name, mark in self._marks:
+            cumulative = min(self.duration_us,
+                            max(0, int((mark - self._t0) * 1_000_000)))
+            stages.append((name, cumulative - consumed))
+            consumed = cumulative
+        tail = self.duration_us - consumed
+        if stages and tail > 0:
+            stages.append(("tail", tail))
+        self.stages = stages
+        if self._observer is not None:
+            self._observer._finished(self)
+
+    def stage_durations(self):
+        """{stage name: µs} for a finished span."""
+        return dict(self.stages or ())
+
+    def to_dict(self):
+        """The JSON-lines export form."""
+        record = {
+            "name": self.name,
+            "operation": self.operation,
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start_time,
+            "duration_us": self.duration_us,
+            "stages": [[name, us] for name, us in (self.stages or ())],
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    def __repr__(self):
+        state = f"{self.duration_us}us" if self.finished else "open"
+        return (f"<Span {self.name} {self.operation!r} "
+                f"{self.context.token()} {state}>")

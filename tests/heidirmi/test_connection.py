@@ -5,8 +5,9 @@ import threading
 import pytest
 
 from repro.heidirmi.connection import ConnectionCache
-from repro.heidirmi.protocol import TextProtocol
+from repro.heidirmi.protocol import TextProtocol, Text2Protocol
 from repro.heidirmi.transport import get_transport
+from repro.observe import Observer
 
 
 @pytest.fixture
@@ -64,7 +65,8 @@ class TestReuse:
         cache.release(bootstrap, first)
         second = cache.acquire(bootstrap)
         assert second is first
-        assert cache.stats == {"hits": 1, "misses": 1, "opened": 1}
+        assert cache.stats == {"hits": 1, "misses": 1, "opened": 1,
+                               "evicted": 0}
         cache.close_all()
 
     def test_concurrent_checkouts_open_separate_connections(self, echo_listener):
@@ -134,3 +136,121 @@ class TestBounds:
         cache.close_all()
         assert cache.idle_count == 0
         assert communicator.closed
+
+
+def _metric_value(observer, name, **labels):
+    entries = observer.metrics.snapshot().get(name, [])
+    for entry in entries:
+        if entry["labels"] == labels:
+            return entry["value"]
+    return 0
+
+
+class TestEviction:
+    def test_pool_overflow_counts_evictions(self, echo_listener):
+        cache = make_cache(max_idle=2)
+        bootstrap = ("inproc",) + echo_listener
+        communicators = [cache.acquire(bootstrap) for _ in range(4)]
+        for communicator in communicators:
+            cache.release(bootstrap, communicator)
+        assert cache.stats["evicted"] == 2
+        cache.close_all()
+
+    def test_dead_pooled_connection_counts_eviction(self, echo_listener):
+        cache = make_cache()
+        bootstrap = ("inproc",) + echo_listener
+        communicator = cache.acquire(bootstrap)
+        cache.release(bootstrap, communicator)
+        communicator.close()
+        replacement = cache.acquire(bootstrap)
+        assert replacement is not communicator
+        assert cache.stats["evicted"] == 1
+        assert cache.stats["misses"] == 2
+        cache.close_all()
+
+    def test_dead_shared_connection_counts_eviction(self, echo_listener):
+        cache = ConnectionCache(
+            get_transport, Text2Protocol(), mode="multiplexed"
+        )
+        bootstrap = ("inproc",) + echo_listener
+        shared = cache.acquire(bootstrap)
+        shared.close()
+        replacement = cache.acquire(bootstrap)
+        assert replacement is not shared
+        assert cache.stats["evicted"] == 1
+        cache.close_all()
+
+    def test_shared_discard_counts_eviction(self, echo_listener):
+        cache = ConnectionCache(
+            get_transport, Text2Protocol(), mode="multiplexed"
+        )
+        bootstrap = ("inproc",) + echo_listener
+        shared = cache.acquire(bootstrap)
+        cache.discard(shared)
+        assert cache.stats["evicted"] == 1
+        cache.close_all()
+
+
+class TestObserverMirroring:
+    """The stats dict and the observer's registry must agree."""
+
+    def test_exclusive_counters_match_stats(self, echo_listener):
+        observer = Observer()
+        cache = ConnectionCache(
+            get_transport, TextProtocol(), max_idle=1, observer=observer
+        )
+        bootstrap = ("inproc",) + echo_listener
+        a = cache.acquire(bootstrap)
+        b = cache.acquire(bootstrap)
+        cache.release(bootstrap, a)
+        cache.release(bootstrap, b)  # overflow: max_idle=1 → evicted
+        c = cache.acquire(bootstrap)
+        cache.release(bootstrap, c)
+        for key, metric in (("hits", "connection_cache.hits"),
+                            ("misses", "connection_cache.misses"),
+                            ("opened", "connection_cache.opened"),
+                            ("evicted", "connection_cache.evicted")):
+            assert cache.stats[key] == _metric_value(
+                observer, metric, mode="exclusive"
+            ), key
+        assert cache.stats["evicted"] == 1
+        cache.close_all()
+
+    def test_multiplexed_counters_match_stats(self, echo_listener):
+        observer = Observer()
+        cache = ConnectionCache(
+            get_transport, Text2Protocol(), mode="multiplexed",
+            observer=observer,
+        )
+        bootstrap = ("inproc",) + echo_listener
+        shared = cache.acquire(bootstrap)
+        again = cache.acquire(bootstrap)
+        assert again is shared
+        shared.close()
+        cache.acquire(bootstrap)  # dead shared replaced: evict + miss
+        for key, metric in (("hits", "connection_cache.hits"),
+                            ("misses", "connection_cache.misses"),
+                            ("opened", "connection_cache.opened"),
+                            ("evicted", "connection_cache.evicted")):
+            assert cache.stats[key] == _metric_value(
+                observer, metric, mode="multiplexed"
+            ), key
+        assert cache.stats == {"hits": 1, "misses": 2, "opened": 2,
+                               "evicted": 1}
+        cache.close_all()
+
+    def test_observed_channels_meter_bytes(self, echo_listener):
+        observer = Observer()
+        cache = ConnectionCache(
+            get_transport, TextProtocol(), observer=observer
+        )
+        bootstrap = ("inproc",) + echo_listener
+        communicator = cache.acquire(bootstrap)
+        communicator.channel.send(b"CALL @x op hello\n")
+        communicator.channel.recv_line()
+        cache.release(bootstrap, communicator)
+        assert _metric_value(
+            observer, "channel.bytes_sent", side="client") > 0
+        assert _metric_value(
+            observer, "channel.bytes_received", side="client") > 0
+        cache.close_all()

@@ -1,0 +1,155 @@
+"""Tests for the ``python -m repro.observe`` trace-inspection CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.observe.cli import (
+    format_span_line,
+    main,
+    percentile,
+    render_summary,
+    render_waterfall,
+    summarize,
+    tail,
+)
+
+
+def _span(name="client", operation="echo", duration_us=100, trace_id="t1",
+          span_id="s1", parent_id=None, start=1000.0, stages=None,
+          error=None):
+    record = {
+        "name": name, "operation": operation, "trace_id": trace_id,
+        "span_id": span_id, "parent_id": parent_id, "start": start,
+        "duration_us": duration_us,
+        "stages": stages if stages is not None else [["send", 60],
+                                                     ["wait", 40]],
+    }
+    if error:
+        record["error"] = error
+    return record
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_single_value(self):
+        assert percentile([42], 0.99) == 42
+
+    def test_median_interpolates(self):
+        assert percentile([10, 20], 0.5) == 15
+
+    def test_p99_of_uniform(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.99) == pytest.approx(99.01)
+
+
+class TestSummarize:
+    def test_groups_by_kind_and_operation(self):
+        spans = [
+            _span(duration_us=100),
+            _span(duration_us=300),
+            _span(name="server", duration_us=50),
+        ]
+        rows = summarize(spans)
+        assert [(row["kind"], row["operation"]) for row in rows] == [
+            ("client", "echo"), ("server", "echo"),
+        ]
+        client_row = rows[0]
+        assert client_row["count"] == 2
+        assert client_row["p50_us"] == 200
+        assert client_row["mean_stages_us"] == {"send": 60, "wait": 40}
+
+    def test_counts_errors(self):
+        rows = summarize([_span(), _span(error="boom")])
+        assert rows[0]["errors"] == 1
+
+    def test_skips_unfinished_spans(self):
+        assert summarize([_span(duration_us=None)]) == []
+
+    def test_render_mentions_operation_and_count(self):
+        text = render_summary([_span(), _span()])
+        assert "echo" in text
+        assert "2 spans" in text
+
+    def test_render_empty(self):
+        assert "no finished spans" in render_summary([])
+
+
+class TestWaterfall:
+    def test_renders_linked_trace(self):
+        spans = [
+            _span(name="client", span_id="c1", start=1000.0,
+                  duration_us=1000,
+                  stages=[["marshal", 100], ["send", 400], ["wait", 500]]),
+            _span(name="server", span_id="s1", parent_id="c1",
+                  start=1000.0002, duration_us=500,
+                  stages=[["select", 100], ["dispatch", 400]]),
+        ]
+        text = render_waterfall(spans)
+        assert "trace t1" in text
+        assert "client:echo" in text
+        assert "server:echo" in text
+        assert "m=marshal" in text
+        assert "d=dispatch" in text
+
+    def test_defaults_to_last_trace(self):
+        spans = [_span(trace_id="old"), _span(trace_id="new")]
+        assert "trace new" in render_waterfall(spans)
+
+    def test_explicit_trace_id(self):
+        spans = [_span(trace_id="old"), _span(trace_id="new")]
+        assert "trace old" in render_waterfall(spans, trace_id="old")
+
+    def test_empty(self):
+        assert "no spans" in render_waterfall([])
+
+
+class TestTail:
+    def test_format_span_line(self):
+        line = format_span_line(_span(duration_us=1500))
+        assert "client" in line
+        assert "echo" in line
+        assert "1.50ms" in line
+        assert "trace=t1" in line
+
+    def test_tail_reads_file(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as handle:
+            for index in range(3):
+                handle.write(json.dumps(_span(span_id=f"s{index}")) + "\n")
+        out = io.StringIO()
+        assert tail(str(path), out=out) == 3
+        assert len(out.getvalue().splitlines()) == 3
+
+    def test_tail_limit(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as handle:
+            for index in range(5):
+                handle.write(json.dumps(_span()) + "\n")
+        assert tail(str(path), limit=2, out=io.StringIO()) == 2
+
+
+class TestMain:
+    def _span_file(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps(_span()) + "\n")
+        return str(path)
+
+    def test_summary_command(self, tmp_path, capsys):
+        assert main(["summary", self._span_file(tmp_path)]) == 0
+        assert "echo" in capsys.readouterr().out
+
+    def test_waterfall_command(self, tmp_path, capsys):
+        assert main(["waterfall", self._span_file(tmp_path)]) == 0
+        assert "trace t1" in capsys.readouterr().out
+
+    def test_tail_command(self, tmp_path, capsys):
+        assert main(["tail", self._span_file(tmp_path)]) == 0
+        assert "trace=t1" in capsys.readouterr().out
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        assert main(["summary", str(tmp_path / "missing.jsonl")]) == 2

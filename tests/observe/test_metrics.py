@@ -1,0 +1,133 @@
+"""Tests for the metrics registry and its instruments."""
+
+import threading
+
+import pytest
+
+from repro.observe import (
+    ChannelMeter,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().value == 0
+
+    def test_inc(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_concurrent_incs_are_not_lost(self):
+        counter = Counter()
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+    def test_snapshot(self):
+        counter = Counter()
+        counter.inc(3)
+        assert counter.snapshot() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_tracks_high_water_mark(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.max == 5
+
+    def test_add(self):
+        gauge = Gauge()
+        gauge.add(3)
+        gauge.add(-1)
+        assert gauge.value == 2
+        assert gauge.max == 3
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        histogram = Histogram()
+        for value in (10, 200, 3000):
+            histogram.record(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 3210
+        assert snap["min"] == 10
+        assert snap["max"] == 3000
+        assert snap["mean"] == pytest.approx(1070)
+
+    def test_overflow_bucket(self):
+        histogram = Histogram(buckets=(10, 100))
+        histogram.record(10_000)
+        assert histogram.snapshot()["overflow"] == 1
+
+    def test_quantile_estimate(self):
+        histogram = Histogram()
+        for _ in range(99):
+            histogram.record(80)
+        histogram.record(40_000)
+        assert histogram.quantile(0.5) == 100  # bucket upper bound of 80
+        assert histogram.quantile(0.999) == 40_000
+
+    def test_empty_quantile_is_none(self):
+        assert Histogram().quantile(0.5) is None
+
+
+class TestRegistry:
+    def test_same_name_and_labels_memoize(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", op="echo")
+        b = registry.counter("x", op="echo")
+        assert a is b
+
+    def test_different_labels_are_distinct(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", op="echo")
+        b = registry.counter("x", op="noop")
+        assert a is not b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_groups_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("calls", op="a").inc(2)
+        registry.counter("calls", op="b").inc(3)
+        registry.gauge("depth").set(7)
+        snap = registry.snapshot()
+        assert {entry["labels"]["op"]: entry["value"]
+                for entry in snap["calls"]} == {"a": 2, "b": 3}
+        assert snap["depth"][0]["value"] == 7
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()
+
+
+class TestChannelMeter:
+    def test_meter_feeds_counters(self):
+        sent, received = Counter(), Counter()
+        meter = ChannelMeter(sent, received)
+        meter.sent(100)
+        meter.received(40)
+        meter.sent(1)
+        assert sent.value == 101
+        assert received.value == 40
