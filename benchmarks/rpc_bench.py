@@ -21,13 +21,25 @@ command-line entry point.
 import json
 import os
 import platform
+import random
+import subprocess
+import sys
 import threading
 import time
 
 from repro.heidirmi import HdSkel, HdStub, Orb
+from repro.heidirmi.errors import CommunicationError
 from repro.heidirmi.serialize import TypeRegistry
 from repro.observe import Observer
 from repro.observe.cli import percentile
+from repro.resilience import (
+    DEFAULT_RETRYABLE_KINDS,
+    BreakerPolicy,
+    FaultPlan,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.resilience.chaos import install_chaos
 
 TYPE_ID = "IDL:Bench/Echo:1.0"
 
@@ -72,13 +84,14 @@ def _registry():
 
 
 def _run_once(transport, protocol, mode, clients, calls_per_client,
-              window, pipeline_workers):
+              window, pipeline_workers, client_kwargs=None):
     """One timed run; returns elapsed seconds (replies all verified)."""
     types = _registry()
     server = Orb(transport=transport, protocol=protocol, types=types,
                  pipeline_workers=pipeline_workers).start()
     client = Orb(transport=transport, protocol=protocol, types=types,
-                 multiplex=(mode == "multiplexed"))
+                 multiplex=(mode == "multiplexed"),
+                 **(client_kwargs or {}))
     try:
         stub = client.resolve(
             server.register(EchoImpl(), type_id=TYPE_ID).stringify()
@@ -336,6 +349,224 @@ def run_traced(transport="inproc", calls=100, pipeline_workers=0):
         "results": results,
     }
     return document, all_spans
+
+
+#: Fault rates for the resilience suite: a clean control, then the two
+#: rates the acceptance contract names (1% and 5% per event).
+FAULT_RATES = (0.0, 0.01, 0.05)
+
+#: Modes the faulted suite measures; both need request ids to survive a
+#: poisoned stream, so only text2 runs.
+FAULT_MODES = ("exclusive", "multiplexed")
+
+#: For idempotent bench traffic a garbled reply is safe to retry, so
+#: the poisoned-stream kind joins the default whitelist (the same
+#: reasoning as tests/resilience/test_acceptance.py).
+_FAULT_RETRYABLE = frozenset(DEFAULT_RETRYABLE_KINDS | {"peer-protocol-error"})
+
+
+def _run_faulted_once(transport, mode, rate, calls, seed, deadline):
+    """One faulted run: per-call latency + outcome for idempotent calls.
+
+    A seeded chaos plan injects connect refusals, mid-frame disconnects
+    and garbage frames at *rate* per event underneath text2; the client
+    retries with tight (real but sub-millisecond-scale) backoff under a
+    per-call deadline.  Rate 0.0 still runs through the chaos wrapper,
+    so latencies compare apples-to-apples across rates.
+    """
+    plan = FaultPlan(seed=seed, connect_refuse=rate, disconnect=rate,
+                     garbage=rate)
+    chaos_transport = install_chaos(transport, plan)
+    types = _registry()
+    server = Orb(transport=chaos_transport, protocol="text2",
+                 types=types).start()
+    client = Orb(transport=chaos_transport, protocol="text2", types=types,
+                 multiplex=(mode == "multiplexed"),
+                 resilience=ResiliencePolicy(
+                     retry=RetryPolicy(max_attempts=4, base_delay=0.001,
+                                       max_delay=0.01,
+                                       retryable_kinds=_FAULT_RETRYABLE,
+                                       rng=random.Random(seed)),
+                     default_deadline=deadline,
+                 ))
+    latencies_us = []
+    successes = 0
+    try:
+        stub = client.resolve(
+            server.register(EchoImpl(), type_id=TYPE_ID).stringify()
+        )
+        for index in range(calls):
+            token = f"c{index}"
+            call = stub._new_call("echo", idempotent=True)
+            call.put_string(token)
+            started = time.perf_counter()
+            try:
+                if stub._invoke(call).get_string() != token:
+                    raise RuntimeError("cross-wired reply under faults")
+                successes += 1
+            except CommunicationError:
+                pass
+            latencies_us.append((time.perf_counter() - started) * 1e6)
+    finally:
+        client.stop()
+        server.stop()
+    return {
+        "transport": transport,
+        "protocol": "text2",
+        "mode": mode,
+        "fault_rate": rate,
+        "calls": calls,
+        "success_rate": round(successes / calls, 4),
+        "p50_us": round(percentile(latencies_us, 0.50) or 0, 1),
+        "p99_us": round(percentile(latencies_us, 0.99) or 0, 1),
+        "faults_injected": plan.injected(),
+    }
+
+
+def measure_resilience_claim(transport, clients, calls_per_client,
+                             window=64, pipeline_workers=0, trials=4):
+    """The overhead check: a resilience-configured ORB at zero faults.
+
+    Interleaved pairs (no-policy run, then policy run, repeated; best
+    of each kept) on the blocking exclusive text2 path — the path
+    ``resilient_invoke`` wraps.  ``no_policy_calls_per_sec`` is also
+    directly comparable against BENCH_rpc.json from the pre-resilience
+    tree, since an Orb without a policy takes the untouched hot path.
+    """
+    policy_kwargs = {
+        "resilience": ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=3, rng=random.Random(0)),
+            breaker=BreakerPolicy(),
+            default_deadline=30.0,
+        )
+    }
+    bare_best = None
+    policy_best = None
+    for _ in range(trials):
+        bare = _run_once(transport, "text2", "exclusive", clients,
+                         calls_per_client, window, pipeline_workers)
+        policy = _run_once(transport, "text2", "exclusive", clients,
+                           calls_per_client, window, pipeline_workers,
+                           client_kwargs=policy_kwargs)
+        if bare_best is None or bare < bare_best:
+            bare_best = bare
+        if policy_best is None or policy < policy_best:
+            policy_best = policy
+    total = clients * calls_per_client
+    return {
+        "clients": clients,
+        "method": f"interleaved pairs, best of {trials}",
+        "no_policy_calls_per_sec": round(total / bare_best, 1),
+        "policy_zero_faults_calls_per_sec": round(total / policy_best, 1),
+        "policy_overhead_pct": round((policy_best / bare_best - 1.0) * 100, 2),
+    }
+
+
+#: Runs one timed blocking-exclusive text2 workload against whatever
+#: tree sys.argv points it at, printing the elapsed seconds.  Works
+#: against this tree and against older checkouts alike (``_run_once``
+#: has had this signature prefix since the benchmark was introduced).
+_BASELINE_SNIPPET = (
+    "import sys\n"
+    "sys.path.insert(0, sys.argv[1])\n"
+    "sys.path.insert(0, sys.argv[2])\n"
+    "from rpc_bench import _run_once\n"
+    "print(_run_once('inproc', 'text2', 'exclusive',\n"
+    "                int(sys.argv[3]), int(sys.argv[4]), 64, 0))\n"
+)
+
+
+def _subprocess_elapsed(tree_root, clients, calls_per_client):
+    """One workload in a fresh interpreter over *tree_root*'s sources."""
+    result = subprocess.run(
+        [sys.executable, "-c", _BASELINE_SNIPPET,
+         os.path.join(tree_root, "src"),
+         os.path.join(tree_root, "benchmarks"),
+         str(clients), str(calls_per_client)],
+        capture_output=True, text=True, check=True,
+    )
+    return float(result.stdout.strip().splitlines()[-1])
+
+
+def measure_baseline_regression(baseline_root, clients, calls_per_client,
+                                trials=4):
+    """No-policy throughput of this tree vs an older checkout's.
+
+    Both trees run the identical blocking exclusive text2 workload in
+    fresh interpreters, as interleaved pairs (baseline, current,
+    repeated; best of each kept) so both sides see the same machine
+    conditions.  This is the direct check that an Orb *without* a
+    resilience policy still runs the pre-resilience hot path: extract
+    the pre-resilience revision (e.g. ``git archive <rev> | tar -x -C
+    benchmarks/out/baseline``) and pass it as *baseline_root*.
+    """
+    current_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_best = None
+    current_best = None
+    for _ in range(trials):
+        baseline = _subprocess_elapsed(baseline_root, clients,
+                                       calls_per_client)
+        current = _subprocess_elapsed(current_root, clients,
+                                      calls_per_client)
+        if baseline_best is None or baseline < baseline_best:
+            baseline_best = baseline
+        if current_best is None or current < current_best:
+            current_best = current
+    total = clients * calls_per_client
+    return {
+        "clients": clients,
+        "method": f"interleaved subprocess pairs, best of {trials}",
+        "baseline_calls_per_sec": round(total / baseline_best, 1),
+        "current_no_policy_calls_per_sec": round(total / current_best, 1),
+        "regression_pct": round((current_best / baseline_best - 1.0) * 100, 2),
+    }
+
+
+def run_faults(transport="inproc", calls=300, seed=42, deadline=5.0,
+               rates=FAULT_RATES, clients=8, calls_per_client=150,
+               trials=4, baseline_root=None):
+    """The resilience measurement document (``BENCH_resilience.json``).
+
+    For each fault rate × connection mode: p50/p99 latency and success
+    rate of idempotent retry traffic under a seeded chaos plan.  The
+    claim block measures what resilience *costs* when nothing fails;
+    with *baseline_root* (an extracted pre-resilience checkout) it also
+    measures the no-policy regression against that tree directly.
+    """
+    results = []
+    for rate in rates:
+        for mode in FAULT_MODES:
+            results.append(_run_faulted_once(
+                transport, mode, rate, calls, seed, deadline
+            ))
+    document = {
+        "benchmark": "rpc_resilience",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "params": {
+            "transport": transport,
+            "calls": calls,
+            "seed": seed,
+            "deadline_s": deadline,
+            "fault_rates": list(rates),
+            "retry": {"max_attempts": 4, "base_delay": 0.001,
+                      "max_delay": 0.01},
+        },
+        "results": results,
+        "claim": measure_resilience_claim(
+            transport, clients, calls_per_client,
+            pipeline_workers=0, trials=trials,
+        ),
+    }
+    if baseline_root is not None:
+        document["claim"]["no_policy_vs_baseline"] = (
+            measure_baseline_regression(baseline_root, clients,
+                                        calls_per_client, trials=trials)
+        )
+    return document
 
 
 def write_spans(spans, path):

@@ -13,6 +13,13 @@ ends, per-stage p50/p99 attribution — writing ``BENCH_obs.json`` plus
 the raw spans to ``benchmarks/out/spans.jsonl``::
 
     PYTHONPATH=src python benchmarks/run_bench.py --trace --calls 100
+
+With ``--faults`` it runs the resilience suite — p50/p99 latency and
+success rate for idempotent retry traffic under seeded chaos plans at
+0%/1%/5% fault rates, plus the zero-fault policy overhead check —
+writing ``BENCH_resilience.json``::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --faults
 """
 
 import argparse
@@ -23,6 +30,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 sys.path.insert(0, os.path.dirname(__file__))
 
 from rpc_bench import (  # noqa: E402
+    run_faults,
     run_matrix,
     run_traced,
     write_document,
@@ -54,6 +62,18 @@ def main(argv=None):
     parser.add_argument("--trace", action="store_true",
                         help="run the traced suite instead: per-stage "
                              "p50/p99 to BENCH_obs.json + spans.jsonl")
+    parser.add_argument("--faults", action="store_true",
+                        help="run the resilience suite instead: latency "
+                             "and success rate under seeded chaos plans "
+                             "to BENCH_resilience.json")
+    parser.add_argument("--fault-calls", type=int, default=300,
+                        help="calls per fault-rate configuration")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="chaos plan seed for --faults")
+    parser.add_argument("--baseline", default=None,
+                        help="extracted pre-resilience checkout to "
+                             "measure the no-policy regression against "
+                             "(git archive <rev> | tar -x -C <dir>)")
     parser.add_argument("--spans-out",
                         default=os.path.join(REPO_ROOT, "benchmarks",
                                              "out", "spans.jsonl"),
@@ -62,6 +82,8 @@ def main(argv=None):
 
     if args.trace:
         return _main_traced(args)
+    if args.faults:
+        return _main_faults(args)
 
     if args.out is None:
         args.out = os.path.join(REPO_ROOT, "BENCH_rpc.json")
@@ -113,6 +135,44 @@ def _main_traced(args):
             f"linked={result['linked_spans']}/{result['calls']} "
             f"client p50={client['p50_us']:.0f}us "
             f"p99={client['p99_us']:.0f}us [{stage_bits}]"
+        )
+    return 0
+
+
+def _main_faults(args):
+    document = run_faults(
+        transport=args.transport,
+        calls=args.fault_calls,
+        seed=args.seed,
+        trials=args.trials,
+        baseline_root=args.baseline,
+    )
+    out = args.out or os.path.join(REPO_ROOT, "BENCH_resilience.json")
+    path = write_document(document, out)
+    print(f"wrote {path}")
+    for result in document["results"]:
+        print(
+            f"  rate={result['fault_rate']:<5g} {result['mode']:11s} "
+            f"success={result['success_rate']:7.2%} "
+            f"p50={result['p50_us']:>8,.1f}us "
+            f"p99={result['p99_us']:>10,.1f}us "
+            f"(injected {result['faults_injected']})"
+        )
+    claim = document["claim"]
+    print(
+        f"claim: policy at zero faults costs "
+        f"{claim['policy_overhead_pct']:+.2f}% vs no policy "
+        f"({claim['policy_zero_faults_calls_per_sec']:,.1f} vs "
+        f"{claim['no_policy_calls_per_sec']:,.1f} calls/s, "
+        f"{claim['clients']} clients)"
+    )
+    baseline = claim.get("no_policy_vs_baseline")
+    if baseline is not None:
+        print(
+            f"claim: no-policy vs pre-resilience baseline: "
+            f"{baseline['regression_pct']:+.2f}% "
+            f"({baseline['current_no_policy_calls_per_sec']:,.1f} vs "
+            f"{baseline['baseline_calls_per_sec']:,.1f} calls/s)"
         )
     return 0
 

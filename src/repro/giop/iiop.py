@@ -33,6 +33,7 @@ from repro.giop.messages import (
     REPLY_NO_EXCEPTION,
     REPLY_SYSTEM_EXCEPTION,
     REPLY_USER_EXCEPTION,
+    SERVICE_CONTEXT_DEADLINE,
     SERVICE_CONTEXT_TRACE,
     LocateReplyHeader,
     LocateRequestHeader,
@@ -52,6 +53,7 @@ from repro.heidirmi.call import (
 from repro.heidirmi.errors import CommunicationError, MarshalError, ProtocolError
 from repro.heidirmi.marshal import Marshaller, Unmarshaller
 from repro.heidirmi.protocol import Protocol
+from repro.resilience.deadline import Deadline
 
 
 class CdrMarshaller(Marshaller):
@@ -218,6 +220,13 @@ class GiopProtocol(Protocol):
                 SERVICE_CONTEXT_TRACE,
                 call.trace_context.encode("ascii", errors="replace"),
             ))
+        if call.deadline is not None:
+            # Remaining budget in ms, same relative quantity as the
+            # text protocols' dl= token (see SERVICE_CONTEXT_DEADLINE).
+            service_context.append(ServiceContext(
+                SERVICE_CONTEXT_DEADLINE,
+                str(call.deadline.remaining_ms()).encode("ascii"),
+            ))
         header = RequestHeader(
             request_id=request_id,
             object_key=call.target.encode("utf-8"),
@@ -276,7 +285,17 @@ class GiopProtocol(Protocol):
                 call.trace_context = context.context_data.decode(
                     "ascii", errors="replace"
                 )
-                break
+            elif context.context_id == SERVICE_CONTEXT_DEADLINE:
+                try:
+                    ms = int(context.context_data.decode("ascii"))
+                except (UnicodeDecodeError, ValueError):
+                    raise ProtocolError(
+                        f"bad deadline service context "
+                        f"{context.context_data!r}"
+                    ) from None
+                if ms < 0:
+                    raise ProtocolError(f"negative deadline {ms}ms")
+                call.deadline = Deadline.after(ms / 1000.0)
         # The reply to this request must echo its id; the communicator
         # replies through the channel without call context, so stash it.
         channel._giop_pending_reply_id = request.request_id

@@ -27,6 +27,14 @@ GIOP_HEADER_SIZE = 12
 #: untraced ORBs interoperate.
 SERVICE_CONTEXT_TRACE = 0x48445443
 
+#: ServiceContext id carrying the HeidiRMI call deadline ("HDDL"):
+#: context_data is the *remaining budget* in whole milliseconds as an
+#: ASCII decimal string — the same relative quantity as the text
+#: protocols' ``dl=`` header token, needing no clock synchronisation.
+#: The server re-anchors it on its own monotonic clock at decode time;
+#: unaware peers skip the entry.
+SERVICE_CONTEXT_DEADLINE = 0x4844444C
+
 MSG_REQUEST = 0
 MSG_REPLY = 1
 MSG_CANCEL_REQUEST = 2

@@ -21,7 +21,9 @@ Python stubs/skeletons from :mod:`repro.mappings.python_rmi` run on it.
 """
 
 from repro.heidirmi.errors import (
+    CircuitOpenError,
     CommunicationError,
+    DeadlineExceeded,
     HeidiRmiError,
     MarshalError,
     MethodNotFound,
@@ -50,6 +52,8 @@ __all__ = [
     "MethodNotFound",
     "ProtocolError",
     "RemoteError",
+    "DeadlineExceeded",
+    "CircuitOpenError",
     "ObjectReference",
     "Call",
     "Reply",

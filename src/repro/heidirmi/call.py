@@ -166,10 +166,11 @@ class Call(_DelegatingWriter, _DelegatingReader):
     # _giop_request_id is GIOP's server-side stash of the incoming id.
     __slots__ = ("_m", "_u", "target", "operation", "oneway",
                  "request_id", "_giop_request_id",
-                 "trace_context", "trace_span")
+                 "trace_context", "trace_span",
+                 "deadline", "idempotent")
 
     def __init__(self, target, operation, marshaller=None, unmarshaller=None,
-                 oneway=False, request_id=None):
+                 oneway=False, request_id=None, idempotent=False):
         # The mixin __init__s are one-line slot stores; assign directly
         # (one Call per request — the two calls are measurable).
         if marshaller is not None:
@@ -192,6 +193,13 @@ class Call(_DelegatingWriter, _DelegatingReader):
         #: The in-process Span riding this call (client span on the
         #: sending side, server span while dispatching); never on wire.
         self.trace_span = None
+        #: :class:`repro.resilience.Deadline` budget: set client-side
+        #: before send (propagated as remaining ms on the wire),
+        #: re-anchored server-side at parse time; None when unbounded.
+        self.deadline = None
+        #: Declared retry-safe: the resilient invoke path may retry
+        #: this call under a RetryPolicy (oneways always qualify).
+        self.idempotent = idempotent
 
     @property
     def writable(self):

@@ -26,9 +26,15 @@ explicit :meth:`flush`.
 
 import threading
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
 
 from repro.heidirmi.call import Reply, STATUS_ERROR
-from repro.heidirmi.errors import CommunicationError, HeidiRmiError
+from repro.heidirmi.errors import (
+    CommunicationError,
+    DeadlineExceeded,
+    HeidiRmiError,
+    ProtocolError,
+)
 
 
 class _SendBuffer:
@@ -146,16 +152,62 @@ class ObjectCommunicator:
 
     def invoke(self, call):
         """Send *call*; return the Reply (or None for oneway calls)."""
+        deadline = call.deadline
         if call.oneway:
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"deadline expired before oneway {call.operation!r} "
+                    "was sent"
+                )
             self._send_oneway(call)
             return None
         if self.multiplexed:
-            return self.invoke_async(call).result()
+            future = self.invoke_async(call)
+            if deadline is None:
+                return future.result()
+            try:
+                return future.result(timeout=max(0.0, deadline.remaining()))
+            except _FutureTimeout:
+                # Only this call's completion-table entry dies; the
+                # demux reader and the shared channel keep serving
+                # channel-mates, and the late reply (if any) is counted
+                # as an orphan.
+                self.abandon(call.request_id)
+                raise DeadlineExceeded(
+                    f"deadline expired waiting for reply to "
+                    f"{call.operation!r} (id {call.request_id})"
+                ) from None
         self.flush()
-        self.protocol.send_request(self.channel, call)
-        if call.trace_span is not None:
-            call.trace_span.stage("send")
-        return self.protocol.recv_reply(self.channel)
+        if deadline is not None:
+            # Exclusive channels enforce the budget at the socket: a
+            # timed-out channel closes (its stream position is unknown).
+            self.channel.set_deadline(deadline.expires_at)
+        try:
+            self.protocol.send_request(self.channel, call)
+            if call.trace_span is not None:
+                call.trace_span.stage("send")
+            return self._recv_reply_checked()
+        finally:
+            if deadline is not None and not self.channel.closed:
+                self.channel.set_deadline(None)
+
+    def _recv_reply_checked(self):
+        """recv_reply with framing errors normalized to channel failures.
+
+        A ProtocolError mid-reply leaves the stream position unknown —
+        the exclusive mirror of the demux reader dying — so the channel
+        closes and the caller sees ``kind="peer-protocol-error"``
+        (which the connection cache then discards) instead of a leaked,
+        poisoned communicator going back into the pool.
+        """
+        try:
+            return self.protocol.recv_reply(self.channel)
+        except ProtocolError as exc:
+            self.channel.close()
+            raise CommunicationError(
+                f"unparseable reply from {self.channel.peer}: {exc}",
+                kind="peer-protocol-error",
+            ) from exc
 
     def invoke_async(self, call):
         """Send *call* without waiting; returns a Future of the Reply.
@@ -254,7 +306,7 @@ class ObjectCommunicator:
             raise
         return futures
 
-    def invoke_pipelined_sync(self, calls):
+    def invoke_pipelined_sync(self, calls, deadline=None):
         """Send a burst in ONE write and block until every reply lands.
 
         The synchronous sibling of :meth:`invoke_pipelined`: same
@@ -303,7 +355,23 @@ class ObjectCommunicator:
                     self._pending.pop(request_id, None)
             raise
         if registered:
-            collector.event.wait()
+            if deadline is None:
+                collector.event.wait()
+            elif not collector.event.wait(
+                timeout=max(0.0, deadline.remaining())
+            ):
+                # Unregister what is still outstanding so late replies
+                # become counted orphans; channel-mates are untouched.
+                with self._pending_lock:
+                    for request_id in registered:
+                        self._pending.pop(request_id, None)
+                    depth = len(self._pending)
+                if self._pending_gauge is not None:
+                    self._pending_gauge.set(depth)
+                raise DeadlineExceeded(
+                    f"deadline expired with {collector.remaining} of "
+                    f"{len(registered)} replies outstanding"
+                )
             if collector.error is not None:
                 raise collector.error
         return [None if call.oneway else collector.replies[call.request_id]
@@ -429,6 +497,22 @@ class ObjectCommunicator:
                 waiter.add(reply.request_id, reply)
             else:
                 waiter.set_result(reply)
+
+    def abandon(self, request_id):
+        """Drop one pending entry whose caller stopped waiting.
+
+        Used by deadline enforcement on multiplexed channels: the
+        expired call's completion-table entry is removed so the demux
+        reader counts its late reply (if one ever arrives) as an orphan
+        instead of delivering it to nobody — and every channel-mate
+        keeps its own entry.  Returns True if the entry existed.
+        """
+        with self._pending_lock:
+            waiter = self._pending.pop(request_id, None)
+            depth = len(self._pending)
+        if self._pending_gauge is not None:
+            self._pending_gauge.set(depth)
+        return waiter is not None
 
     def _fail_pending(self, exc):
         with self._pending_lock:

@@ -33,7 +33,8 @@ class ConnectionCache:
     """Pool of communicators keyed by bootstrap tuple."""
 
     def __init__(self, transport_factory, protocol, enabled=True, max_idle=8,
-                 mode="exclusive", communicator_options=None, observer=None):
+                 mode="exclusive", communicator_options=None, observer=None,
+                 connect_timeout=None):
         if mode not in ("exclusive", "multiplexed"):
             raise HeidiRmiError(
                 f"unknown connection mode {mode!r}; "
@@ -44,6 +45,9 @@ class ConnectionCache:
         self._enabled = enabled
         self._max_idle = max_idle
         self._mode = mode
+        #: Connection-establishment budget in seconds; None defers to
+        #: the transport's own default (30 s for tcp).
+        self._connect_timeout = connect_timeout
         self._options = dict(communicator_options or {})
         self._idle = {}
         self._shared = {}
@@ -90,17 +94,28 @@ class ConnectionCache:
         if self._evict_counter is not None:
             self._evict_counter.inc(count)
 
-    def _open(self, bootstrap, multiplexed):
+    def _open(self, bootstrap, multiplexed, connect_timeout=None):
         protocol_name, host, port = bootstrap
         transport = self._transport_factory(protocol_name)
-        channel = transport.connect(host, port)
+        timeout = self._connect_timeout
+        if connect_timeout is not None:
+            # A per-call budget (deadline) can only tighten the
+            # configured establishment timeout, never widen it.
+            timeout = (connect_timeout if timeout is None
+                       else min(timeout, connect_timeout))
+        try:
+            channel = transport.connect(host, port, timeout=timeout)
+        except TypeError:
+            # Custom transports registered before connect() grew a
+            # timeout parameter keep working unconfigured.
+            channel = transport.connect(host, port)
         if self._meter is not None:
             channel.meter = self._meter
         return ObjectCommunicator(
             channel, self._protocol, multiplexed=multiplexed, **self._options
         )
 
-    def acquire(self, bootstrap):
+    def acquire(self, bootstrap, connect_timeout=None):
         """A ready communicator for (protocol, host, port) *bootstrap*."""
         if self._mode == "multiplexed":
             # One shared channel per peer; opening is serialized under
@@ -115,7 +130,10 @@ class ConnectionCache:
                     # is an eviction.
                     self._evict()
                 self._miss()
-                communicator = self._open(bootstrap, multiplexed=True)
+                communicator = self._open(
+                    bootstrap, multiplexed=True,
+                    connect_timeout=connect_timeout,
+                )
                 self._shared[bootstrap] = communicator
                 return communicator
         if self._enabled:
@@ -129,7 +147,9 @@ class ConnectionCache:
                     self._evict()
         with self._lock:
             self._miss()
-        return self._open(bootstrap, multiplexed=False)
+        return self._open(
+            bootstrap, multiplexed=False, connect_timeout=connect_timeout
+        )
 
     def release(self, bootstrap, communicator):
         """Return a communicator after use; closed ones are dropped."""
@@ -157,6 +177,26 @@ class ConnectionCache:
                     if shared is communicator:
                         del self._shared[bootstrap]
                         self._evict()
+
+    def evict_endpoint(self, bootstrap):
+        """Close and drop every cached connection to *bootstrap*.
+
+        The circuit breaker calls this when an endpoint's circuit
+        opens: pooled or shared connections to a peer judged broken are
+        torn down immediately, so the eventual half-open probe opens a
+        fresh connection instead of inheriting a wedged one.  Returns
+        the number of connections evicted.
+        """
+        with self._lock:
+            victims = list(self._idle.pop(bootstrap, ()))
+            shared = self._shared.pop(bootstrap, None)
+            if shared is not None:
+                victims.append(shared)
+        for communicator in victims:
+            communicator.close()
+        if victims:
+            self._evict(len(victims))
+        return len(victims)
 
     def flush_all(self):
         """Flush batched oneway buffers on every live communicator."""

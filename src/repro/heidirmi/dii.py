@@ -17,7 +17,12 @@ Marshalling is interpreted from the EST type vocabulary at call time:
 the Param/Operation nodes stored in the IR say what to put and get.
 """
 
-from repro.heidirmi.errors import HeidiRmiError, MarshalError, RemoteError
+from repro.heidirmi.errors import (
+    DeadlineExceeded,
+    HeidiRmiError,
+    MarshalError,
+    RemoteError,
+)
 from repro.heidirmi.objref import ObjectReference
 from repro.heidirmi.serialize import get_object, put_object
 
@@ -75,8 +80,15 @@ class DynamicCaller:
 
     # -- public API -----------------------------------------------------
 
-    def invoke(self, reference, operation, *args):
-        """Call *operation* on *reference*, marshalling by IR metadata."""
+    def invoke(self, reference, operation, *args, idempotent=None,
+               deadline=None):
+        """Call *operation* on *reference*, marshalling by IR metadata.
+
+        *idempotent* overrides the IR's per-operation ``idempotent``
+        flag (None defers to the repository); a retry policy on the ORB
+        only re-sends calls marked idempotent.  *deadline* is a
+        per-call budget forwarded to :meth:`Orb.invoke`.
+        """
         if isinstance(reference, str):
             reference = ObjectReference.parse(reference)
         kind, node = self.repository.operation_node(
@@ -88,10 +100,17 @@ class DynamicCaller:
                 "in the interface repository"
             )
         if kind == "operation":
-            return self._invoke_operation(reference, operation, node, args)
+            return self._invoke_operation(
+                reference, operation, node, args,
+                idempotent=idempotent, deadline=deadline,
+            )
         if kind == "attribute-get":
-            return self._invoke_attribute_get(reference, operation, node, args)
-        return self._invoke_attribute_set(reference, operation, node, args)
+            return self._invoke_attribute_get(
+                reference, operation, node, args, deadline=deadline
+            )
+        return self._invoke_attribute_set(
+            reference, operation, node, args, deadline=deadline
+        )
 
     def operations(self, type_id):
         """Every operation name invocable on *type_id* per the IR."""
@@ -116,7 +135,8 @@ class DynamicCaller:
 
     # -- invocation paths ---------------------------------------------------
 
-    def _invoke_operation(self, reference, operation, node, args):
+    def _invoke_operation(self, reference, operation, node, args,
+                          idempotent=None, deadline=None):
         params = node.children("Param")
         in_params = [
             p for p in params if p.get("getType", "in") in ("in", "incopy",
@@ -127,10 +147,14 @@ class DynamicCaller:
         ]
         args = self._apply_defaults(operation, in_params, args)
         oneway = bool(node.get("oneway"))
-        call = self.orb.create_call(reference, operation, oneway=oneway)
+        if idempotent is None:
+            idempotent = bool(node.get("idempotent"))
+        call = self.orb.create_call(
+            reference, operation, oneway=oneway, idempotent=bool(idempotent)
+        )
         for param, value in zip(in_params, args):
             self._put(call, param, value, param.get("getType", "in"))
-        reply = self._checked_invoke(reference, call)
+        reply = self._checked_invoke(reference, call, deadline=deadline)
         if oneway:
             return None
         results = []
@@ -142,19 +166,22 @@ class DynamicCaller:
             return None
         return results[0] if len(results) == 1 else tuple(results)
 
-    def _invoke_attribute_get(self, reference, operation, node, args):
+    def _invoke_attribute_get(self, reference, operation, node, args,
+                              deadline=None):
         if args:
             raise HeidiRmiError(f"{operation} takes no arguments")
-        call = self.orb.create_call(reference, operation)
-        reply = self._checked_invoke(reference, call)
+        # Attribute reads are side-effect free, hence always retry-safe.
+        call = self.orb.create_call(reference, operation, idempotent=True)
+        reply = self._checked_invoke(reference, call, deadline=deadline)
         return self._get(reply, node)
 
-    def _invoke_attribute_set(self, reference, operation, node, args):
+    def _invoke_attribute_set(self, reference, operation, node, args,
+                              deadline=None):
         if len(args) != 1:
             raise HeidiRmiError(f"{operation} takes exactly one argument")
         call = self.orb.create_call(reference, operation)
         self._put(call, node, args[0], "in")
-        self._checked_invoke(reference, call)
+        self._checked_invoke(reference, call, deadline=deadline)
         return None
 
     def _apply_defaults(self, operation, in_params, args):
@@ -183,8 +210,8 @@ class DynamicCaller:
                 return members.index(default)
         return default
 
-    def _checked_invoke(self, reference, call):
-        reply = self.orb.invoke(reference, call)
+    def _checked_invoke(self, reference, call, deadline=None):
+        reply = self.orb.invoke(reference, call, deadline=deadline)
         if reply is None:
             return None
         if reply.is_ok:
@@ -192,6 +219,8 @@ class DynamicCaller:
         if reply.is_exception:
             raise self.orb.rebuild_exception(reply)
         message = reply.get_string() if not reply.at_end() else "remote error"
+        if reply.repo_id == "DeadlineExceeded":
+            raise DeadlineExceeded(message)
         raise RemoteError(message, repo_id=reply.repo_id)
 
     # -- interpretive marshalling ----------------------------------------------

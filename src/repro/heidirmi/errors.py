@@ -21,7 +21,11 @@ class CommunicationError(HeidiRmiError):
     reader dying mid-flight from a refused connect.  Raisers across the
     transport and communicator layers use:
 
-    - ``connect-refused`` — the peer could not be reached at all;
+    - ``connect-refused`` — the peer actively refused (or is
+      unreachable); connection establishment failed immediately;
+    - ``connect-timeout`` — the connect attempt ran out its timeout
+      budget without an answer (distinct from a refusal: the endpoint
+      may be black-holing, not down);
     - ``bind-failed`` / ``accept-failed`` / ``listener-closed`` — the
       server side of connection establishment failed;
     - ``send-failed`` / ``recv-failed`` — an I/O error on a live socket;
@@ -33,12 +37,34 @@ class CommunicationError(HeidiRmiError):
     - ``peer-protocol-error`` — the peer reported a request it could
       not parse (e.g. ``RET2 0 ERR``), failing the whole channel;
     - ``frame-overflow`` — a message exceeded the wire-format bounds;
+    - ``deadline-exceeded`` — the call's deadline budget ran out
+      (raised as :class:`DeadlineExceeded`, also a ``TimeoutError``);
+    - ``circuit-open`` — the per-endpoint circuit breaker shed the
+      call without a connection attempt (:class:`CircuitOpenError`);
     - ``communication`` — the unclassified default.
     """
 
     def __init__(self, message, kind="communication"):
         self.kind = kind
         super().__init__(message)
+
+
+class DeadlineExceeded(CommunicationError, TimeoutError):
+    """The call's deadline expired (client- or server-detected).
+
+    Subclasses ``TimeoutError`` so user code can catch the standard
+    exception without importing anything from the runtime.
+    """
+
+    def __init__(self, message):
+        super().__init__(message, kind="deadline-exceeded")
+
+
+class CircuitOpenError(CommunicationError):
+    """The endpoint's circuit breaker is open; the call was shed."""
+
+    def __init__(self, message):
+        super().__init__(message, kind="circuit-open")
 
 
 class ObjectNotFound(HeidiRmiError):

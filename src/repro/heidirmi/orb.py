@@ -22,6 +22,7 @@ from repro.heidirmi.communicator import ObjectCommunicator
 from repro.heidirmi.connection import ConnectionCache
 from repro.heidirmi.errors import (
     CommunicationError,
+    DeadlineExceeded,
     HeidiRmiError,
     MethodNotFound,
     ObjectNotFound,
@@ -35,6 +36,8 @@ from repro.heidirmi.serialize import GLOBAL_TYPES
 from repro.heidirmi.stub import HdStub
 from repro.heidirmi.transport import get_transport
 from repro.observe import context as _trace_state
+from repro.resilience.breaker import BREAKER_OPEN, CircuitBreaker
+from repro.resilience.engine import resilient_invoke, resolve_deadline
 
 
 class Orb:
@@ -57,6 +60,9 @@ class Orb:
         batch_oneways=False,
         trace=None,
         observer=None,
+        connect_timeout=None,
+        default_deadline=None,
+        resilience=None,
     ):
         self.host = host
         self.transport_name = transport
@@ -121,6 +127,20 @@ class Orb:
         #: reads ahead and dispatches to this many pooled workers, so
         #: replies on id-carrying protocols can complete out of order.
         self.pipeline_workers = int(pipeline_workers)
+        #: Connection-establishment budget in seconds; None defers to
+        #: the transport default (30 s for tcp).
+        self.connect_timeout = connect_timeout
+        #: Default per-call deadline (seconds or a Deadline budget)
+        #: applied when neither the call nor the invoke carries one.
+        self.default_deadline = default_deadline
+        #: :class:`repro.resilience.ResiliencePolicy` (retry, breaker,
+        #: default deadline) — None keeps the pre-resilience hot path.
+        self.resilience = resilience
+        # One extra boolean test on Orb.invoke is all the resilience
+        # layer costs an unconfigured Orb.
+        self._resilient = resilience is not None or default_deadline is not None
+        # Lazily-built per-endpoint circuit breakers (bootstrap-keyed).
+        self._breakers = {}
         self.connections = ConnectionCache(
             get_transport,
             self.protocol,
@@ -129,6 +149,7 @@ class Orb:
             communicator_options={"batch_oneways": batch_oneways,
                                   "observer": observer},
             observer=observer,
+            connect_timeout=connect_timeout,
         )
         self._dispatch_pool = None
         self._async_pool = None
@@ -158,10 +179,14 @@ class Orb:
             )
             self._pipeline_gauge = metrics.gauge("rpc.pipeline_inflight")
             self._server_meter = observer.channel_meter("server")
+            self._server_expired_counter = metrics.counter(
+                "resilience.deadline_expired", side="server"
+            )
         else:
             self._requests_counter = None
             self._pipeline_gauge = None
             self._server_meter = None
+            self._server_expired_counter = None
         self._op_instruments = {}
 
     def _count(self, key, n=1):
@@ -384,8 +409,13 @@ class Orb:
 
     # -- client call path (Fig. 4) --------------------------------------------------
 
-    def create_call(self, reference, operation, oneway=False):
-        """A new writable Call addressed at *reference* (Fig. 4 step 1)."""
+    def create_call(self, reference, operation, oneway=False, idempotent=False):
+        """A new writable Call addressed at *reference* (Fig. 4 step 1).
+
+        *idempotent* declares the operation retry-safe: a configured
+        RetryPolicy may transparently re-send it on retryable failures
+        (oneways always qualify).
+        """
         if self.trace is not None:
             self._event("call:new", operation=operation)
         call = Call(
@@ -393,6 +423,7 @@ class Orb:
             operation,
             marshaller=self.protocol.new_marshaller(),
             oneway=oneway,
+            idempotent=idempotent,
         )
         if self.observer is not None:
             # The span starts here so parameter marshalling (between
@@ -405,30 +436,67 @@ class Orb:
             call.trace_context = span.context.token()
         return call
 
-    def invoke(self, reference, call):
-        """Invoke *call* (Fig. 4 steps 2–4); returns the Reply."""
+    def invoke(self, reference, call, deadline=None):
+        """Invoke *call* (Fig. 4 steps 2–4); returns the Reply.
+
+        *deadline* (seconds or a :class:`repro.resilience.Deadline`)
+        bounds the whole invocation — connect, send and reply wait —
+        and is propagated on the wire so the server can drop the
+        request once it expires.  Calls with no deadline, on an Orb
+        with no resilience policy, take the exact pre-resilience path.
+        """
+        if deadline is not None or self._resilient or call.deadline is not None:
+            return resilient_invoke(self, reference, call, deadline)
         self._count("calls")
         span = call.trace_span
         if span is not None:
             # Everything since create_call was parameter marshalling.
             span.stage("marshal")
+        try:
+            reply = self._invoke_once(reference, call)
+        except CommunicationError as exc:
+            self._finish_client_span(call, error=exc)
+            raise
+        if span is not None:
+            self._finish_client_span(call, reply=reply)
+        return reply
+
+    def _invoke_once(self, reference, call):
+        """One acquire→invoke→release attempt; the span stays open.
+
+        Shared by the fast path and the resilient engine (which may
+        run several attempts under one client span).  A call deadline
+        clamps connection establishment too.
+        """
         bootstrap = reference.bootstrap
-        communicator = self.connections.acquire(bootstrap)
+        deadline = call.deadline
+        if deadline is None:
+            communicator = self.connections.acquire(bootstrap)
+        else:
+            communicator = self.connections.acquire(
+                bootstrap, connect_timeout=max(0.0, deadline.remaining())
+            )
         if self.trace is not None:
             self._event("call:invoke", operation=call.operation,
                         target=call.target)
         try:
             reply = communicator.invoke(call)
-        except CommunicationError as exc:
+        except DeadlineExceeded:
+            # One expired call must not take the shared channel from
+            # its channel-mates: a still-open (multiplexed) channel
+            # goes back, only a closed one is discarded.
+            if communicator.closed:
+                self.connections.discard(communicator)
+            else:
+                self.connections.release(bootstrap, communicator)
+            raise
+        except CommunicationError:
             self.connections.discard(communicator)
-            self._finish_client_span(call, error=exc)
             raise
         self.connections.release(bootstrap, communicator)
         if self.trace is not None:
             self._event("call:reply",
                         status=None if reply is None else reply.status)
-        if span is not None:
-            self._finish_client_span(call, reply=reply)
         return reply
 
     def invoke_async(self, reference, call):
@@ -503,7 +571,7 @@ class Orb:
                     self._watch_future(call, future)
         return futures
 
-    def invoke_bulk(self, reference, calls):
+    def invoke_bulk(self, reference, calls, deadline=None):
         """Pipeline a burst of calls and block for all their replies.
 
         Like :meth:`invoke_many` but synchronous: on a multiplexed ORB
@@ -512,17 +580,40 @@ class Orb:
         per-call overhead than a future each.  Returns replies in call
         order (None for oneways).  Exclusive ORBs fall back to
         sequential :meth:`invoke`.
+
+        *deadline* bounds the whole window: every call in the burst
+        shares the one budget (propagated per-request on the wire), and
+        expiry abandons the outstanding entries without touching
+        channel-mates.
         """
         if not isinstance(calls, (list, tuple)):
             calls = list(calls)
+        if deadline is not None or self._resilient:
+            deadline = resolve_deadline(self, deadline)
+            if deadline is not None:
+                for call in calls:
+                    call.deadline = deadline
         bootstrap = reference.bootstrap
         communicator = self.connections.acquire(bootstrap)
         if not communicator.multiplexed:
             self.connections.release(bootstrap, communicator)
-            return [self.invoke(reference, call) for call in calls]
+            return [self.invoke(reference, call, deadline=deadline)
+                    for call in calls]
         self._count("calls", len(calls))
         try:
-            replies = communicator.invoke_pipelined_sync(calls)
+            replies = communicator.invoke_pipelined_sync(calls,
+                                                         deadline=deadline)
+        except DeadlineExceeded as exc:
+            # Same rule as _invoke_once: channel-mates keep a healthy
+            # shared channel; only a closed one is discarded.
+            if communicator.closed:
+                self.connections.discard(communicator)
+            else:
+                self.connections.release(bootstrap, communicator)
+            if self.observer is not None:
+                for call in calls:
+                    self._finish_client_span(call, error=exc)
+            raise
         except CommunicationError as exc:
             self.connections.discard(communicator)
             if self.observer is not None:
@@ -633,6 +724,12 @@ class Orb:
                     protocol=self.protocol.name,
                 )
                 self._requests_counter.inc()
+            if call.deadline is not None and call.deadline.expired:
+                # The wire-propagated budget ran out while this request
+                # sat queued behind the backlog: the client has stopped
+                # waiting, so dispatching is dead work.
+                self._drop_expired(communicator, call)
+                continue
             if (
                 window is not None
                 and not call.oneway
@@ -687,6 +784,10 @@ class Orb:
             # Time between read-off-the-wire and worker pickup.
             span.stage("queue")
         try:
+            if call.deadline is not None and call.deadline.expired:
+                # Expired while queued for a pipeline worker.
+                self._drop_expired(communicator, call)
+                return
             reply = self._handle_request(call)
             try:
                 communicator.reply(reply)
@@ -704,6 +805,67 @@ class Orb:
             window.release()
             if self._pipeline_gauge is not None:
                 self._pipeline_gauge.add(-1)
+
+    def _drop_expired(self, communicator, call):
+        """Shed a request whose wire-propagated deadline already passed.
+
+        Two-ways still get a best-effort ``DeadlineExceeded`` error
+        reply (the client maps that category back to a TimeoutError if
+        it is somehow still listening); oneways are dropped silently.
+        """
+        if self._server_expired_counter is not None:
+            self._server_expired_counter.inc()
+        if self.trace is not None:
+            self._event("orb:deadline-drop", operation=call.operation)
+        if not call.oneway:
+            communicator.reply_error(
+                "DeadlineExceeded",
+                f"request {call.operation!r} expired before dispatch",
+                request_id=call.request_id,
+            )
+        if call.trace_span is not None:
+            call.trace_span.set("deadline.expired", True)
+            self._finish_server_span(call)
+
+    # -- resilience helpers ------------------------------------------------
+
+    def _breaker_for(self, bootstrap):
+        """This endpoint's CircuitBreaker (lazily built); None when the
+        resilience policy has no breaker configured."""
+        policy = self.resilience
+        if policy is None or policy.breaker is None:
+            return None
+        breaker = self._breakers.get(bootstrap)
+        if breaker is None:
+            with self._lock:
+                breaker = self._breakers.get(bootstrap)
+                if breaker is None:
+                    breaker = CircuitBreaker(
+                        policy.breaker,
+                        on_transition=(
+                            lambda old, new, bootstrap=bootstrap:
+                            self._breaker_transition(bootstrap, old, new)
+                        ),
+                    )
+                    self._breakers[bootstrap] = breaker
+        return breaker
+
+    def _breaker_transition(self, bootstrap, old, new):
+        if self.observer is not None:
+            self.observer.metrics.counter(
+                "resilience.breaker_transitions", to=new
+            ).inc()
+        if self.trace is not None:
+            self._event(
+                "resilience:breaker",
+                endpoint=f"{bootstrap[1]}:{bootstrap[2]}",
+                old=old, new=new,
+            )
+        if new == BREAKER_OPEN:
+            # Connections to an endpoint judged broken are torn down
+            # now, so the eventual half-open probe reconnects fresh
+            # instead of inheriting a wedged channel.
+            self.connections.evict_endpoint(bootstrap)
 
     def _object_key_exists(self, object_key):
         """Locate support: does this address space host *object_key*?"""

@@ -28,6 +28,7 @@ from repro.heidirmi.textwire import (
     escape_token,
     unescape_token,
 )
+from repro.resilience.deadline import Deadline
 
 #: Prefix of the optional trace-context header token.  A stringified
 #: object reference always starts with ``@``, so a ``ctx=`` token in
@@ -36,6 +37,25 @@ from repro.heidirmi.textwire import (
 #: ``trace_id-span_id`` pair (see ``repro.observe.context``), already
 #: printable ASCII, so it needs no escaping.
 _CTX_PREFIX = "ctx="
+
+#: Prefix of the optional deadline header token, same design as
+#: ``ctx=``: it sits between the verb (and id) and the ``@``-target, so
+#: it can never be mistaken for either.  The body is the *remaining
+#: budget* in whole milliseconds — a relative quantity that needs no
+#: clock synchronisation; the server re-anchors it on its own monotonic
+#: clock at parse time.
+_DL_PREFIX = "dl="
+
+
+def _parse_deadline_token(token):
+    """``dl=<ms>`` → a server-side re-anchored Deadline."""
+    try:
+        ms = int(token[len(_DL_PREFIX):])
+    except ValueError:
+        raise ProtocolError(f"bad deadline token {token!r}") from None
+    if ms < 0:
+        raise ProtocolError(f"negative deadline {ms}ms")
+    return Deadline.after(ms / 1000.0)
 
 #: Memo for header tokens (targets, operation names): the same handful
 #: of strings heads every request on a connection, so escaping each
@@ -112,6 +132,8 @@ class TextProtocol(Protocol):
             # Optional service context: traced callers lead the header
             # with a ctx= token; untraced peers simply never emit one.
             pieces.append(_CTX_PREFIX + call.trace_context)
+        if call.deadline is not None:
+            pieces.append(_DL_PREFIX + str(call.deadline.remaining_ms()))
         pieces.append(_escape_header(call.target))
         pieces.append(_escape_header(call.operation))
         pieces += call._m.tokens()
@@ -130,11 +152,20 @@ class TextProtocol(Protocol):
             )
         head = 1
         trace_context = None
-        if len(tokens) > 1 and tokens[1].startswith(_CTX_PREFIX):
-            # Unambiguous: a target is a stringified reference and
-            # always starts with '@'.
-            trace_context = tokens[1][len(_CTX_PREFIX):]
-            head = 2
+        deadline = None
+        # Optional service-context tokens (ctx=, dl=) sit between the
+        # verb and the target; a target is a stringified reference and
+        # always starts with '@', so the scan is unambiguous.  Accept
+        # them in either order.
+        while len(tokens) > head:
+            token = tokens[head]
+            if token.startswith(_CTX_PREFIX):
+                trace_context = token[len(_CTX_PREFIX):]
+            elif token.startswith(_DL_PREFIX):
+                deadline = _parse_deadline_token(token)
+            else:
+                break
+            head += 1
         if len(tokens) < head + 2:
             raise ProtocolError("request needs an object reference and an operation")
         call = Call(
@@ -144,6 +175,7 @@ class TextProtocol(Protocol):
             oneway=(verb == "ONEWAY"),
         )
         call.trace_context = trace_context
+        call.deadline = deadline
         return call
 
     # -- replies ----------------------------------------------------------------
@@ -223,6 +255,8 @@ class Text2Protocol(TextProtocol):
             # protocol: right before the target, which always starts
             # with '@' and so can never read as a ctx= token.
             pieces.append(_CTX_PREFIX + call.trace_context)
+        if call.deadline is not None:
+            pieces.append(_DL_PREFIX + str(call.deadline.remaining_ms()))
         pieces.append(_escape_header(call.target))
         pieces.append(_escape_header(call.operation))
         pieces += call._m.tokens()
@@ -258,8 +292,17 @@ class Text2Protocol(TextProtocol):
                 "(request shape: CALL2 <id> <objref> <operation> <args...>)"
             )
         trace_context = None
-        if len(tokens) > head and tokens[head].startswith(_CTX_PREFIX):
-            trace_context = tokens[head][len(_CTX_PREFIX):]
+        deadline = None
+        # Same optional service-context scan as the classic protocol
+        # (ctx= and dl= in either order before the '@'-target).
+        while len(tokens) > head:
+            token = tokens[head]
+            if token.startswith(_CTX_PREFIX):
+                trace_context = token[len(_CTX_PREFIX):]
+            elif token.startswith(_DL_PREFIX):
+                deadline = _parse_deadline_token(token)
+            else:
+                break
             head += 1
         if len(tokens) < head + 2:
             raise ProtocolError("request needs an object reference and an operation")
@@ -271,6 +314,7 @@ class Text2Protocol(TextProtocol):
             request_id=request_id,
         )
         call.trace_context = trace_context
+        call.deadline = deadline
         return call
 
     @staticmethod

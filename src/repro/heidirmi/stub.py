@@ -9,7 +9,7 @@ so inherited operations come for free.
 """
 
 from repro.heidirmi.call import Call
-from repro.heidirmi.errors import RemoteError
+from repro.heidirmi.errors import DeadlineExceeded, RemoteError
 from repro.heidirmi.serialize import get_object, put_object
 
 
@@ -74,18 +74,26 @@ class HdStub:
 
     # -- invocation helpers used by generated code ------------------------------
 
-    def _new_call(self, operation, oneway=False):
-        """A writable Call addressed at this stub's object."""
+    def _new_call(self, operation, oneway=False, idempotent=False):
+        """A writable Call addressed at this stub's object.
+
+        *idempotent* marks the operation retry-safe: a configured
+        RetryPolicy may transparently re-send it on retryable failures.
+        Generated stubs set it for operations their mapping pack
+        declares in ``idempotent_operations``.
+        """
         orb = self._hd_orb
         if orb.trace is not None or orb.observer is not None:
             # The Orb wrapper fires the call:new trace event and starts
             # the client span; untraced stubs skip it entirely.
-            return orb.create_call(self._hd_ref, operation, oneway=oneway)
+            return orb.create_call(self._hd_ref, operation, oneway=oneway,
+                                   idempotent=idempotent)
         return Call(
             self._hd_ref.stringify(),
             operation,
             marshaller=orb.protocol.new_marshaller(),
             oneway=oneway,
+            idempotent=idempotent,
         )
 
     def _invoke(self, call):
@@ -99,6 +107,10 @@ class HdStub:
             exc = self._hd_orb.rebuild_exception(reply)
             raise exc
         message = reply.get_string() if not reply.at_end() else "remote error"
+        if reply.repo_id == "DeadlineExceeded":
+            # The server shed the request because its wire-propagated
+            # budget ran out; surface the standard TimeoutError shape.
+            raise DeadlineExceeded(message)
         raise RemoteError(message, repo_id=reply.repo_id)
 
     def _put_object(self, call, obj, direction="in"):

@@ -14,8 +14,14 @@ A channel supports line reads (text protocol) and exact-count reads
 import collections
 import socket
 import threading
+import time
 
-from repro.heidirmi.errors import CommunicationError
+from repro.heidirmi.errors import CommunicationError, DeadlineExceeded
+
+#: Default budget for connection establishment, in seconds.  Only
+#: covers the connect itself; overridable per Orb/ConnectionCache
+#: (``connect_timeout=``) and clamped further by per-call deadlines.
+DEFAULT_CONNECT_TIMEOUT = 30.0
 
 _MAX_LINE = 1 << 20  # 1 MiB: a request line beyond this is an attack/bug.
 
@@ -42,12 +48,31 @@ class Channel:
         self.peer = peer
         # Serialize writers: an ORB may share a channel between threads.
         self._send_lock = threading.Lock()
+        # Absolute monotonic expiry bounding send/recv; None (the hot
+        # path — one attribute test) means block forever as always.
+        self._deadline = None
+
+    def set_deadline(self, expires_at):
+        """Arm (or, with None, disarm) an absolute ``time.monotonic()``
+        expiry that bounds every subsequent send and recv.
+
+        Expiry closes the channel — a timed-out channel has a frame in
+        an unknown half-written/half-read state and cannot be reused —
+        and raises :class:`DeadlineExceeded`.  Never arm this on a
+        multiplexed channel: its one demux reader waits on behalf of
+        every caller, so a single call's budget would kill the shared
+        channel; the completion table enforces deadlines there instead.
+        """
+        self._deadline = expires_at
 
     def send(self, data):
         if self._closed:
             raise CommunicationError(
                 f"channel to {self.peer} is closed", kind="channel-closed"
             )
+        if self._deadline is not None:
+            self._send_with_deadline(data)
+            return
         try:
             with self._send_lock:
                 self._sock.sendall(data)
@@ -59,9 +84,78 @@ class Channel:
         if self.meter is not None:
             self.meter.sent(len(data))
 
+    def _send_with_deadline(self, data):
+        remaining = self._deadline - time.monotonic()
+        if remaining <= 0.0:
+            self.close()
+            raise DeadlineExceeded(
+                f"deadline expired before send to {self.peer}"
+            )
+        try:
+            with self._send_lock:
+                self._sock.settimeout(remaining)
+                try:
+                    self._sock.sendall(data)
+                finally:
+                    try:
+                        self._sock.settimeout(None)
+                    except OSError:
+                        pass
+        # socket.timeout is an OSError subclass: catch it first.
+        except (socket.timeout, TimeoutError) as exc:
+            self.close()
+            raise DeadlineExceeded(
+                f"deadline expired in send to {self.peer}"
+            ) from exc
+        except OSError as exc:
+            self.close()
+            raise CommunicationError(
+                f"send to {self.peer} failed: {exc}", kind="send-failed"
+            ) from exc
+        if self.meter is not None:
+            self.meter.sent(len(data))
+
     def _fill(self):
+        if self._deadline is not None:
+            self._fill_with_deadline()
+            return
         try:
             chunk = self._sock.recv(65536)
+        except OSError as exc:
+            self.close()
+            raise CommunicationError(
+                f"recv from {self.peer} failed: {exc}", kind="recv-failed"
+            ) from exc
+        if not chunk:
+            raise CommunicationError(
+                f"peer {self.peer} closed the connection", kind="peer-closed"
+            )
+        if self.meter is not None:
+            self.meter.received(len(chunk))
+        self._buffer += chunk
+
+    def _fill_with_deadline(self):
+        remaining = self._deadline - time.monotonic()
+        if remaining <= 0.0:
+            self.close()
+            raise DeadlineExceeded(
+                f"deadline expired waiting for {self.peer}"
+            )
+        try:
+            self._sock.settimeout(remaining)
+            try:
+                chunk = self._sock.recv(65536)
+            finally:
+                try:
+                    self._sock.settimeout(None)
+                except OSError:
+                    pass
+        # socket.timeout is an OSError subclass: catch it first.
+        except (socket.timeout, TimeoutError) as exc:
+            self.close()
+            raise DeadlineExceeded(
+                f"deadline expired waiting for {self.peer}"
+            ) from exc
         except OSError as exc:
             self.close()
             raise CommunicationError(
@@ -172,7 +266,13 @@ class Transport:
     def listen(self, host, port):
         raise NotImplementedError
 
-    def connect(self, host, port):
+    def connect(self, host, port, timeout=None):
+        """Open a channel; *timeout* bounds establishment in seconds.
+
+        ``None`` means the transport's default.  (The connection cache
+        tolerates transports registered before this parameter existed
+        by falling back to the two-argument form.)
+        """
         raise NotImplementedError
 
 
@@ -226,14 +326,23 @@ class TcpTransport(Transport):
     def listen(self, host, port):
         return TcpListener(host, port)
 
-    def connect(self, host, port):
+    def connect(self, host, port, timeout=None):
+        if timeout is None:
+            timeout = DEFAULT_CONNECT_TIMEOUT
         try:
-            sock = socket.create_connection((host, port), timeout=30)
+            sock = socket.create_connection((host, port), timeout=timeout)
+        # socket.timeout is an OSError subclass: catch it first so a
+        # black-holed endpoint reads differently from a refused one.
+        except (socket.timeout, TimeoutError) as exc:
+            raise CommunicationError(
+                f"connect {host}:{port} timed out after {timeout}s",
+                kind="connect-timeout",
+            ) from exc
         except OSError as exc:
             raise CommunicationError(
                 f"cannot connect {host}:{port}: {exc}", kind="connect-refused"
             ) from exc
-        # The 30s budget only covers connection establishment; a pooled
+        # The timeout only covers connection establishment; a pooled
         # connection must block indefinitely on its next recv, not time
         # out (and kill the channel) after sitting idle in the cache.
         sock.settimeout(None)
@@ -303,8 +412,11 @@ class InProcListener(Listener):
 
     def accept(self):
         with self._cond:
+            # An untimed wait is safe: close() flips ``closed`` and
+            # notifies under this same condition, so every blocked
+            # acceptor wakes — no poll loop needed.
             while not self._pending and not self.closed:
-                self._cond.wait(timeout=0.5)
+                self._cond.wait()
             if self.closed:
                 raise CommunicationError(
                     "listener closed", kind="listener-closed"
@@ -331,7 +443,8 @@ class InProcTransport(Transport):
     def listen(self, host, port):
         return _INPROC.listen(host, port)
 
-    def connect(self, host, port):
+    def connect(self, host, port, timeout=None):
+        # Rendezvous is immediate in-process; the timeout never bites.
         return _INPROC.connect(host, port)
 
 

@@ -19,7 +19,7 @@ import sys
 from repro.lint.diagnostics import Severity, Span
 from repro.lint.formats import render_json, render_sarif, render_text
 from repro.lint.idl_rules import lint_idl_source
-from repro.lint.mapping_rules import lint_pack
+from repro.lint.mapping_rules import lint_pack, lint_pack_idempotence
 from repro.lint.template_rules import lint_template_source
 
 
@@ -56,18 +56,22 @@ def main(argv=None):
     args = build_arg_parser().parse_args(argv)
     diagnostics = []
 
+    packs = []
     for name in args.mapping:
         try:
             diagnostics.extend(lint_pack(name))
         except KeyError:
             print(f"error: unknown mapping {name!r}", file=sys.stderr)
             return 2
+        from repro.mappings.registry import get_pack
+
+        packs.append(get_pack(name))
 
     files = _expand_targets(args.targets)
     if files is None:
         return 2
     for path in files:
-        diagnostics.extend(_lint_file(path, args.include))
+        diagnostics.extend(_lint_file(path, args.include, packs))
 
     if not args.targets and not args.mapping:
         from repro.mappings.registry import all_packs
@@ -101,13 +105,20 @@ def _expand_targets(targets):
     return files
 
 
-def _lint_file(path, include_paths):
+def _lint_file(path, include_paths, packs=()):
     if path.endswith(".idl"):
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
-        _, diagnostics = lint_idl_source(
+        spec, diagnostics = lint_idl_source(
             source, filename=path, include_paths=tuple(include_paths)
         )
+        if spec is not None:
+            # Cross-check each --mapping pack's idempotence declarations
+            # against this file's operation signatures (MAP004).
+            for pack in packs:
+                diagnostics.extend(
+                    lint_pack_idempotence(pack, spec, filename=path)
+                )
         return diagnostics
     if path.endswith(".tmpl"):
         with open(path, "r", encoding="utf-8") as handle:

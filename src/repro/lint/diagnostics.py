@@ -62,6 +62,8 @@ CODES = {
     "MAP001": "mapping pack template is missing or unreadable",
     "MAP002": "map function is registered but never referenced by a template",
     "MAP003": "mapping pack type table misses primitive IDL types",
+    "MAP004": "idempotent-declared operation has out/inout parameters "
+              "(retry-unsafe)",
 }
 
 

@@ -133,6 +133,56 @@ def pack_strict_safe(pack, template_name=None):
     return result.strict_safe and not result.diagnostics
 
 
+def lint_pack_idempotence(name_or_pack, spec_or_est, reporter=None,
+                          filename=None):
+    """MAP004: idempotent-declared operations must be retry-safe.
+
+    A pack's :attr:`~repro.mappings.base.MappingPack.idempotent_operations`
+    tells the runtime's RetryPolicy it may silently re-send those calls
+    after a transport failure — at which point the first attempt may
+    already have executed on the server.  An operation returning data
+    through ``out``/``inout`` parameters is a tell that it carries
+    per-call state a duplicate execution would corrupt, so declaring it
+    idempotent is flagged.  *spec_or_est* is a parsed Specification (or
+    a prebuilt EST) to check the declarations against; returns the
+    diagnostics list.
+    """
+    from repro.est import build_est
+    from repro.est.node import Ast
+
+    pack = _resolve_pack(name_or_pack)
+    if reporter is None:
+        reporter = DiagnosticReporter(default_file=pack.name, source="mapping")
+    declared = set(pack.idempotent_operations or ())
+    if not declared or spec_or_est is None:
+        return reporter.diagnostics
+    est = (spec_or_est if isinstance(spec_or_est, Ast)
+           else build_est(spec_or_est))
+    span = Span(file=filename or pack.name)
+    for interface in est.walk():
+        if interface.kind != "Interface":
+            continue
+        for operation in interface.children("Operation"):
+            scoped = operation.get("scopedName")
+            if scoped not in declared:
+                continue
+            unsafe = sorted(
+                param.name
+                for param in operation.children("Param")
+                if param.get("getType") in ("out", "inout")
+            )
+            if unsafe:
+                reporter.warning(
+                    "MAP004",
+                    f"pack {pack.name!r} declares {scoped!r} idempotent, "
+                    f"but its signature has out/inout parameter(s) "
+                    f"{', '.join(unsafe)}: a retried call would observe or "
+                    "clobber the first attempt's results",
+                    span,
+                )
+    return reporter.diagnostics
+
+
 def _check_unreferenced_maps(pack, used_maps, reporter):
     from repro.templates.maps import BUILTIN_MAPS
 

@@ -58,6 +58,14 @@ class MappingPack:
     main_template = "main.tmpl"
     #: IDL primitive spelling → target type spelling (Table 1 material).
     type_table = {}
+    #: Scoped operation names (``"Mod::Iface::op"``) the pack declares
+    #: retry-safe.  Generated stubs mark these calls ``idempotent=True``
+    #: so a configured RetryPolicy may transparently re-send them after
+    #: a transport failure whose outcome is unknown.  Declaring an
+    #: operation whose IDL signature has ``out``/``inout`` parameters
+    #: here is retry-unsafe and trips lint rule MAP004
+    #: (:func:`repro.lint.mapping_rules.lint_pack_idempotence`).
+    idempotent_operations = ()
 
     def __init__(self):
         self._template_cache = {}

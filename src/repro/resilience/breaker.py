@@ -1,0 +1,135 @@
+"""Per-endpoint circuit breaker.
+
+State machine (see docs/RESILIENCE.md for the full diagram)::
+
+    closed --[failure rate >= threshold over >= min_calls]--> open
+    open   --[reset_timeout elapsed, next allow()]----------> half-open
+    half-open --[probe succeeds]--> closed
+    half-open --[probe fails]-----> open   (fresh reset_timeout)
+
+While *open*, ``allow()`` returns False immediately — callers shed load
+without a connection attempt.  While *half-open*, at most
+``half_open_probes`` concurrent callers are admitted to test the
+endpoint; the rest are shed as if open.
+
+The clock is injectable so the open→half-open timer is testable without
+sleeping.  Transition callbacks fire *outside* the lock (they reach
+back into Orb metrics and the connection cache, which take their own
+locks).
+"""
+
+import collections
+import threading
+import time
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class BreakerPolicy:
+    """Configuration for the per-endpoint breakers an Orb builds."""
+
+    def __init__(
+        self,
+        window=16,
+        failure_threshold=0.5,
+        min_calls=4,
+        reset_timeout=1.0,
+        half_open_probes=1,
+        clock=None,
+    ):
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        self.window = window
+        self.failure_threshold = failure_threshold
+        self.min_calls = min_calls
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self.clock = clock if clock is not None else time.monotonic
+
+
+class CircuitBreaker:
+    """Rolling-window failure-rate breaker for one endpoint."""
+
+    def __init__(self, policy=None, on_transition=None):
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self.state = BREAKER_CLOSED
+        self._outcomes = collections.deque(maxlen=self.policy.window)
+        self._opened_at = None
+        self._probes = 0
+        self._lock = threading.Lock()
+        #: Called as ``on_transition(old_state, new_state)`` after each
+        #: state change, outside the breaker lock.
+        self.on_transition = on_transition
+
+    # -- admission ---------------------------------------------------------
+
+    def allow(self):
+        """May a call proceed right now?  Drives open → half-open."""
+        transition = None
+        with self._lock:
+            if self.state == BREAKER_CLOSED:
+                return True
+            if self.state == BREAKER_OPEN:
+                if self.policy.clock() - self._opened_at < self.policy.reset_timeout:
+                    return False
+                transition = (self.state, BREAKER_HALF_OPEN)
+                self.state = BREAKER_HALF_OPEN
+                self._probes = 1
+            else:  # half-open: admit a bounded number of probes
+                if self._probes >= self.policy.half_open_probes:
+                    return False
+                self._probes += 1
+        if transition is not None:
+            self._notify(*transition)
+        return True
+
+    # -- outcome recording -------------------------------------------------
+
+    def record_success(self):
+        transition = None
+        with self._lock:
+            self._outcomes.append(True)
+            if self.state == BREAKER_HALF_OPEN:
+                transition = (self.state, BREAKER_CLOSED)
+                self.state = BREAKER_CLOSED
+                self._outcomes.clear()
+                self._probes = 0
+        if transition is not None:
+            self._notify(*transition)
+
+    def record_failure(self):
+        transition = None
+        with self._lock:
+            self._outcomes.append(False)
+            if self.state == BREAKER_HALF_OPEN:
+                transition = (self.state, BREAKER_OPEN)
+            elif self.state == BREAKER_CLOSED and len(self._outcomes) >= self.policy.min_calls:
+                failures = sum(1 for ok in self._outcomes if not ok)
+                if failures / len(self._outcomes) >= self.policy.failure_threshold:
+                    transition = (self.state, BREAKER_OPEN)
+            if transition is not None:
+                self.state = BREAKER_OPEN
+                self._opened_at = self.policy.clock()
+                self._outcomes.clear()
+                self._probes = 0
+        if transition is not None:
+            self._notify(*transition)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def failure_rate(self):
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def _notify(self, old, new):
+        callback = self.on_transition
+        if callback is not None:
+            callback(old, new)
+
+    def __repr__(self):
+        return f"<CircuitBreaker {self.state} rate={self.failure_rate:.2f}>"

@@ -1,0 +1,122 @@
+"""The resilient invoke path.
+
+``Orb.invoke`` is a two-line fast-path check: calls with no deadline, on
+an Orb with no resilience policy, never reach this module.  Everything
+else funnels through :func:`resilient_invoke`, which layers — in order —
+
+1. **circuit breaking**: the per-endpoint breaker is consulted before
+   every attempt; an open circuit sheds the call with
+   ``kind="circuit-open"`` without touching the network;
+2. **deadline enforcement**: the budget is checked before each attempt
+   and armed on the channel / completion-table wait inside
+   ``Orb._invoke_once``; expiry raises :class:`DeadlineExceeded`
+   (``kind="deadline-exceeded"``, a :class:`TimeoutError`);
+3. **retry**: oneways and idempotent calls whose failure kind is on the
+   policy's whitelist are retried with full-jitter backoff, clamped so
+   the backoff sleep never outlives the deadline.
+
+Every decision feeds the ``repro.observe`` metrics registry when the
+Orb has an observer: ``resilience.retries{kind}``,
+``resilience.breaker_transitions{to}`` (emitted by the Orb's breaker
+callback) and ``resilience.deadline_expired{side}``.
+"""
+
+from repro.heidirmi.errors import (
+    CircuitOpenError,
+    CommunicationError,
+    DeadlineExceeded,
+)
+from repro.resilience.deadline import Deadline
+
+
+def resolve_deadline(orb, deadline, call=None):
+    """Effective deadline: explicit arg > call's own > policy > Orb default."""
+    if deadline is None and call is not None:
+        deadline = call.deadline
+    if deadline is None:
+        policy = orb.resilience
+        if policy is not None and policy.default_deadline is not None:
+            deadline = policy.default_deadline
+        else:
+            deadline = orb.default_deadline
+    return Deadline.coerce(deadline)
+
+
+def resilient_invoke(orb, reference, call, deadline=None):
+    """Invoke *call* under the Orb's deadline/retry/breaker policies.
+
+    Mirrors the contract of the fast path: returns the Reply (or None
+    for oneways), raises CommunicationError subclasses on transport
+    failure, and finishes the client span exactly once.
+    """
+    orb._count("calls")
+    span = call.trace_span
+    if span is not None:
+        span.stage("marshal")
+    call.deadline = resolve_deadline(orb, deadline, call)
+    policy = orb.resilience
+    retry = policy.retry if policy is not None else None
+    retryable_call = retry is not None and (call.oneway or call.idempotent)
+    breaker = orb._breaker_for(reference.bootstrap)
+    observer = orb.observer
+    attempt = 1
+    while True:
+        if breaker is not None and not breaker.allow():
+            exc = CircuitOpenError(
+                f"circuit open for {reference.bootstrap[1]}:{reference.bootstrap[2]}; "
+                f"shed {call.operation!r} without a connection attempt"
+            )
+            orb._finish_client_span(call, error=exc)
+            raise exc
+        active = call.deadline
+        if active is not None and active.expired:
+            exc = DeadlineExceeded(
+                f"deadline expired before attempt {attempt} of {call.operation!r} "
+                f"(budget {active.budget}s)"
+            )
+            if observer is not None:
+                observer.metrics.counter(
+                    "resilience.deadline_expired", side="client"
+                ).inc()
+            orb._finish_client_span(call, error=exc)
+            raise exc
+        try:
+            reply = orb._invoke_once(reference, call)
+        except CommunicationError as exc:
+            if breaker is not None:
+                breaker.record_failure()
+            kind = getattr(exc, "kind", "communication")
+            if isinstance(exc, DeadlineExceeded) and observer is not None:
+                observer.metrics.counter(
+                    "resilience.deadline_expired", side="client"
+                ).inc()
+            if (
+                not retryable_call
+                or attempt >= retry.max_attempts
+                or not retry.retryable(kind)
+            ):
+                orb._finish_client_span(call, error=exc)
+                raise
+            delay = retry.delay(attempt)
+            if active is not None:
+                remaining = active.remaining()
+                if remaining <= 0.0:
+                    orb._finish_client_span(call, error=exc)
+                    raise
+                delay = min(delay, remaining)
+            if observer is not None:
+                observer.metrics.counter("resilience.retries", kind=kind).inc()
+            orb._event(
+                "resilience:retry",
+                operation=call.operation,
+                attempt=attempt,
+                kind=kind,
+            )
+            if delay > 0.0:
+                retry.sleep(delay)
+            attempt += 1
+            continue
+        if breaker is not None:
+            breaker.record_success()
+        orb._finish_client_span(call, reply=reply)
+        return reply

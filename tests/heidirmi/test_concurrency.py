@@ -276,6 +276,40 @@ def test_demux_death_closes_channel_and_cache_reopens():
         server.stop()
 
 
+def test_reader_died_mid_burst_fails_all_pending_without_deadlock():
+    """Garbage on the reply stream mid-burst kills the demux reader:
+    every call still pending must fail with kind="reader-died" (no
+    future may hang), and the next call must transparently reopen.
+    """
+    server, client, stub, _ = run_pair("inproc", "text2", True)
+    try:
+        burst = [stub.mark_async(f"b{index}", delay_ms=400)
+                 for index in range(6)]
+        # Wait until the burst is in flight server-side, then poison
+        # the client's reply stream from the server end of the wire.
+        deadline = time.time() + 10
+        while not server._active and time.time() < deadline:
+            time.sleep(0.01)
+        with server._lock:
+            active = list(server._active)
+        assert active, "server never saw the burst"
+        for communicator in active:
+            communicator.channel.send(b"!!garbage mid burst!!\n")
+        kinds = []
+        for future in burst:
+            with pytest.raises(CommunicationError) as excinfo:
+                future.result(timeout=15)
+            kinds.append(excinfo.value.kind)
+        assert kinds == ["reader-died"] * len(burst), kinds
+        # The shared channel is dead; the cache must hand out a fresh
+        # one rather than deadlock on the corpse.
+        assert stub.mark("after") == "ack:after"
+        assert client.connections.stats["opened"] == 2
+    finally:
+        client.stop()
+        server.stop()
+
+
 def test_uncorrelatable_error_reply_fails_pending():
     """RET2 0 ERR (a request the server could not parse) must surface.
 

@@ -1,11 +1,23 @@
 """Pack self-lint: bundled packs are clean; MAP0xx rules fire on bad packs."""
 
+import os
+
 import pytest
 
 from repro.lint.diagnostics import Severity
-from repro.lint.mapping_rules import lint_pack, pack_strict_safe
+from repro.lint.formats import render_text
+from repro.lint.idl_rules import lint_idl_source
+from repro.lint.mapping_rules import (
+    lint_pack,
+    lint_pack_idempotence,
+    pack_strict_safe,
+)
 from repro.mappings.base import MappingPack
 from repro.mappings.registry import all_packs, get_pack
+
+MAPPING_FIXTURES = os.path.join(
+    os.path.dirname(__file__), "fixtures", "mapping"
+)
 
 
 @pytest.mark.parametrize("name", all_packs())
@@ -91,6 +103,57 @@ def test_map003_incomplete_type_table(tmp_path):
     gaps = [d for d in lint_pack(pack) if d.code == "MAP003"]
     assert len(gaps) == 1
     assert "double" in gaps[0].message
+
+
+class _IdempotentPack(MappingPack):
+    """A template-less pack that only carries idempotence declarations."""
+
+    name = "idem_pack"
+    language = "test"
+    idempotent_operations = ("Res::Counter::fetch", "Res::Counter::bump")
+
+
+def _map004_spec():
+    path = os.path.join(MAPPING_FIXTURES, "MAP004.idl")
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    spec, diagnostics = lint_idl_source(source, filename="MAP004.idl")
+    assert spec is not None and diagnostics == []
+    return spec
+
+
+def test_map004_matches_golden():
+    """The fixture's rendered findings are pinned byte-for-byte."""
+    diagnostics = lint_pack_idempotence(
+        _IdempotentPack(), _map004_spec(), filename="MAP004.idl"
+    )
+    with open(os.path.join(MAPPING_FIXTURES, "MAP004.idl.expected"), "r",
+              encoding="utf-8") as handle:
+        expected = handle.read()
+    assert render_text(diagnostics) == expected
+
+
+def test_map004_flags_only_out_inout_operations():
+    """fetch (pure in params) stays clean; bump (inout+out) is flagged."""
+    diagnostics = lint_pack_idempotence(_IdempotentPack(), _map004_spec())
+    assert [d.code for d in diagnostics] == ["MAP004"]
+    assert diagnostics[0].severity == Severity.WARNING
+    assert "Res::Counter::bump" in diagnostics[0].message
+    assert "fetch" not in diagnostics[0].message
+
+
+def test_map004_silent_without_declarations():
+    class Plain(MappingPack):
+        name = "plain_pack"
+        language = "test"
+
+    assert lint_pack_idempotence(Plain(), _map004_spec()) == []
+
+
+def test_bundled_packs_declare_no_unsafe_idempotence():
+    """Bundled packs currently declare nothing, so the rule stays quiet."""
+    for name in all_packs():
+        assert lint_pack_idempotence(name, _map004_spec()) == []
 
 
 def test_pack_template_errors_carry_exact_file(tmp_path):
