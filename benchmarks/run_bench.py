@@ -20,9 +20,17 @@ success rate for idempotent retry traffic under seeded chaos plans at
 writing ``BENCH_resilience.json``::
 
     PYTHONPATH=src python benchmarks/run_bench.py --faults
+
+With ``--compare BASELINE.json`` the fresh numbers are checked against
+a previously recorded document: if any multiplexed text2 row lost more
+than ``--tolerance`` (default 5%) throughput, the exit status is 3.
+CI runs this as a regression gate for the sans-I/O refactor::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --compare BENCH_rpc.json
 """
 
 import argparse
+import json
 import os
 import sys
 
@@ -74,6 +82,13 @@ def main(argv=None):
                         help="extracted pre-resilience checkout to "
                              "measure the no-policy regression against "
                              "(git archive <rev> | tar -x -C <dir>)")
+    parser.add_argument("--compare", default=None, metavar="BASELINE",
+                        help="previously recorded BENCH_rpc.json; exit 3 "
+                             "if multiplexed text2 throughput regressed "
+                             "beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed fractional throughput loss for "
+                             "--compare (default 0.05 = 5%%)")
     parser.add_argument("--spans-out",
                         default=os.path.join(REPO_ROOT, "benchmarks",
                                              "out", "spans.jsonl"),
@@ -85,8 +100,19 @@ def main(argv=None):
     if args.faults:
         return _main_faults(args)
 
+    baseline = None
+    if args.compare is not None:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
     if args.out is None:
-        args.out = os.path.join(REPO_ROOT, "BENCH_rpc.json")
+        if baseline is not None:
+            # A gate run must not clobber the recorded baseline it is
+            # gating against; park the fresh numbers next to the other
+            # benchmark scratch output instead.
+            args.out = os.path.join(REPO_ROOT, "benchmarks", "out",
+                                    "BENCH_rpc.fresh.json")
+        else:
+            args.out = os.path.join(REPO_ROOT, "BENCH_rpc.json")
     document = run_matrix(
         transport=args.transport,
         client_counts=tuple(args.clients),
@@ -110,7 +136,91 @@ def main(argv=None):
             f"claim: multiplexed text2 vs exclusive text at "
             f"{claim['clients']} clients: {claim['speedup']}x"
         )
+    if baseline is not None:
+        regressions = compare_documents(
+            baseline, document, args.tolerance,
+            remeasure=lambda clients: run_matrix_row(args, clients),
+        )
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 3
+        print(f"compare: within {args.tolerance:.0%} of {args.compare}")
     return 0
+
+
+def run_matrix_row(args, clients):
+    """Re-measure one guarded (multiplexed text2) row."""
+    from rpc_bench import measure
+
+    return measure(
+        args.transport, "text2", "multiplexed", clients, args.calls,
+        window=args.window, pipeline_workers=args.workers,
+        # Extra trials: the retry exists to separate noise from a real
+        # regression, and best-of-more discriminates better.
+        trials=args.trials + 2,
+    )
+
+
+#: Extra best-of-trials rounds a failing guarded row gets before the
+#: gate declares a regression.  Throughput on a loaded 1-CPU box swings
+#: well past the tolerance between back-to-back runs of identical code;
+#: a true regression fails every retry, noise does not.
+COMPARE_RETRIES = 2
+
+
+def compare_documents(baseline, document, tolerance, remeasure=None):
+    """Regression report for the guarded rows (multiplexed text2).
+
+    The multiplexed text2 path is the headline claim of the pipelining
+    work; every (clients,) row of it is held to *tolerance*.  A row
+    under the floor is re-measured up to :data:`COMPARE_RETRIES` times
+    via *remeasure(clients)* and passes if any round clears it.
+    Returns a list of human-readable regression lines, empty when the
+    gate passes.
+    """
+
+    def guarded_rows(doc):
+        return {
+            row["clients"]: row["calls_per_sec"]
+            for row in doc.get("results", ())
+            if row["protocol"] == "text2" and row["mode"] == "multiplexed"
+        }
+
+    old_rows = guarded_rows(baseline)
+    new_rows = guarded_rows(document)
+    regressions = []
+    for clients, old_rate in sorted(old_rows.items()):
+        new_rate = new_rows.get(clients)
+        if new_rate is None:
+            regressions.append(
+                f"multiplexed text2 @{clients} clients: row missing "
+                f"from the fresh run (baseline {old_rate:,.1f} calls/s)"
+            )
+            continue
+        floor = old_rate * (1.0 - tolerance)
+        retries = COMPARE_RETRIES if remeasure is not None else 0
+        for attempt in range(retries):
+            if new_rate >= floor:
+                break
+            print(
+                f"compare: multiplexed text2 @{clients} clients below "
+                f"floor ({new_rate:,.1f} < {floor:,.1f} calls/s), "
+                f"re-measuring ({attempt + 1}/{retries})"
+            )
+            new_rate = max(new_rate, remeasure(clients)["calls_per_sec"])
+        if new_rate < floor:
+            loss = (old_rate - new_rate) / old_rate
+            regressions.append(
+                f"multiplexed text2 @{clients} clients: "
+                f"{new_rate:,.1f} calls/s vs baseline {old_rate:,.1f} "
+                f"(-{loss:.1%}, tolerance {tolerance:.0%})"
+            )
+    if not old_rows:
+        regressions.append(
+            "baseline document has no multiplexed text2 rows to guard"
+        )
+    return regressions
 
 
 def _main_traced(args):

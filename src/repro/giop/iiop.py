@@ -1,9 +1,16 @@
-"""GIOP as a HeidiRMI protocol.
+"""GIOP as a HeidiRMI protocol — a thin pump over ``repro.wire.giop``.
 
 ``GiopProtocol`` plugs CDR marshalling and GIOP 1.0 framing in under the
 same ``Call``/``Reply``/``ObjectCommunicator`` machinery the text
 protocol uses, demonstrating the paper's claim that the ORB protocol is
 a configuration choice invisible to generated stubs and skeletons.
+
+All framing, message parsing, and message emission live in the sans-I/O
+state machine :class:`repro.wire.giop.GiopWire`; this module only
+performs blocking reads — the two exact reads of the fixed GIOP frame
+(:func:`pump_giop_event`), falling back to the generic ``read_hint``
+pump when the machine holds buffered bytes — and translates events
+into the blocking API's exceptions.
 
 Mapping choices:
 
@@ -16,12 +23,13 @@ Mapping choices:
   as strings, and begin/end are no-ops (CDR composites are unframed).
 """
 
-import itertools
-import threading
-
-from repro.giop.cdr import CdrDecoder, CdrEncoder
-from repro.giop.messages import (
-    GIOP_HEADER_SIZE,
+from repro.giop.cdrmarshal import (  # noqa: F401 (historic re-exports)
+    BufferedCdrMarshaller as _BufferedCdrMarshaller,
+    CdrMarshaller,
+    CdrMarshallerView,
+    CdrUnmarshaller,
+)
+from repro.giop.messages import (  # noqa: F401 (re-exported for callers)
     LOCATE_OBJECT_HERE,
     LOCATE_UNKNOWN_OBJECT,
     MSG_CANCEL_REQUEST,
@@ -30,153 +38,67 @@ from repro.giop.messages import (
     MSG_LOCATE_REQUEST,
     MSG_REPLY,
     MSG_REQUEST,
-    REPLY_NO_EXCEPTION,
-    REPLY_SYSTEM_EXCEPTION,
-    REPLY_USER_EXCEPTION,
-    SERVICE_CONTEXT_DEADLINE,
-    SERVICE_CONTEXT_TRACE,
-    LocateReplyHeader,
-    LocateRequestHeader,
-    ReplyHeader,
-    RequestHeader,
-    ServiceContext,
-    frame_message,
     read_message,
 )
-from repro.heidirmi.call import (
-    STATUS_ERROR,
-    STATUS_EXCEPTION,
-    STATUS_OK,
-    Call,
-    Reply,
+from repro.heidirmi.errors import CommunicationError, ProtocolError
+from repro.heidirmi.protocol import Protocol, channel_machine, pump_event
+from repro.wire.correlation import RequestIdAllocator
+from repro.wire.events import (
+    CancelReceived,
+    CloseReceived,
+    LocateReplied,
+    LocateRequested,
+    ReplyReceived,
+    RequestReceived,
+    WireViolation,
 )
-from repro.heidirmi.errors import CommunicationError, MarshalError, ProtocolError
-from repro.heidirmi.marshal import Marshaller, Unmarshaller
-from repro.heidirmi.protocol import Protocol
-from repro.resilience.deadline import Deadline
+from repro.giop.messages import GIOP_HEADER_SIZE, MessageHeader
+from repro.wire.giop import (
+    MAX_MESSAGE_SIZE,
+    GiopWire,
+    encode_close,
+    encode_locate_reply,
+    encode_locate_request,
+    encode_request,
+)
+from repro.wire.giop import encode_reply as _encode_reply
+
+#: GIOP message type behind each non-violation event, for error texts
+#: that name the unexpected type ("expected LocateReply, got message
+#: type 1") exactly as the pre-refactor reader did.
+_EVENT_MESSAGE_TYPE = {
+    RequestReceived: MSG_REQUEST,
+    ReplyReceived: MSG_REPLY,
+    CancelReceived: MSG_CANCEL_REQUEST,
+    LocateRequested: MSG_LOCATE_REQUEST,
+    LocateReplied: MSG_LOCATE_REPLY,
+    CloseReceived: MSG_CLOSE_CONNECTION,
+}
 
 
-class CdrMarshaller(Marshaller):
-    """Typed put-surface over a CdrEncoder."""
+def pump_giop_event(channel, machine):
+    """:func:`pump_event` specialised for the framed GIOP machine.
 
-    def __init__(self, start_align=0):
-        self._encoder = CdrEncoder(start_align=start_align)
-
-    def put_boolean(self, value):
-        self._encoder.boolean(value)
-
-    def put_octet(self, value):
-        self._encoder.octet(value)
-
-    def put_char(self, value):
-        self._encoder.char(value)
-
-    def put_short(self, value):
-        self._encoder.short(value)
-
-    def put_ushort(self, value):
-        self._encoder.ushort(value)
-
-    def put_long(self, value):
-        self._encoder.long(value)
-
-    def put_ulong(self, value):
-        self._encoder.ulong(value)
-
-    def put_longlong(self, value):
-        self._encoder.longlong(value)
-
-    def put_ulonglong(self, value):
-        self._encoder.ulonglong(value)
-
-    def put_float(self, value):
-        self._encoder.float(value)
-
-    def put_double(self, value):
-        self._encoder.double(value)
-
-    def put_string(self, value):
-        self._encoder.string(value)
-
-    def put_enum(self, name, index):
-        # CDR enums are unsigned longs holding the member index.
-        self._encoder.ulong(index)
-
-    def put_objref(self, stringified):
-        # Nil is the empty string; CORBA strings are never empty on the
-        # wire (they carry at least the NUL), so this is unambiguous.
-        self._encoder.string(stringified or "")
-
-    def begin(self, name=""):
-        pass  # CDR composites have no framing
-
-    def end(self):
-        pass
-
-    def payload(self):
-        return self._encoder.data()
-
-
-class CdrUnmarshaller(Unmarshaller):
-    """Typed get-surface over a CdrDecoder."""
-
-    def __init__(self, decoder):
-        self._decoder = decoder
-
-    def get_boolean(self):
-        return self._decoder.boolean()
-
-    def get_octet(self):
-        return self._decoder.octet()
-
-    def get_char(self):
-        return self._decoder.char()
-
-    def get_short(self):
-        return self._decoder.short()
-
-    def get_ushort(self):
-        return self._decoder.ushort()
-
-    def get_long(self):
-        return self._decoder.long()
-
-    def get_ulong(self):
-        return self._decoder.ulong()
-
-    def get_longlong(self):
-        return self._decoder.longlong()
-
-    def get_ulonglong(self):
-        return self._decoder.ulonglong()
-
-    def get_float(self):
-        return self._decoder.float()
-
-    def get_double(self):
-        return self._decoder.double()
-
-    def get_string(self):
-        return self._decoder.string()
-
-    def get_enum(self, members):
-        index = self._decoder.ulong()
-        if not 0 <= index < len(members):
-            raise MarshalError(f"enum index {index} out of range for {tuple(members)}")
-        return index
-
-    def get_objref(self):
-        value = self._decoder.string()
-        return value or None
-
-    def begin(self, name=""):
-        pass
-
-    def end(self):
-        pass
-
-    def at_end(self):
-        return self._decoder.at_end()
+    The frame structure is fixed (12-byte header, exact-size body), so
+    the blocking path performs the two exact reads directly and hands
+    the parts to :meth:`GiopWire.feed_message`, skipping the buffer
+    round-trip of the generic hint loop.  Bytes already buffered in the
+    machine (a driver that mixed in ``feed_bytes``) drain first.
+    """
+    if machine.has_buffered:
+        return pump_event(channel, machine)
+    header_bytes = channel.recv_exact(GIOP_HEADER_SIZE)
+    try:
+        header = MessageHeader.decode(header_bytes)
+    except ProtocolError as exc:
+        return WireViolation(str(exc))
+    if header.message_size > MAX_MESSAGE_SIZE:
+        return WireViolation(
+            f"implausible GIOP message size {header.message_size}"
+        )
+    return machine.feed_message(
+        header, channel.recv_exact(header.message_size)
+    )
 
 
 class GiopProtocol(Protocol):
@@ -187,13 +109,13 @@ class GiopProtocol(Protocol):
     #: GIOP's native request_id gives it out-of-order replies for free.
     supports_multiplexing = True
 
+    machine_class = GiopWire
+
     def __init__(self):
-        self._request_ids = itertools.count(1)
-        self._id_lock = threading.Lock()
+        self._request_ids = RequestIdAllocator()
 
     def next_request_id(self):
-        with self._id_lock:
-            return next(self._request_ids)
+        return self._request_ids.next()
 
     # Kept for callers of the old private spelling.
     _next_request_id = next_request_id
@@ -208,41 +130,14 @@ class GiopProtocol(Protocol):
     # -- requests ------------------------------------------------------------
 
     def send_request(self, channel, call):
-        request_id = call.request_id
-        if request_id is None:
-            request_id = self.next_request_id()
-            call.request_id = request_id
-        service_context = []
-        if call.trace_context is not None:
-            # GIOP's native extension point: the trace context travels
-            # as a ServiceContext entry, which unaware peers skip.
-            service_context.append(ServiceContext(
-                SERVICE_CONTEXT_TRACE,
-                call.trace_context.encode("ascii", errors="replace"),
-            ))
-        if call.deadline is not None:
-            # Remaining budget in ms, same relative quantity as the
-            # text protocols' dl= token (see SERVICE_CONTEXT_DEADLINE).
-            service_context.append(ServiceContext(
-                SERVICE_CONTEXT_DEADLINE,
-                str(call.deadline.remaining_ms()).encode("ascii"),
-            ))
-        header = RequestHeader(
-            request_id=request_id,
-            object_key=call.target.encode("utf-8"),
-            operation=call.operation,
-            response_expected=not call.oneway,
-            service_context=service_context,
-        )
-        encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
-        header.encode(encoder)
-        call.replay_into(CdrMarshallerView(encoder))
-        channel.send(frame_message(MSG_REQUEST, encoder.data()))
+        if call.request_id is None:
+            call.request_id = self.next_request_id()
+        channel.send(encode_request(call))
         if not getattr(channel, "_multiplexed", False):
             # Serial (one-call-in-flight) clients verify the next reply
             # against this; a demultiplexing communicator correlates by
             # reply.request_id instead, and many ids are in flight.
-            channel._giop_last_request_id = request_id
+            channel._giop_last_request_id = call.request_id
 
     def recv_request(self, channel, object_exists=None):
         """Read the next Request, transparently serving control messages.
@@ -252,108 +147,59 @@ class GiopProtocol(Protocol):
         CancelRequest is acknowledged by ignoring it (calls here are
         synchronous), and CloseConnection ends the stream.
         """
+        machine = channel_machine(channel, "server", self.machine_class)
         while True:
-            header, body = read_message(channel)
-            if header.message_type == MSG_REQUEST:
-                break
-            if header.message_type == MSG_LOCATE_REQUEST:
-                self._answer_locate(channel, header, body, object_exists)
+            event = pump_giop_event(channel, machine)
+            kind = type(event)
+            if kind is RequestReceived:
+                # The reply must echo this id; the communicator replies
+                # through the channel without call context, so stash it.
+                channel._giop_pending_reply_id = event.call.request_id
+                return event.call
+            if kind is LocateRequested:
+                self._answer_locate(channel, event, object_exists)
                 continue
-            if header.message_type == MSG_CANCEL_REQUEST:
+            if kind is CancelReceived:
                 continue  # nothing in flight to cancel: requests are serial
-            if header.message_type == MSG_CLOSE_CONNECTION:
+            if kind is CloseReceived:
                 raise CommunicationError(
                     "peer sent GIOP CloseConnection", kind="peer-closed"
                 )
-            raise ProtocolError(
-                f"expected GIOP Request, got message type {header.message_type}"
-            )
-        decoder = CdrDecoder(
-            body, little_endian=header.little_endian, start_align=GIOP_HEADER_SIZE
-        )
-        request = RequestHeader.decode(decoder)
-        call = Call(
-            request.object_key.decode("utf-8"),
-            request.operation,
-            unmarshaller=CdrUnmarshaller(decoder),
-            oneway=not request.response_expected,
-            request_id=request.request_id,
-        )
-        call._giop_request_id = request.request_id
-        for context in request.service_context:
-            if context.context_id == SERVICE_CONTEXT_TRACE:
-                call.trace_context = context.context_data.decode(
-                    "ascii", errors="replace"
-                )
-            elif context.context_id == SERVICE_CONTEXT_DEADLINE:
-                try:
-                    ms = int(context.context_data.decode("ascii"))
-                except (UnicodeDecodeError, ValueError):
-                    raise ProtocolError(
-                        f"bad deadline service context "
-                        f"{context.context_data!r}"
-                    ) from None
-                if ms < 0:
-                    raise ProtocolError(f"negative deadline {ms}ms")
-                call.deadline = Deadline.after(ms / 1000.0)
-        # The reply to this request must echo its id; the communicator
-        # replies through the channel without call context, so stash it.
-        channel._giop_pending_reply_id = request.request_id
-        return call
+            raise ProtocolError(event.message)  # WireViolation
 
-    def _answer_locate(self, channel, header, body, object_exists):
-        decoder = CdrDecoder(
-            body, little_endian=header.little_endian,
-            start_align=GIOP_HEADER_SIZE,
-        )
-        locate = LocateRequestHeader.decode(decoder)
-        if object_exists is None or object_exists(locate.object_key):
+    def _answer_locate(self, channel, event, object_exists):
+        if object_exists is None or object_exists(event.object_key):
             status = LOCATE_OBJECT_HERE
         else:
             status = LOCATE_UNKNOWN_OBJECT
-        encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
-        LocateReplyHeader(
-            request_id=locate.request_id, locate_status=status
-        ).encode(encoder)
-        channel.send(frame_message(MSG_LOCATE_REPLY, encoder.data()))
+        channel.send(encode_locate_reply(event.request_id, status))
 
     def locate(self, channel, object_key):
         """Client side: send a LocateRequest and return the status."""
-        request_id = self._next_request_id()
-        encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
-        LocateRequestHeader(
-            request_id=request_id, object_key=object_key
-        ).encode(encoder)
-        channel.send(frame_message(MSG_LOCATE_REQUEST, encoder.data()))
-        header, body = read_message(channel)
-        if header.message_type != MSG_LOCATE_REPLY:
-            raise ProtocolError(
-                f"expected LocateReply, got message type {header.message_type}"
-            )
-        decoder = CdrDecoder(
-            body, little_endian=header.little_endian,
-            start_align=GIOP_HEADER_SIZE,
+        request_id = self.next_request_id()
+        channel.send(encode_locate_request(request_id, object_key))
+        machine = channel_machine(channel, "client", self.machine_class)
+        event = pump_giop_event(channel, machine)
+        kind = type(event)
+        if kind is LocateReplied:
+            if event.request_id != request_id:
+                raise ProtocolError(
+                    f"LocateReply for request {event.request_id}, "
+                    f"expected {request_id}"
+                )
+            return event.status
+        if kind is WireViolation:
+            raise ProtocolError(event.message)
+        raise ProtocolError(
+            f"expected LocateReply, got message type "
+            f"{_EVENT_MESSAGE_TYPE[kind]}"
         )
-        reply = LocateReplyHeader.decode(decoder)
-        if reply.request_id != request_id:
-            raise ProtocolError(
-                f"LocateReply for request {reply.request_id}, "
-                f"expected {request_id}"
-            )
-        return reply.locate_status
 
     def close_connection(self, channel):
         """Send the GIOP CloseConnection notification."""
-        channel.send(frame_message(MSG_CLOSE_CONNECTION, b""))
+        channel.send(encode_close())
 
     # -- replies ----------------------------------------------------------------
-
-    _STATUS_TO_GIOP = {
-        STATUS_OK: REPLY_NO_EXCEPTION,
-        STATUS_EXCEPTION: REPLY_USER_EXCEPTION,
-        STATUS_ERROR: REPLY_SYSTEM_EXCEPTION,
-    }
-    _GIOP_TO_STATUS = {value: key for key, value in _STATUS_TO_GIOP.items()}
 
     def send_reply(self, channel, reply, request_id=None):
         if request_id is None:
@@ -363,128 +209,25 @@ class GiopProtocol(Protocol):
             # pipelined servers always set reply.request_id (replies may
             # leave out of order, so a per-channel stash would cross-wire).
             request_id = getattr(channel, "_giop_pending_reply_id", 0)
-        header = ReplyHeader(
-            request_id=request_id,
-            reply_status=self._STATUS_TO_GIOP[reply.status],
-        )
-        encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
-        header.encode(encoder)
-        if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
-            # CORBA: the exception body leads with its repository ID.
-            encoder.string(reply.repo_id)
-        reply.replay_into(CdrMarshallerView(encoder))
-        channel.send(frame_message(MSG_REPLY, encoder.data()))
+        channel.send(_encode_reply(reply, request_id=request_id))
 
     def recv_reply(self, channel):
-        header, body = read_message(channel)
-        if header.message_type != MSG_REPLY:
-            raise ProtocolError(
-                f"expected GIOP Reply, got message type {header.message_type}"
-            )
-        decoder = CdrDecoder(
-            body, little_endian=header.little_endian, start_align=GIOP_HEADER_SIZE
+        machine = channel_machine(channel, "client", self.machine_class)
+        event = pump_giop_event(channel, machine)
+        kind = type(event)
+        if kind is ReplyReceived:
+            reply = event.reply
+            if not getattr(channel, "_multiplexed", False):
+                expected = getattr(channel, "_giop_last_request_id", None)
+                if expected is not None and reply.request_id != expected:
+                    raise ProtocolError(
+                        f"reply for request {reply.request_id}, "
+                        f"expected {expected}"
+                    )
+            return reply
+        if kind is WireViolation:
+            raise ProtocolError(event.message)
+        raise ProtocolError(
+            f"expected GIOP Reply, got message type "
+            f"{_EVENT_MESSAGE_TYPE[kind]}"
         )
-        reply_header = ReplyHeader.decode(decoder)
-        if not getattr(channel, "_multiplexed", False):
-            expected = getattr(channel, "_giop_last_request_id", None)
-            if expected is not None and reply_header.request_id != expected:
-                raise ProtocolError(
-                    f"reply for request {reply_header.request_id}, "
-                    f"expected {expected}"
-                )
-        status = self._GIOP_TO_STATUS.get(reply_header.reply_status)
-        if status is None:
-            raise ProtocolError(
-                f"unsupported reply status {reply_header.reply_status}"
-            )
-        repo_id = ""
-        if status in (STATUS_EXCEPTION, STATUS_ERROR):
-            repo_id = decoder.string()
-        return Reply(
-            status=status,
-            repo_id=repo_id,
-            unmarshaller=CdrUnmarshaller(decoder),
-            request_id=reply_header.request_id,
-        )
-
-
-class CdrMarshallerView(CdrMarshaller):
-    """A CdrMarshaller writing into an existing encoder (post-header)."""
-
-    def __init__(self, encoder):
-        self._encoder = encoder
-
-
-class _BufferedCdrMarshaller(Marshaller):
-    """Records typed puts so they can be replayed after the GIOP header.
-
-    GIOP alignment is measured from the start of the message, and the
-    request/reply header length varies (operation name, object key), so
-    the parameter bytes cannot be encoded at a known alignment until the
-    header is written.  Stubs marshal into this recorder; the protocol
-    replays the operations into the real encoder right after the header.
-    """
-
-    def __init__(self):
-        self._operations = []
-
-    def _record(self, method, *args):
-        self._operations.append((method, args))
-
-    def put_boolean(self, value):
-        self._record("put_boolean", value)
-
-    def put_octet(self, value):
-        self._record("put_octet", value)
-
-    def put_char(self, value):
-        self._record("put_char", value)
-
-    def put_short(self, value):
-        self._record("put_short", value)
-
-    def put_ushort(self, value):
-        self._record("put_ushort", value)
-
-    def put_long(self, value):
-        self._record("put_long", value)
-
-    def put_ulong(self, value):
-        self._record("put_ulong", value)
-
-    def put_longlong(self, value):
-        self._record("put_longlong", value)
-
-    def put_ulonglong(self, value):
-        self._record("put_ulonglong", value)
-
-    def put_float(self, value):
-        self._record("put_float", value)
-
-    def put_double(self, value):
-        self._record("put_double", value)
-
-    def put_string(self, value):
-        self._record("put_string", value)
-
-    def put_enum(self, name, index):
-        self._record("put_enum", name, index)
-
-    def put_objref(self, stringified):
-        self._record("put_objref", stringified)
-
-    def begin(self, name=""):
-        self._record("begin", name)
-
-    def end(self):
-        self._record("end")
-
-    def payload(self):
-        # Used only for size-estimation/debug paths; encode standalone.
-        target = CdrMarshaller()
-        self.replay(target)
-        return target.payload()
-
-    def replay(self, marshaller):
-        for method, args in self._operations:
-            getattr(marshaller, method)(*args)

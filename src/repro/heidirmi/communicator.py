@@ -35,6 +35,7 @@ from repro.heidirmi.errors import (
     HeidiRmiError,
     ProtocolError,
 )
+from repro.wire.correlation import CorrelationTable, is_channel_level_error
 
 
 class _SendBuffer:
@@ -95,9 +96,13 @@ class ObjectCommunicator:
             # them when many requests share the channel.
             channel._multiplexed = True
         # Completion table: request id -> Future or _BulkCollector,
-        # resolved by the demux loop.
-        self._pending = {}
-        self._pending_lock = threading.Lock()
+        # resolved by the demux loop.  The table itself (and the
+        # reserved-id semantics applied in _resolve) is the shared
+        # correlation core from repro.wire; the aliases keep the
+        # compound register-then-send blocks below on the same lock.
+        self._table = CorrelationTable()
+        self._pending = self._table.entries
+        self._pending_lock = self._table.lock
         self._reader = None
         self._reader_lock = threading.Lock()
         #: Replies whose id matched no waiter (cancelled/buggy peer);
@@ -467,16 +472,14 @@ class ObjectCommunicator:
     def _resolve(self, replies):
         if not replies:
             return
-        pending = self._pending
-        with self._pending_lock:
-            matched = [(pending.pop(reply.request_id, None), reply)
-                       for reply in replies]
-            depth = len(pending)
+        waiters, depth = self._table.take(
+            [reply.request_id for reply in replies]
+        )
         if self._pending_gauge is not None:
             self._pending_gauge.set(depth)
-        for waiter, reply in matched:
+        for waiter, reply in zip(waiters, replies):
             if waiter is None:
-                if reply.status == STATUS_ERROR and reply.request_id == 0:
+                if is_channel_level_error(reply):
                     # Id 0 is reserved: the server failed on a request it
                     # could not even parse, so it cannot name the call it
                     # is rejecting.  One of our waiters would otherwise
@@ -507,16 +510,14 @@ class ObjectCommunicator:
         instead of delivering it to nobody — and every channel-mate
         keeps its own entry.  Returns True if the entry existed.
         """
-        with self._pending_lock:
-            waiter = self._pending.pop(request_id, None)
-            depth = len(self._pending)
+        waiter, depth = self._table.discard(request_id)
         if self._pending_gauge is not None:
             self._pending_gauge.set(depth)
         return waiter is not None
 
     def _fail_pending(self, exc):
-        with self._pending_lock:
-            pending, self._pending = self._pending, {}
+        pending = self._table.drain()
+        self._pending = self._table.entries
         if pending and self._metrics is not None:
             self._count_error(exc)
             self._pending_gauge.set(0)

@@ -1,4 +1,4 @@
-"""Pluggable ORB protocols.
+"""Pluggable ORB protocols — thin byte-pumps over ``repro.wire``.
 
 "Most IDL compilers generate stubs and skeletons that utilize an
 abstract interface to the ORB [... which] keeps the generated code
@@ -6,71 +6,92 @@ independent of any particular ORB protocol, permitting the utilization
 of alternate protocols" (paper, Section 2).  :class:`Protocol` is that
 abstract interface; stubs and skeletons only ever see Call/Reply.
 
+Since the sans-I/O refactor the parse/emit logic lives in the pure
+state machines of :mod:`repro.wire` (``wire.text``, ``wire.giop``);
+the classes here only *pump*: one blocking read per frame, fed into
+the machine, one event out.  The same machines drive the asyncio
+front-end in :mod:`repro.wire.aio` byte-chunk at a time — that is the
+protocol/transport seam the paper claims, made literal.
+
 Implementations: :class:`TextProtocol` here (the paper's newline
 ASCII format), :class:`Text2Protocol` (the same token grammar framed
 with a request id, enabling pipelining and connection multiplexing)
 and :class:`repro.giop.iiop.GiopProtocol`.
 """
 
-import itertools
-
-from repro.heidirmi.call import (
-    STATUS_ERROR,
-    STATUS_EXCEPTION,
-    STATUS_OK,
-    Call,
-    Reply,
-)
 from repro.heidirmi.errors import ProtocolError
-from repro.heidirmi.textwire import (
-    TextMarshaller,
-    TextUnmarshaller,
-    escape_token,
-    unescape_token,
+from repro.heidirmi.textwire import TextMarshaller
+from repro.wire import events as wire_events
+from repro.wire.correlation import RequestIdAllocator
+from repro.wire.text import (
+    Text2Wire,
+    TextWire,
+    encode_reply,
+    encode_reply2,
+    encode_request,
+    encode_request2,
+    parse_reply2_line,
+    parse_reply_line,
+    parse_request2_line,
+    parse_request_id,
+    parse_request_line,
 )
-from repro.resilience.deadline import Deadline
 
-#: Prefix of the optional trace-context header token.  A stringified
-#: object reference always starts with ``@``, so a ``ctx=`` token in
-#: target position is unambiguous — peers that never send it (or strip
-#: it) interoperate with peers that do.  The token body is the pure-hex
-#: ``trace_id-span_id`` pair (see ``repro.observe.context``), already
-#: printable ASCII, so it needs no escaping.
-_CTX_PREFIX = "ctx="
-
-#: Prefix of the optional deadline header token, same design as
-#: ``ctx=``: it sits between the verb (and id) and the ``@``-target, so
-#: it can never be mistaken for either.  The body is the *remaining
-#: budget* in whole milliseconds — a relative quantity that needs no
-#: clock synchronisation; the server re-anchors it on its own monotonic
-#: clock at parse time.
-_DL_PREFIX = "dl="
+#: Per-channel machine stash attributes.  Parse state is per direction
+#: per connection, and one Protocol instance is shared across every
+#: connection of an Orb, so the machines live on the channel — the same
+#: idiom the GIOP scratch ids always used.  Delegating wrappers
+#: (ChaosChannel) grow the attribute on the wrapper, which is exactly
+#: the isolation the chaos layer wants.
+_CLIENT_MACHINE = "_wire_client"
+_SERVER_MACHINE = "_wire_server"
 
 
-def _parse_deadline_token(token):
-    """``dl=<ms>`` → a server-side re-anchored Deadline."""
-    try:
-        ms = int(token[len(_DL_PREFIX):])
-    except ValueError:
-        raise ProtocolError(f"bad deadline token {token!r}") from None
-    if ms < 0:
-        raise ProtocolError(f"negative deadline {ms}ms")
-    return Deadline.after(ms / 1000.0)
+def pump_event(channel, machine):
+    """Block until *machine* yields one event, feeding exact frames.
 
-#: Memo for header tokens (targets, operation names): the same handful
-#: of strings heads every request on a connection, so escaping each
-#: once beats re-scanning them per call.  Bounded against churn.
-_HEADER_ESCAPES = {}
+    The machine says what it needs next (one line, or an exact byte
+    count) and the channel's own blocking primitives fetch it — so the
+    blocking stack performs the *same reads it always did* (same
+    deadline enforcement, same chaos injection points, same
+    ``has_buffered`` accounting) while all parsing happens sans-I/O.
+    """
+    if machine.has_buffered:
+        event = machine.next_event()
+        if event is not wire_events.NEED_DATA:
+            return event
+    while True:
+        hint = machine.read_hint()
+        if hint[0] == "line":
+            event = machine.feed_line(channel.recv_line())
+        else:
+            event = machine.feed_frame(channel.recv_exact(hint[1]))
+        if event is not wire_events.NEED_DATA:
+            return event
 
 
-def _escape_header(text):
-    token = _HEADER_ESCAPES.get(text)
-    if token is None:
-        if len(_HEADER_ESCAPES) >= 4096:
-            _HEADER_ESCAPES.clear()
-        token = escape_token(text)
-        _HEADER_ESCAPES[text] = token
-    return token
+def pump_line_event(channel, machine):
+    """:func:`pump_event` specialised for line-hinted (text) machines.
+
+    ``feed_line`` always produces an event from one complete line, so
+    the hint round-trip disappears; only leftover buffered bytes (a
+    driver that mixed in ``feed_bytes``) take the generic path.
+    """
+    if machine.has_buffered:
+        event = machine.next_event()
+        if event is not wire_events.NEED_DATA:
+            return event
+    return machine.feed_line(channel.recv_line())
+
+
+def channel_machine(channel, role, factory):
+    """The per-channel wire machine for *role*, built on first use."""
+    attribute = _CLIENT_MACHINE if role == "client" else _SERVER_MACHINE
+    machine = getattr(channel, attribute, None)
+    if machine is None:
+        machine = factory(role)
+        setattr(channel, attribute, machine)
+    return machine
 
 
 class Protocol:
@@ -84,12 +105,25 @@ class Protocol:
     #: purely by ordering (the original text protocol) leave this False.
     supports_multiplexing = False
 
+    #: The sans-I/O state machine class backing this protocol (a
+    #: :class:`repro.wire.machine.WireMachine` subclass), used by both
+    #: the blocking pumps below and the asyncio front-end.
+    machine_class = None
+
     def next_request_id(self):
         """Allocate a correlation id (multiplexing protocols only)."""
         raise ProtocolError(
             f"protocol {self.name!r} has no request ids; "
             "it cannot be pipelined or multiplexed"
         )
+
+    def client_machine(self, **kwargs):
+        """A fresh client-role wire machine (parses replies)."""
+        return self.machine_class("client", **kwargs)
+
+    def server_machine(self, **kwargs):
+        """A fresh server-role wire machine (parses requests)."""
+        return self.machine_class("server", **kwargs)
 
     def new_marshaller(self):
         raise NotImplementedError
@@ -113,99 +147,67 @@ class Protocol:
         """Read one reply; returns a readable Reply."""
         raise NotImplementedError
 
+    # -- shared pump plumbing ----------------------------------------------
+
+    def _pump_request(self, channel):
+        machine = channel_machine(channel, "server", self.machine_class)
+        event = pump_event(channel, machine)
+        if type(event) is wire_events.WireViolation:
+            raise ProtocolError(event.message)
+        return event.call
+
+    def _pump_reply(self, channel):
+        machine = channel_machine(channel, "client", self.machine_class)
+        event = pump_event(channel, machine)
+        if type(event) is wire_events.WireViolation:
+            raise ProtocolError(event.message)
+        return event.reply
+
 
 class TextProtocol(Protocol):
     """The newline-terminated ASCII request/response protocol."""
 
     name = "text"
+    machine_class = TextWire
 
     def new_marshaller(self):
         return TextMarshaller()
 
-    # -- requests ------------------------------------------------------------
-
     def send_request(self, channel, call):
-        # Build the line in one pass at the token level; going through
-        # payload() would encode and re-decode the same bytes.
-        pieces = ["ONEWAY" if call.oneway else "CALL"]
-        if call.trace_context is not None:
-            # Optional service context: traced callers lead the header
-            # with a ctx= token; untraced peers simply never emit one.
-            pieces.append(_CTX_PREFIX + call.trace_context)
-        if call.deadline is not None:
-            pieces.append(_DL_PREFIX + str(call.deadline.remaining_ms()))
-        pieces.append(_escape_header(call.target))
-        pieces.append(_escape_header(call.operation))
-        pieces += call._m.tokens()
-        channel.send((" ".join(pieces) + "\n").encode("ascii"))
+        channel.send(encode_request(call))
+
+    # The receive side mirrors the send side: one blocking ``recv_line``
+    # (the channel is the line-demarcating buffer) handed straight to
+    # the machines' pure line parsers — this is the per-call hot path.
+    # A per-channel machine exists only when a chunk-style driver fed it
+    # (``feed_bytes``); any bytes it buffered are drained first so no
+    # message can overtake another.
+
+    _parse_request_line = staticmethod(parse_request_line)
+    _parse_reply_line = staticmethod(parse_reply_line)
 
     def recv_request(self, channel, object_exists=None):
+        machine = getattr(channel, _SERVER_MACHINE, None)
+        if machine is not None and machine.has_buffered:
+            event = pump_line_event(channel, machine)
+            if type(event) is wire_events.WireViolation:
+                raise ProtocolError(event.message)
+            return event.call
         line = channel.recv_line().decode("ascii", errors="replace")
-        tokens = line.split()
-        if not tokens:
-            raise ProtocolError("empty request line")
-        verb = tokens[0]
-        if verb not in ("CALL", "ONEWAY"):
-            raise ProtocolError(
-                f"expected CALL or ONEWAY, got {verb!r} "
-                "(request shape: CALL <objref> <operation> <args...>)"
-            )
-        head = 1
-        trace_context = None
-        deadline = None
-        # Optional service-context tokens (ctx=, dl=) sit between the
-        # verb and the target; a target is a stringified reference and
-        # always starts with '@', so the scan is unambiguous.  Accept
-        # them in either order.
-        while len(tokens) > head:
-            token = tokens[head]
-            if token.startswith(_CTX_PREFIX):
-                trace_context = token[len(_CTX_PREFIX):]
-            elif token.startswith(_DL_PREFIX):
-                deadline = _parse_deadline_token(token)
-            else:
-                break
-            head += 1
-        if len(tokens) < head + 2:
-            raise ProtocolError("request needs an object reference and an operation")
-        call = Call(
-            unescape_token(tokens[head]),
-            unescape_token(tokens[head + 1]),
-            unmarshaller=TextUnmarshaller.adopt(tokens, head + 2),
-            oneway=(verb == "ONEWAY"),
-        )
-        call.trace_context = trace_context
-        call.deadline = deadline
-        return call
-
-    # -- replies ----------------------------------------------------------------
+        return self._parse_request_line(line)
 
     def send_reply(self, channel, reply):
-        pieces = ["RET", reply.status]
-        if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
-            pieces.append(escape_token(reply.repo_id))
-        pieces += reply._m.tokens()
-        channel.send((" ".join(pieces) + "\n").encode("ascii"))
+        channel.send(encode_reply(reply))
 
     def recv_reply(self, channel):
+        machine = getattr(channel, _CLIENT_MACHINE, None)
+        if machine is not None and machine.has_buffered:
+            event = pump_line_event(channel, machine)
+            if type(event) is wire_events.WireViolation:
+                raise ProtocolError(event.message)
+            return event.reply
         line = channel.recv_line().decode("ascii", errors="replace")
-        tokens = line.split()
-        if len(tokens) < 2 or tokens[0] != "RET":
-            raise ProtocolError(f"malformed reply line {line!r}")
-        status = tokens[1]
-        if status == STATUS_OK:
-            return Reply(
-                status=STATUS_OK, unmarshaller=TextUnmarshaller.adopt(tokens, 2)
-            )
-        if status in (STATUS_EXCEPTION, STATUS_ERROR):
-            if len(tokens) < 3:
-                raise ProtocolError(f"{status} reply needs an identifier")
-            return Reply(
-                status=status,
-                repo_id=unescape_token(tokens[2]),
-                unmarshaller=TextUnmarshaller.adopt(tokens, 3),
-            )
-        raise ProtocolError(f"unknown reply status {status!r}")
+        return self._parse_reply_line(line)
 
 
 class Text2Protocol(TextProtocol):
@@ -232,145 +234,26 @@ class Text2Protocol(TextProtocol):
 
     name = "text2"
     supports_multiplexing = True
+    machine_class = Text2Wire
+
+    _parse_request_line = staticmethod(parse_request2_line)
+    _parse_reply_line = staticmethod(parse_reply2_line)
 
     def __init__(self):
-        self._request_ids = itertools.count(1)
+        self._request_ids = RequestIdAllocator()
 
     def next_request_id(self):
-        # next() on an itertools.count is atomic under the GIL, so the
-        # hot path needs no lock here.
-        return next(self._request_ids)
-
-    # -- requests ------------------------------------------------------------
+        return self._request_ids.next()
 
     def send_request(self, channel, call):
-        if call.oneway:
-            pieces = ["ONEWAY2"]
-        else:
-            if call.request_id is None:
-                call.request_id = self.next_request_id()
-            pieces = ["CALL2", str(call.request_id)]
-        if call.trace_context is not None:
-            # Same optional service-context slot as the classic text
-            # protocol: right before the target, which always starts
-            # with '@' and so can never read as a ctx= token.
-            pieces.append(_CTX_PREFIX + call.trace_context)
-        if call.deadline is not None:
-            pieces.append(_DL_PREFIX + str(call.deadline.remaining_ms()))
-        pieces.append(_escape_header(call.target))
-        pieces.append(_escape_header(call.operation))
-        pieces += call._m.tokens()
-        channel.send((" ".join(pieces) + "\n").encode("ascii"))
+        if not call.oneway and call.request_id is None:
+            call.request_id = self.next_request_id()
+        channel.send(encode_request2(call))
 
-    def recv_request(self, channel, object_exists=None):
-        line = channel.recv_line().decode("ascii", errors="replace")
-        tokens = line.split()
-        if not tokens:
-            raise ProtocolError("empty request line")
-        verb = tokens[0]
-        if verb == "CALL2":
-            # Inlined _parse_id: this runs once per incoming request.
-            try:
-                request_id = int(tokens[1])
-            except IndexError:
-                raise ProtocolError("CALL2 needs a request id") from None
-            except ValueError:
-                raise ProtocolError(
-                    f"bad request id {tokens[1]!r}"
-                ) from None
-            if request_id < 0:
-                raise ProtocolError(f"negative request id {request_id}")
-            head = 2
-            oneway = False
-        elif verb == "ONEWAY2":
-            request_id = None
-            head = 1
-            oneway = True
-        else:
-            raise ProtocolError(
-                f"expected CALL2 or ONEWAY2, got {verb!r} "
-                "(request shape: CALL2 <id> <objref> <operation> <args...>)"
-            )
-        trace_context = None
-        deadline = None
-        # Same optional service-context scan as the classic protocol
-        # (ctx= and dl= in either order before the '@'-target).
-        while len(tokens) > head:
-            token = tokens[head]
-            if token.startswith(_CTX_PREFIX):
-                trace_context = token[len(_CTX_PREFIX):]
-            elif token.startswith(_DL_PREFIX):
-                deadline = _parse_deadline_token(token)
-            else:
-                break
-            head += 1
-        if len(tokens) < head + 2:
-            raise ProtocolError("request needs an object reference and an operation")
-        call = Call(
-            unescape_token(tokens[head]),
-            unescape_token(tokens[head + 1]),
-            unmarshaller=TextUnmarshaller.adopt(tokens, head + 2),
-            oneway=oneway,
-            request_id=request_id,
-        )
-        call.trace_context = trace_context
-        call.deadline = deadline
-        return call
-
-    @staticmethod
-    def _parse_id(token):
-        if token is None:
-            raise ProtocolError("CALL2 needs a request id")
-        try:
-            request_id = int(token)
-        except ValueError:
-            raise ProtocolError(f"bad request id {token!r}") from None
-        if request_id < 0:
-            raise ProtocolError(f"negative request id {request_id}")
-        return request_id
-
-    # -- replies ----------------------------------------------------------------
+    _parse_id = staticmethod(parse_request_id)
 
     def send_reply(self, channel, reply):
-        # Id 0 is the reserved "no correlation" id: only error replies
-        # to unparseable requests carry it (real ids start at 1), and
-        # the client side treats an ERR so tagged as channel-level.
-        request_id = reply.request_id if reply.request_id is not None else 0
-        pieces = ["RET2", str(request_id), reply.status]
-        if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
-            pieces.append(escape_token(reply.repo_id))
-        pieces += reply._m.tokens()
-        channel.send((" ".join(pieces) + "\n").encode("ascii"))
-
-    def recv_reply(self, channel):
-        line = channel.recv_line().decode("ascii", errors="replace")
-        tokens = line.split()
-        if len(tokens) < 3 or tokens[0] != "RET2":
-            raise ProtocolError(f"malformed reply line {line!r}")
-        # Inlined _parse_id: this runs once per reply on the demux thread.
-        try:
-            request_id = int(tokens[1])
-        except ValueError:
-            raise ProtocolError(f"bad request id {tokens[1]!r}") from None
-        if request_id < 0:
-            raise ProtocolError(f"negative request id {request_id}")
-        status = tokens[2]
-        if status == STATUS_OK:
-            return Reply(
-                status=STATUS_OK,
-                unmarshaller=TextUnmarshaller.adopt(tokens, 3),
-                request_id=request_id,
-            )
-        if status in (STATUS_EXCEPTION, STATUS_ERROR):
-            if len(tokens) < 4:
-                raise ProtocolError(f"{status} reply needs an identifier")
-            return Reply(
-                status=status,
-                repo_id=unescape_token(tokens[3]),
-                unmarshaller=TextUnmarshaller.adopt(tokens, 4),
-                request_id=request_id,
-            )
-        raise ProtocolError(f"unknown reply status {status!r}")
+        channel.send(encode_reply2(reply))
 
 
 _PROTOCOLS = {"text": TextProtocol, "text2": Text2Protocol}

@@ -453,9 +453,27 @@ _TRANSPORTS = {
     "inproc": InProcTransport,
 }
 
+#: Name → name redirects resolved inside :func:`get_transport`, so every
+#: caller (Orbs, the connection cache, the chaos layer) sees the same
+#: substitution regardless of how it spelled the transport.  The test
+#: suite uses this to re-run entire suites over the asyncio transport.
+_ALIASES = {}
+
+
+def set_transport_alias(name, target):
+    """Redirect transport *name* to *target* (None removes the alias)."""
+    if target is None:
+        _ALIASES.pop(name, None)
+    else:
+        _ALIASES[name] = target
+
 
 def get_transport(name):
-    """Look up a transport by protocol name (``tcp``/``inproc``)."""
+    """Look up a transport by protocol name (``tcp``/``inproc``/``aio``)."""
+    name = _ALIASES.get(name, name)
+    if name == "aio" and "aio" not in _TRANSPORTS:
+        # Imported lazily so the threads-only ORB never touches asyncio.
+        import repro.wire.aio  # noqa: F401 (registers itself)
     factory = _TRANSPORTS.get(name)
     if factory is None:
         raise CommunicationError(f"unknown transport {name!r}")

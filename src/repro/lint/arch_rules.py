@@ -1,0 +1,119 @@
+"""Architecture rules: the sans-I/O layering contract (ARCH001).
+
+The wire machines in :mod:`repro.wire` are pure byte/event transducers;
+the whole design collapses if one of them quietly grows a socket.  This
+pass statically walks every module under ``src/repro/wire/`` — except
+``wire/aio``, which *is* the sanctioned I/O front-end — and reports an
+``ARCH001`` error for any import of an I/O facility:
+
+- the stdlib I/O modules ``socket``, ``selectors``, ``asyncio``;
+- the blocking transport layer ``repro.heidirmi.transport``.
+
+The check is AST-based (no execution), so it also catches imports
+hidden inside functions or ``try`` blocks.
+"""
+
+import ast
+import os
+
+from repro.lint.diagnostics import Diagnostic, Severity, Span
+
+#: Top-level stdlib modules a sans-I/O wire module may never import.
+BANNED_TOPLEVEL = ("socket", "selectors", "asyncio")
+
+#: Internal modules that would couple the machines to an I/O stack.
+BANNED_MODULES = ("repro.heidirmi.transport",)
+
+#: Files under wire/ allowed to perform I/O (the asyncio front-end).
+EXEMPT_FILES = ("aio.py",)
+
+
+def default_wire_dir():
+    """The installed location of the repro.wire package.
+
+    Located from the parent package so the check never executes the
+    code it is auditing.
+    """
+    import repro
+
+    return os.path.join(os.path.dirname(repro.__file__), "wire")
+
+
+def _banned_name(dotted):
+    """The banned facility *dotted* resolves to, or None."""
+    root = dotted.split(".", 1)[0]
+    if root in BANNED_TOPLEVEL:
+        return root
+    for banned in BANNED_MODULES:
+        if dotted == banned or dotted.startswith(banned + "."):
+            return banned
+    return None
+
+
+def _imported_names(node):
+    """Every dotted module name *node* could bind."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        if node.level:  # relative: stays inside repro.wire, always fine
+            return []
+        names = [node.module] if node.module else []
+        # ``from repro.heidirmi import transport`` names the banned
+        # module through the alias list, not the module part.
+        names.extend(
+            f"{node.module}.{alias.name}" for alias in node.names
+            if node.module
+        )
+        return names
+    return []
+
+
+def lint_wire_source(source, filename="<wire>"):
+    """ARCH001 findings for one wire module's source text."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            code="ARCH001",
+            severity=Severity.ERROR,
+            message=f"cannot parse wire module: {exc.msg}",
+            span=Span(file=filename, line=exc.lineno or 0),
+            source="arch",
+        )]
+    diagnostics = []
+    for node in ast.walk(tree):
+        # One finding per facility per statement: ``from selectors
+        # import DefaultSelector`` names selectors twice (module part
+        # and alias), but it is one violation.
+        reported = set()
+        for dotted in _imported_names(node):
+            banned = _banned_name(dotted)
+            if banned is None or banned in reported:
+                continue
+            reported.add(banned)
+            diagnostics.append(Diagnostic(
+                code="ARCH001",
+                severity=Severity.ERROR,
+                message=(
+                    f"sans-I/O wire module imports {banned!r}: only "
+                    "repro.wire.aio may touch sockets or event loops"
+                ),
+                span=Span(file=filename, line=node.lineno),
+                source="arch",
+            ))
+    return diagnostics
+
+
+def lint_wire_layering(wire_dir=None):
+    """ARCH001 findings for every non-exempt module under *wire_dir*."""
+    if wire_dir is None:
+        wire_dir = default_wire_dir()
+    diagnostics = []
+    for name in sorted(os.listdir(wire_dir)):
+        if not name.endswith(".py") or name in EXEMPT_FILES:
+            continue
+        path = os.path.join(wire_dir, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        diagnostics.extend(lint_wire_source(source, filename=path))
+    return diagnostics

@@ -16,6 +16,7 @@ import ast as python_ast
 import os
 import sys
 
+from repro.lint.arch_rules import lint_wire_layering
 from repro.lint.diagnostics import Severity, Span
 from repro.lint.formats import render_json, render_sarif, render_text
 from repro.lint.idl_rules import lint_idl_source
@@ -49,6 +50,12 @@ def build_arg_parser():
         "--include", "-I", action="append", default=[], metavar="DIR",
         help="IDL include search path (repeatable)",
     )
+    parser.add_argument(
+        "--arch", action="store_true",
+        help="check the sans-I/O layering contract (ARCH001): no module "
+             "under repro.wire except wire/aio may import socket, "
+             "selectors, asyncio, or the blocking transport",
+    )
     return parser
 
 
@@ -73,7 +80,10 @@ def main(argv=None):
     for path in files:
         diagnostics.extend(_lint_file(path, args.include, packs))
 
-    if not args.targets and not args.mapping:
+    if args.arch:
+        diagnostics.extend(lint_wire_layering())
+
+    if not args.targets and not args.mapping and not args.arch:
         from repro.mappings.registry import all_packs
 
         for pack in all_packs():

@@ -64,6 +64,9 @@ CODES = {
     "MAP003": "mapping pack type table misses primitive IDL types",
     "MAP004": "idempotent-declared operation has out/inout parameters "
               "(retry-unsafe)",
+    # -- architecture / layering ------------------------------------------
+    "ARCH001": "sans-I/O wire module imports an I/O facility "
+               "(socket/selectors/asyncio/transport)",
 }
 
 

@@ -1,0 +1,62 @@
+"""The sans-I/O protocol core.
+
+Every HeidiRMI wire protocol (``text``, ``text2``, ``giop``) is
+implemented here as a *pure state machine* in the style of h11/h2:
+bytes go in through :meth:`~repro.wire.machine.WireMachine.feed_bytes`,
+typed events (:mod:`repro.wire.events`) come out, and outgoing messages
+are produced with ``emit_*`` methods that return ``bytes``.  No module
+in this package (except :mod:`repro.wire.aio`) may import ``socket``,
+``selectors``, ``asyncio`` or ``repro.heidirmi.transport`` — the
+ARCH001 lint enforces that forever.
+
+Layering (see ``docs/ARCHITECTURE.md``)::
+
+    wire state machine   pure bytes <-> events      (this package)
+    transport            blocking or asyncio pumps  (heidirmi.transport,
+                                                     wire.aio)
+    communicator         request demarcation        (heidirmi.communicator)
+    ORB                  dispatch, caches, policy   (heidirmi.orb)
+
+The blocking stack (``repro.heidirmi.protocol``/``repro.giop.iiop``)
+and the asyncio front-end (:mod:`repro.wire.aio`) are both thin byte
+pumps over the identical machines, which is the paper's configurable
+protocol/transport seam made literal.
+"""
+
+# The wire machines import the shared data model (repro.heidirmi.call,
+# .errors, .textwire), and heidirmi's own package init imports back into
+# repro.wire.  Fully initializing heidirmi first reduces a wire-first
+# import to the well-trodden heidirmi-first order, so ``import
+# repro.wire`` is safe whichever package loads first.
+import repro.heidirmi  # noqa: F401  (cycle breaker, see above)
+
+from repro.wire.correlation import (  # noqa: F401
+    RESERVED_CHANNEL_ERROR_ID,
+    CorrelationTable,
+    RequestIdAllocator,
+    is_channel_level_error,
+)
+from repro.wire.events import (  # noqa: F401
+    NEED_DATA,
+    CancelReceived,
+    CloseReceived,
+    LocateReplied,
+    LocateRequested,
+    ReplyReceived,
+    RequestReceived,
+    WireEvent,
+    WireViolation,
+)
+from repro.wire.machine import WireMachine  # noqa: F401
+
+
+def machine_for(protocol_name, role, **kwargs):
+    """Build a wire machine by protocol name (``text``/``text2``/``giop``)."""
+    from repro.wire.giop import GiopWire
+    from repro.wire.text import Text2Wire, TextWire
+
+    factories = {"text": TextWire, "text2": Text2Wire, "giop": GiopWire}
+    factory = factories.get(protocol_name)
+    if factory is None:
+        raise ValueError(f"no wire machine for protocol {protocol_name!r}")
+    return factory(role, **kwargs)

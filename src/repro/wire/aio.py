@@ -1,0 +1,642 @@
+"""Asyncio front-end over the sans-I/O wire machines.
+
+This is the module the layering lint (ARCH001) carves out: everything
+else under :mod:`repro.wire` is pure bytes-in/events-out, and *only*
+this module may touch sockets and event loops.  It provides three
+things, all driven by the exact machines the blocking stack pumps:
+
+``AioTransport`` (registered as ``"aio"``)
+    A drop-in :class:`~repro.heidirmi.transport.Transport`: blocking
+    Channels and Listeners whose I/O runs on a shared background
+    asyncio event loop.  An unchanged ORB — threads, communicators,
+    connection cache and all — works over it byte for byte, which is
+    what the interop matrix asserts.
+
+``AioOrbServer``
+    A coroutine server front-end for an existing :class:`Orb`'s object
+    table: one task per connection, chunk reads fed straight into a
+    server-role wire machine, dispatch through the orb's own
+    ``_handle_request`` in an executor.  No ObjectCommunicator, no
+    per-connection thread.
+
+``AioClientConnection``
+    A coroutine client: ``await conn.invoke(call)`` with futures
+    correlated by request id on multiplexing protocols (many awaiters,
+    one connection) and by FIFO order on the classic text protocol.
+"""
+
+import asyncio
+import collections
+import concurrent.futures
+import queue
+import socket
+import threading
+import time
+
+from repro.heidirmi.call import Reply, STATUS_ERROR
+from repro.heidirmi.errors import (
+    CommunicationError,
+    DeadlineExceeded,
+    ProtocolError,
+)
+from repro.heidirmi.transport import (
+    DEFAULT_CONNECT_TIMEOUT,
+    Channel,
+    Listener,
+    Transport,
+    register_transport,
+)
+from repro.wire.correlation import is_channel_level_error
+from repro.wire.events import (
+    NEED_DATA,
+    CancelReceived,
+    CloseReceived,
+    LocateRequested,
+    ReplyReceived,
+    RequestReceived,
+    WireViolation,
+)
+
+_READ_CHUNK = 65536
+
+
+# ---------------------------------------------------------------------------
+# The shared background loop
+# ---------------------------------------------------------------------------
+
+_LOOP = None
+_LOOP_LOCK = threading.Lock()
+
+
+def get_event_loop():
+    """The process-wide event loop backing the blocking ``aio`` facade.
+
+    Started lazily on a daemon thread; shared by every AioChannel,
+    AioListener and AioOrbServer so cross-connection work (accepting
+    while reading while writing) multiplexes on one loop, which is the
+    point of the exercise.
+    """
+    global _LOOP
+    loop = _LOOP
+    if loop is None:
+        with _LOOP_LOCK:
+            loop = _LOOP
+            if loop is None:
+                loop = asyncio.new_event_loop()
+                thread = threading.Thread(
+                    target=loop.run_forever,
+                    name="repro-aio-loop",
+                    daemon=True,
+                )
+                thread.start()
+                _LOOP = loop
+    return loop
+
+
+def _run(coroutine, timeout=None):
+    """Run *coroutine* on the shared loop, blocking for its result."""
+    return asyncio.run_coroutine_threadsafe(
+        coroutine, get_event_loop()
+    ).result(timeout)
+
+
+def _set_nodelay(writer):
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Blocking facade: Channel/Listener/Transport over the loop
+# ---------------------------------------------------------------------------
+
+
+class AioChannel(Channel):
+    """A blocking Channel whose bytes move through an asyncio stream.
+
+    Inherits the receive buffer, ``recv_line``/``recv_exact``,
+    ``has_buffered`` and deadline bookkeeping from :class:`Channel`;
+    only the three primitives that touch the socket (``send``,
+    ``_fill``, ``close``) are rerouted onto the event loop.  Blocking
+    callers therefore observe byte-identical behaviour — same frames,
+    same exception kinds, same deadline semantics.
+    """
+
+    def __init__(self, reader, writer, peer="?"):
+        super().__init__(None, peer=peer)
+        self._reader = reader
+        self._writer = writer
+        self._loop = get_event_loop()
+
+    async def _send_async(self, data):
+        self._writer.write(data)
+        await self._writer.drain()
+
+    async def _fill_async(self):
+        return await self._reader.read(_READ_CHUNK)
+
+    def _remaining(self, verb):
+        if self._deadline is None:
+            return None
+        remaining = self._deadline - time.monotonic()
+        if remaining <= 0.0:
+            self.close()
+            raise DeadlineExceeded(
+                f"deadline expired before {verb} to {self.peer}"
+                if verb == "send"
+                else f"deadline expired waiting for {self.peer}"
+            )
+        return remaining
+
+    def send(self, data):
+        if self._closed:
+            raise CommunicationError(
+                f"channel to {self.peer} is closed", kind="channel-closed"
+            )
+        timeout = self._remaining("send")
+        with self._send_lock:
+            future = asyncio.run_coroutine_threadsafe(
+                self._send_async(data), self._loop
+            )
+            try:
+                future.result(timeout)
+            except concurrent.futures.TimeoutError as exc:
+                future.cancel()
+                self.close()
+                raise DeadlineExceeded(
+                    f"deadline expired in send to {self.peer}"
+                ) from exc
+            except (ConnectionError, OSError) as exc:
+                self.close()
+                raise CommunicationError(
+                    f"send to {self.peer} failed: {exc}", kind="send-failed"
+                ) from exc
+        if self.meter is not None:
+            self.meter.sent(len(data))
+
+    def _fill(self):
+        timeout = self._remaining("recv")
+        future = asyncio.run_coroutine_threadsafe(
+            self._fill_async(), self._loop
+        )
+        try:
+            chunk = future.result(timeout)
+        except concurrent.futures.TimeoutError as exc:
+            future.cancel()
+            self.close()
+            raise DeadlineExceeded(
+                f"deadline expired waiting for {self.peer}"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            self.close()
+            raise CommunicationError(
+                f"recv from {self.peer} failed: {exc}", kind="recv-failed"
+            ) from exc
+        if not chunk:
+            raise CommunicationError(
+                f"peer {self.peer} closed the connection", kind="peer-closed"
+            )
+        if self.meter is not None:
+            self.meter.received(len(chunk))
+        self._buffer += chunk
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        writer = self._writer
+
+        def _shutdown():
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+        try:
+            self._loop.call_soon_threadsafe(_shutdown)
+        except RuntimeError:
+            pass  # loop torn down at interpreter exit
+
+
+#: Queue sentinel: the listener was closed under a blocked acceptor.
+_CLOSED = object()
+
+
+class AioListener(Listener):
+    """Accept side of the aio transport: asyncio server, blocking API."""
+
+    def __init__(self, host, port):
+        self._accepted = queue.Queue()
+        self._closed = False
+        try:
+            self._server = _run(self._start(host, port))
+        except OSError as exc:
+            raise CommunicationError(
+                f"cannot bind {host}:{port}: {exc}", kind="bind-failed"
+            ) from exc
+        # Snapshot the bound address: server.sockets empties on close,
+        # but callers still ask where the listener *was* (Orb.port).
+        self._address = self._server.sockets[0].getsockname()[:2]
+
+    async def _start(self, host, port):
+        return await asyncio.start_server(self._on_connect, host, port)
+
+    async def _on_connect(self, reader, writer):
+        # Runs on the loop for every inbound connection; hand the
+        # streams to whichever thread is blocked in accept().
+        _set_nodelay(writer)
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        self._accepted.put(AioChannel(reader, writer, peer=peer))
+
+    def accept(self):
+        channel = self._accepted.get()
+        if channel is _CLOSED:
+            # Re-post for any other blocked acceptor.
+            self._accepted.put(_CLOSED)
+            raise CommunicationError(
+                "listener closed", kind="listener-closed"
+            )
+        return channel
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            _run(self._stop())
+        except Exception:
+            pass
+        self._accepted.put(_CLOSED)
+
+    async def _stop(self):
+        self._server.close()
+        await self._server.wait_closed()
+
+    @property
+    def address(self):
+        return self._address
+
+
+class AioTransport(Transport):
+    """TCP through a background asyncio loop, behind the blocking API."""
+
+    name = "aio"
+
+    def listen(self, host, port):
+        return AioListener(host, port)
+
+    def connect(self, host, port, timeout=None):
+        if timeout is None:
+            timeout = DEFAULT_CONNECT_TIMEOUT
+        try:
+            reader, writer = _run(
+                asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout
+                )
+            )
+        # asyncio.TimeoutError is distinct from TimeoutError on 3.10.
+        except (asyncio.TimeoutError, TimeoutError) as exc:
+            raise CommunicationError(
+                f"connect {host}:{port} timed out after {timeout}s",
+                kind="connect-timeout",
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            raise CommunicationError(
+                f"cannot connect {host}:{port}: {exc}", kind="connect-refused"
+            ) from exc
+        _set_nodelay(writer)
+        return AioChannel(reader, writer, peer=f"{host}:{port}")
+
+
+# ---------------------------------------------------------------------------
+# Coroutine-native server front-end
+# ---------------------------------------------------------------------------
+
+
+def _error_reply(protocol, category, message, request_id=None):
+    marshaller = protocol.new_marshaller()
+    reply = Reply(
+        status=STATUS_ERROR,
+        repo_id=category,
+        marshaller=marshaller,
+        request_id=request_id,
+    )
+    reply.put_string(message)
+    return reply
+
+
+class AioOrbServer:
+    """Serve an Orb's objects from coroutines instead of threads.
+
+    One asyncio task per connection replaces one thread per connection:
+    chunks come off the stream, go into a server-role wire machine
+    (the same ``machine_class`` the blocking server pumps), and each
+    RequestReceived is dispatched through the orb's own
+    ``_handle_request`` in the loop's default executor, so skeletons
+    and application code still run on plain threads and never see the
+    event loop.  Replies and protocol-level error replies are emitted
+    by the machine, byte-identical to the blocking server's.
+
+    Usage (from synchronous test/driver code)::
+
+        server = AioOrbServer(orb)
+        host, port = server.start()
+        ...
+        server.stop()
+    """
+
+    def __init__(self, orb, host="127.0.0.1", port=0):
+        self.orb = orb
+        self._host = host
+        self._port = port
+        self._server = None
+
+    # -- blocking facade ---------------------------------------------------
+
+    def start(self):
+        """Bind and serve on the shared loop; returns (host, port)."""
+        self._server = _run(self._start_async())
+        return self.address
+
+    def stop(self):
+        if self._server is not None:
+            _run(self._stop_async())
+            self._server = None
+
+    @property
+    def address(self):
+        return self._server.sockets[0].getsockname()[:2]
+
+    # -- coroutine side ----------------------------------------------------
+
+    async def _start_async(self):
+        try:
+            return await asyncio.start_server(
+                self._serve_connection, self._host, self._port
+            )
+        except OSError as exc:
+            raise CommunicationError(
+                f"cannot bind {self._host}:{self._port}: {exc}",
+                kind="bind-failed",
+            ) from exc
+
+    async def _stop_async(self):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _serve_connection(self, reader, writer):
+        _set_nodelay(writer)
+        orb = self.orb
+        protocol = orb.protocol
+        machine = protocol.server_machine()
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                event = machine.next_event()
+                if event is NEED_DATA:
+                    chunk = await reader.read(_READ_CHUNK)
+                    if not chunk:
+                        return  # peer hung up
+                    machine.receive_data(chunk)
+                    continue
+                kind = type(event)
+                if kind is RequestReceived:
+                    if not await self._serve_request(
+                        loop, machine, writer, event.call
+                    ):
+                        return
+                elif kind is LocateRequested:
+                    from repro.giop.messages import (
+                        LOCATE_OBJECT_HERE,
+                        LOCATE_UNKNOWN_OBJECT,
+                    )
+
+                    status = (
+                        LOCATE_OBJECT_HERE
+                        if orb._object_key_exists(event.object_key)
+                        else LOCATE_UNKNOWN_OBJECT
+                    )
+                    writer.write(
+                        machine.emit_locate_reply(event.request_id, status)
+                    )
+                    await writer.drain()
+                elif kind is CancelReceived:
+                    continue  # dispatch here is serial; nothing to cancel
+                elif kind is CloseReceived:
+                    return
+                elif kind is WireViolation:
+                    if not event.recoverable:
+                        return
+                    # Same telnet-forgiveness as the blocking server:
+                    # report the parse failure, keep the connection.
+                    writer.write(machine.emit_reply(_error_reply(
+                        protocol, "Protocol", event.message
+                    )))
+                    await writer.drain()
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass  # connection died mid-frame; nothing to report to
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _serve_request(self, loop, machine, writer, call):
+        """Dispatch one request; False ends the connection."""
+        protocol = self.orb.protocol
+        if call.deadline is not None and call.deadline.expired:
+            # The wire-propagated budget ran out in transit or in the
+            # read queue; the client has stopped waiting.
+            if not call.oneway:
+                writer.write(machine.emit_reply(_error_reply(
+                    protocol,
+                    "DeadlineExceeded",
+                    f"request {call.operation!r} expired before dispatch",
+                    request_id=call.request_id,
+                )))
+                await writer.drain()
+            return True
+        # Skeleton/application code runs on executor threads — the
+        # loop stays free to read other connections meanwhile, but
+        # dispatch stays serial per connection (ordering guarantee).
+        reply = await loop.run_in_executor(
+            None, self.orb._handle_request, call
+        )
+        if call.oneway:
+            return True
+        try:
+            data = machine.emit_reply(reply)
+        except Exception as exc:  # the result itself failed to encode
+            data = machine.emit_reply(_error_reply(
+                protocol, type(exc).__name__, str(exc),
+                request_id=call.request_id,
+            ))
+        try:
+            writer.write(data)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Coroutine-native client
+# ---------------------------------------------------------------------------
+
+
+class AioClientConnection:
+    """A coroutine client over one connection: ``await invoke(call)``.
+
+    On multiplexing protocols (text2, GIOP) every awaiter gets a future
+    keyed by request id, so many coroutines share the connection and
+    replies complete out of order — the asyncio mirror of the blocking
+    ObjectCommunicator's demultiplexer.  On the classic text protocol
+    replies correlate by FIFO order, exactly like the blocking serial
+    path.
+    """
+
+    def __init__(self, protocol, reader, writer):
+        self.protocol = protocol
+        self._reader = reader
+        self._writer = writer
+        self._machine = protocol.client_machine()
+        self._multiplexed = bool(
+            getattr(protocol, "supports_multiplexing", False)
+        )
+        self._pending = {}
+        self._fifo = collections.deque()
+        self._reader_task = None
+        self._closed = False
+
+    @classmethod
+    async def open(cls, protocol, host, port):
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError) as exc:
+            raise CommunicationError(
+                f"cannot connect {host}:{port}: {exc}", kind="connect-refused"
+            ) from exc
+        _set_nodelay(writer)
+        return cls(protocol, reader, writer)
+
+    async def invoke(self, call):
+        """Send *call*; await and return its Reply (None for oneways)."""
+        if self._closed:
+            raise CommunicationError(
+                "connection is closed", kind="channel-closed"
+            )
+        needs_id = call.request_id is None and self._multiplexed and (
+            not call.oneway or self._machine.protocol_name == "giop"
+        )
+        if needs_id:
+            # GIOP frames an id on oneways too; text2 oneways carry none.
+            call.request_id = self.protocol.next_request_id()
+        future = None
+        if not call.oneway:
+            future = asyncio.get_running_loop().create_future()
+            if self._multiplexed:
+                self._pending[call.request_id] = future
+            else:
+                self._fifo.append(future)
+        self._writer.write(self._machine.emit_request(call))
+        await self._writer.drain()
+        if future is None:
+            return None
+        self._ensure_reader()
+        return await future
+
+    def _ensure_reader(self):
+        if self._reader_task is None:
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self):
+        try:
+            while self._pending or self._fifo:
+                event = self._machine.next_event()
+                if event is NEED_DATA:
+                    chunk = await self._reader.read(_READ_CHUNK)
+                    if not chunk:
+                        raise CommunicationError(
+                            "peer closed the connection", kind="peer-closed"
+                        )
+                    self._machine.receive_data(chunk)
+                    continue
+                self._dispatch_event(event)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_pending(exc)
+        finally:
+            self._reader_task = None
+
+    def _dispatch_event(self, event):
+        kind = type(event)
+        if kind is ReplyReceived:
+            reply = event.reply
+            if not self._multiplexed:
+                if self._fifo:
+                    self._resolve(self._fifo.popleft(), reply)
+                return
+            if is_channel_level_error(reply):
+                # RET2 0 ERR / GIOP id 0: the server could not even
+                # correlate — every call in flight is dead.
+                self._fail_pending(CommunicationError(
+                    "channel-level protocol error from peer",
+                    kind="channel-error",
+                ))
+                return
+            future = self._pending.pop(reply.request_id, None)
+            if future is not None:
+                self._resolve(future, reply)
+            return  # orphaned reply (abandoned call): drop it
+        if kind is CloseReceived:
+            raise CommunicationError(
+                "peer sent GIOP CloseConnection", kind="peer-closed"
+            )
+        if kind is WireViolation:
+            if not self._multiplexed and self._fifo:
+                # Serial: the garbled frame *is* the awaited reply.
+                future = self._fifo.popleft()
+                if not future.done():
+                    future.set_exception(ProtocolError(event.message))
+                if not event.recoverable:
+                    raise ProtocolError(event.message)
+                return
+            raise ProtocolError(event.message)
+        # Anything else (locate traffic initiated elsewhere) is ignored.
+
+    @staticmethod
+    def _resolve(future, reply):
+        if not future.done():  # awaiter may have been cancelled
+            future.set_result(reply)
+
+    def _fail_pending(self, exc):
+        pending = list(self._pending.values())
+        self._pending.clear()
+        pending.extend(self._fifo)
+        self._fifo.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(exc)
+
+    async def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        self._fail_pending(CommunicationError(
+            "connection is closed", kind="channel-closed"
+        ))
+
+
+register_transport("aio", AioTransport)

@@ -1,0 +1,107 @@
+"""Request-id correlation, shared by every protocol and both I/O stacks.
+
+Before this module each protocol (and the blocking communicator)
+carried its own id allocator and its own reserved-id folklore.  Now:
+
+- :class:`RequestIdAllocator` hands out the ids every multiplexing
+  protocol frames (text2 ``CALL2 <id>``, GIOP's native request_id);
+- :data:`RESERVED_CHANNEL_ERROR_ID` (0) is the "no correlation" id a
+  server uses when it must reject a request it could not even parse —
+  :func:`is_channel_level_error` is the one test for that case;
+- :class:`CorrelationTable` is the completion table mapping in-flight
+  request ids to waiters, used by the blocking
+  :class:`~repro.heidirmi.communicator.ObjectCommunicator` (with real
+  threads) and the asyncio client in :mod:`repro.wire.aio` alike.
+"""
+
+import itertools
+import threading
+
+from repro.heidirmi.call import STATUS_ERROR
+
+#: Request id 0 is reserved: real ids start at 1, and an error reply
+#: tagged 0 means "I could not parse the request, so I cannot name the
+#: call I am rejecting" — a channel-level failure, not an orphan.
+RESERVED_CHANNEL_ERROR_ID = 0
+
+
+def is_channel_level_error(reply):
+    """True when *reply* is the reserved uncorrelatable error reply."""
+    return (reply.status == STATUS_ERROR
+            and reply.request_id == RESERVED_CHANNEL_ERROR_ID)
+
+
+class RequestIdAllocator:
+    """Monotonic request ids starting at 1 (0 is reserved).
+
+    ``next()`` on the underlying :func:`itertools.count` is atomic
+    under the GIL, so allocation needs no lock on the hot path.
+    """
+
+    __slots__ = ("_ids",)
+
+    def __init__(self, start=1):
+        self._ids = itertools.count(start)
+
+    def next(self):
+        return next(self._ids)
+
+    __next__ = next
+
+
+class CorrelationTable:
+    """In-flight request ids → waiters, with one shared lock.
+
+    The table does not know what a waiter *is* — the blocking
+    communicator stores ``concurrent.futures.Future`` and bulk
+    collectors, the asyncio client stores ``asyncio.Future`` — it only
+    owns the id → waiter map and its consistency.  Compound operations
+    (register-many-then-send) take :attr:`lock` directly and work on
+    :attr:`entries`; the common single steps have methods.
+    """
+
+    __slots__ = ("lock", "entries")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.entries = {}
+
+    def register(self, request_id, waiter):
+        """File a waiter; returns the new table depth."""
+        with self.lock:
+            self.entries[request_id] = waiter
+            return len(self.entries)
+
+    def take(self, request_ids):
+        """Pop each id's waiter (None when absent) under one lock.
+
+        Returns ``(waiters, depth)`` with *waiters* in request order —
+        the demultiplexer resolves a whole batch of replies this way.
+        """
+        entries = self.entries
+        with self.lock:
+            waiters = [entries.pop(request_id, None)
+                       for request_id in request_ids]
+            return waiters, len(entries)
+
+    def discard(self, request_id):
+        """Drop one entry (caller stopped waiting).
+
+        Returns ``(waiter_or_None, depth)``.
+        """
+        with self.lock:
+            waiter = self.entries.pop(request_id, None)
+            return waiter, len(self.entries)
+
+    def drain(self):
+        """Remove and return every entry (channel death)."""
+        with self.lock:
+            entries, self.entries = self.entries, {}
+        return entries
+
+    @property
+    def depth(self):
+        return len(self.entries)
+
+    def __len__(self):
+        return len(self.entries)

@@ -1,0 +1,346 @@
+"""Sans-I/O state machine for GIOP 1.0.
+
+Framing (the 12-byte header + exact-size body), message parsing, and
+message emission for the GIOP/IIOP path — pure bytes in, events out.
+The blocking :class:`repro.giop.iiop.GiopProtocol` and the asyncio
+front-end both pump this machine; neither re-implements any framing.
+
+Role rules (what counts as a violation mirrors the pre-refactor
+blocking code exactly, message text included):
+
+==================  =======================  =======================
+message type        client-role machine      server-role machine
+==================  =======================  =======================
+Request (0)         violation                RequestReceived
+Reply (1)           ReplyReceived            violation
+CancelRequest (2)   violation                CancelReceived
+LocateRequest (3)   violation                LocateRequested
+LocateReply (4)     LocateReplied            violation
+CloseConnection(5)  CloseReceived            CloseReceived
+MessageError (6)    violation                violation
+==================  =======================  =======================
+"""
+
+from repro.giop.cdrmarshal import CdrMarshallerView, CdrUnmarshaller
+from repro.giop.cdr import CdrDecoder, CdrEncoder
+from repro.giop.messages import (
+    GIOP_HEADER_SIZE,
+    MSG_CANCEL_REQUEST,
+    MSG_CLOSE_CONNECTION,
+    MSG_LOCATE_REPLY,
+    MSG_LOCATE_REQUEST,
+    MSG_REPLY,
+    MSG_REQUEST,
+    REPLY_NO_EXCEPTION,
+    REPLY_SYSTEM_EXCEPTION,
+    REPLY_USER_EXCEPTION,
+    SERVICE_CONTEXT_DEADLINE,
+    SERVICE_CONTEXT_TRACE,
+    LocateReplyHeader,
+    LocateRequestHeader,
+    MessageHeader,
+    ReplyHeader,
+    RequestHeader,
+    ServiceContext,
+    frame_message,
+)
+from repro.heidirmi.call import (
+    STATUS_ERROR,
+    STATUS_EXCEPTION,
+    STATUS_OK,
+    Call,
+    Reply,
+)
+from repro.heidirmi.errors import MarshalError, ProtocolError
+from repro.wire import headers
+from repro.wire.events import (
+    NEED_DATA,
+    CancelReceived,
+    CloseReceived,
+    LocateReplied,
+    LocateRequested,
+    ReplyReceived,
+    RequestReceived,
+    WireViolation,
+)
+from repro.wire.machine import CLIENT, WireMachine
+
+#: A body beyond this is an attack or a bug (same cap as read_message).
+MAX_MESSAGE_SIZE = 1 << 24
+
+_STATUS_TO_GIOP = {
+    STATUS_OK: REPLY_NO_EXCEPTION,
+    STATUS_EXCEPTION: REPLY_USER_EXCEPTION,
+    STATUS_ERROR: REPLY_SYSTEM_EXCEPTION,
+}
+_GIOP_TO_STATUS = {value: key for key, value in _STATUS_TO_GIOP.items()}
+
+
+# ---------------------------------------------------------------------------
+# Emission: pure Call/Reply -> framed message bytes
+# ---------------------------------------------------------------------------
+
+
+def encode_request(call):
+    """A framed GIOP Request for *call* (request_id must be set for
+    two-ways; GIOP frames an id on oneways too, so any id works there)."""
+    request_id = call.request_id
+    if request_id is None:
+        raise ProtocolError("GIOP request needs a request id")
+    service_context = []
+    if call.trace_context is not None:
+        # GIOP's native extension point: the trace context travels
+        # as a ServiceContext entry, which unaware peers skip.
+        service_context.append(ServiceContext(
+            SERVICE_CONTEXT_TRACE,
+            headers.trace_context_data(call.trace_context),
+        ))
+    if call.deadline is not None:
+        # Remaining budget in ms, same relative quantity as the
+        # text protocols' dl= token (see SERVICE_CONTEXT_DEADLINE).
+        service_context.append(ServiceContext(
+            SERVICE_CONTEXT_DEADLINE,
+            headers.deadline_context_data(call.deadline),
+        ))
+    header = RequestHeader(
+        request_id=request_id,
+        object_key=call.target.encode("utf-8"),
+        operation=call.operation,
+        response_expected=not call.oneway,
+        service_context=service_context,
+    )
+    encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
+    header.encode(encoder)
+    call.replay_into(CdrMarshallerView(encoder))
+    return frame_message(MSG_REQUEST, encoder.data())
+
+
+def encode_reply(reply, request_id=None):
+    """A framed GIOP Reply echoing *request_id* (default: the reply's)."""
+    if request_id is None:
+        request_id = reply.request_id
+    if request_id is None:
+        request_id = 0
+    header = ReplyHeader(
+        request_id=request_id,
+        reply_status=_STATUS_TO_GIOP[reply.status],
+    )
+    encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
+    header.encode(encoder)
+    if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
+        # CORBA: the exception body leads with its repository ID.
+        encoder.string(reply.repo_id)
+    reply.replay_into(CdrMarshallerView(encoder))
+    return frame_message(MSG_REPLY, encoder.data())
+
+
+def encode_locate_request(request_id, object_key):
+    encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
+    LocateRequestHeader(
+        request_id=request_id, object_key=object_key
+    ).encode(encoder)
+    return frame_message(MSG_LOCATE_REQUEST, encoder.data())
+
+
+def encode_locate_reply(request_id, locate_status):
+    encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
+    LocateReplyHeader(
+        request_id=request_id, locate_status=locate_status
+    ).encode(encoder)
+    return frame_message(MSG_LOCATE_REPLY, encoder.data())
+
+
+def encode_close():
+    return frame_message(MSG_CLOSE_CONNECTION, b"")
+
+
+# ---------------------------------------------------------------------------
+# The machine
+# ---------------------------------------------------------------------------
+
+
+class GiopWire(WireMachine):
+    """GIOP 1.0 framing and message parsing as a pure state machine.
+
+    ``multiplexed=False`` arms the serial-reply check: after an
+    ``emit_request`` the next Reply must echo that id (the classic
+    one-call-in-flight client).  Multiplexed users correlate by
+    ``reply.request_id`` themselves, so the check relaxes.  The
+    blocking adapter keeps its own per-channel check for compatibility
+    and builds machines with ``multiplexed=True``.
+    """
+
+    protocol_name = "giop"
+
+    def __init__(self, role, multiplexed=True):
+        super().__init__(role)
+        self.multiplexed = multiplexed
+        #: Serial clients: the id the next Reply must echo.
+        self.expected_reply_id = None
+        #: Server role: the id of the last parsed Request — the id an
+        #: id-less emit_reply echoes (serial servers only; pipelined
+        #: servers set reply.request_id explicitly).
+        self.pending_reply_id = 0
+        self._header = None  # parsed MessageHeader awaiting its body
+
+    def read_hint(self):
+        if self._header is None:
+            return ("exact", GIOP_HEADER_SIZE - self._available())
+        return ("exact", self._header.message_size - self._available())
+
+    def _parse_one(self):
+        if self._header is None:
+            if self._available() < GIOP_HEADER_SIZE:
+                return NEED_DATA
+            header_bytes = self._consume(GIOP_HEADER_SIZE)
+            try:
+                header = MessageHeader.decode(header_bytes)
+            except ProtocolError as exc:
+                # The 12 bad bytes are consumed; whatever follows is
+                # re-read as a fresh header (mirrors the blocking
+                # reader, whose ProtocolError left the next bytes
+                # unread in the channel).
+                return WireViolation(str(exc))
+            if header.message_size > MAX_MESSAGE_SIZE:
+                return WireViolation(
+                    f"implausible GIOP message size {header.message_size}"
+                )
+            self._header = header
+        if self._available() < self._header.message_size:
+            return NEED_DATA
+        header, self._header = self._header, None
+        body = self._consume(header.message_size)
+        try:
+            return self._parse_message(header, body)
+        except (ProtocolError, MarshalError) as exc:
+            # The whole message was consumed, so the stream stays
+            # aligned; the driver may report and continue.
+            return WireViolation(str(exc))
+
+    def feed_message(self, header, body):
+        """One already-framed message → event (exact-read fast path).
+
+        A blocking pump that performed the header and body reads
+        itself hands the parts straight to the parser, skipping the
+        buffer round-trip :meth:`feed_frame` would pay.  All state
+        rules (role table, serial checks, pending ids) still apply.
+        Only valid while nothing is buffered in the machine.
+        """
+        try:
+            return self._parse_message(header, body)
+        except (ProtocolError, MarshalError) as exc:
+            return WireViolation(str(exc))
+
+    def _unexpected(self, message_type):
+        expected = "GIOP Reply" if self.role == CLIENT else "GIOP Request"
+        return WireViolation(
+            f"expected {expected}, got message type {message_type}"
+        )
+
+    def _parse_message(self, header, body):
+        message_type = header.message_type
+        if message_type == MSG_CLOSE_CONNECTION:
+            return CloseReceived()
+        if self.role == CLIENT:
+            if message_type == MSG_REPLY:
+                return self._parse_reply(header, body)
+            if message_type == MSG_LOCATE_REPLY:
+                decoder = self._body_decoder(header, body)
+                locate = LocateReplyHeader.decode(decoder)
+                return LocateReplied(locate.request_id, locate.locate_status)
+            return self._unexpected(message_type)
+        if message_type == MSG_REQUEST:
+            return self._parse_request(header, body)
+        if message_type == MSG_LOCATE_REQUEST:
+            decoder = self._body_decoder(header, body)
+            locate = LocateRequestHeader.decode(decoder)
+            return LocateRequested(locate.request_id, locate.object_key)
+        if message_type == MSG_CANCEL_REQUEST:
+            # Body ignored: upcalls here are synchronous, there is
+            # nothing in flight to cancel.
+            return CancelReceived()
+        return self._unexpected(message_type)
+
+    @staticmethod
+    def _body_decoder(header, body):
+        return CdrDecoder(
+            body, little_endian=header.little_endian,
+            start_align=GIOP_HEADER_SIZE,
+        )
+
+    def _parse_request(self, header, body):
+        decoder = self._body_decoder(header, body)
+        request = RequestHeader.decode(decoder)
+        call = Call(
+            request.object_key.decode("utf-8"),
+            request.operation,
+            unmarshaller=CdrUnmarshaller(decoder),
+            oneway=not request.response_expected,
+            request_id=request.request_id,
+        )
+        call._giop_request_id = request.request_id
+        for context in request.service_context:
+            if context.context_id == SERVICE_CONTEXT_TRACE:
+                call.trace_context = context.context_data.decode(
+                    "ascii", errors="replace"
+                )
+            elif context.context_id == SERVICE_CONTEXT_DEADLINE:
+                call.deadline = headers.parse_deadline_context(
+                    context.context_data
+                )
+        # The reply to this request must echo its id; serial drivers
+        # reply without call context, so remember it here.
+        self.pending_reply_id = request.request_id
+        return RequestReceived(call)
+
+    def _parse_reply(self, header, body):
+        decoder = self._body_decoder(header, body)
+        reply_header = ReplyHeader.decode(decoder)
+        if not self.multiplexed:
+            expected = self.expected_reply_id
+            if expected is not None and reply_header.request_id != expected:
+                raise ProtocolError(
+                    f"reply for request {reply_header.request_id}, "
+                    f"expected {expected}"
+                )
+        status = _GIOP_TO_STATUS.get(reply_header.reply_status)
+        if status is None:
+            raise ProtocolError(
+                f"unsupported reply status {reply_header.reply_status}"
+            )
+        repo_id = ""
+        if status in (STATUS_EXCEPTION, STATUS_ERROR):
+            repo_id = decoder.string()
+        return ReplyReceived(Reply(
+            status=status,
+            repo_id=repo_id,
+            unmarshaller=CdrUnmarshaller(decoder),
+            request_id=reply_header.request_id,
+        ))
+
+    # -- emission ----------------------------------------------------------
+
+    def emit_request(self, call):
+        data = encode_request(call)
+        if not self.multiplexed:
+            # Serial (one-call-in-flight) clients verify the next reply
+            # against this; a demultiplexing driver correlates by
+            # reply.request_id instead, and many ids are in flight.
+            self.expected_reply_id = call.request_id
+        return data
+
+    def emit_reply(self, reply, request_id=None):
+        if request_id is None:
+            request_id = reply.request_id
+        if request_id is None:
+            request_id = self.pending_reply_id
+        return encode_reply(reply, request_id=request_id)
+
+    def emit_locate_request(self, request_id, object_key):
+        return encode_locate_request(request_id, object_key)
+
+    def emit_locate_reply(self, request_id, locate_status):
+        return encode_locate_reply(request_id, locate_status)
+
+    def emit_close(self):
+        return encode_close()

@@ -1,0 +1,98 @@
+"""Shared wire-header tokens: trace context and deadline.
+
+Before the sans-I/O refactor the ``ctx=``/``dl=`` parse and emit code
+was duplicated between the text and text2 protocols (and the same
+millisecond-budget validation re-implemented a third time for GIOP's
+deadline ServiceContext), and the copies had started to drift.  This
+module is now the only place that knows the token grammar:
+
+- ``ctx=<trace_id-span_id>`` — the propagated trace context (see
+  ``repro.observe.context``); pure hex-and-dash ASCII, needs no
+  escaping.
+- ``dl=<ms>`` — the call's *remaining budget* in whole milliseconds, a
+  relative quantity needing no clock synchronisation; the receiver
+  re-anchors it on its own monotonic clock at parse time.
+
+Both tokens sit between the verb (and request id) and the ``@``-target;
+a stringified object reference always starts with ``@``, so the scan is
+unambiguous and the tokens compose in either order.  GIOP carries the
+same two values as ServiceContext entries ("HDTC"/"HDDL") whose bodies
+reuse the validation here.
+"""
+
+from repro.heidirmi.errors import ProtocolError
+from repro.resilience.deadline import Deadline
+
+#: Prefix of the optional trace-context header token.
+CTX_PREFIX = "ctx="
+
+#: Prefix of the optional deadline header token.
+DL_PREFIX = "dl="
+
+
+def deadline_from_ms(ms):
+    """A received whole-millisecond budget → re-anchored Deadline."""
+    if ms < 0:
+        raise ProtocolError(f"negative deadline {ms}ms")
+    return Deadline.after(ms / 1000.0)
+
+
+def parse_deadline_token(token):
+    """``dl=<ms>`` → a receiver-side re-anchored Deadline."""
+    try:
+        ms = int(token[len(DL_PREFIX):])
+    except ValueError:
+        raise ProtocolError(f"bad deadline token {token!r}") from None
+    return deadline_from_ms(ms)
+
+
+def parse_deadline_context(data):
+    """A GIOP deadline ServiceContext body (ASCII ms) → Deadline."""
+    try:
+        ms = int(data.decode("ascii"))
+    except (UnicodeDecodeError, ValueError):
+        raise ProtocolError(
+            f"bad deadline service context {data!r}"
+        ) from None
+    return deadline_from_ms(ms)
+
+
+def scan_header_tokens(tokens, head):
+    """Consume optional ``ctx=``/``dl=`` tokens starting at *head*.
+
+    Returns ``(trace_context, deadline, head)`` with *head* advanced
+    past every header token (they are accepted in either order).
+    Raises :class:`ProtocolError` on a malformed deadline token.
+    """
+    trace_context = None
+    deadline = None
+    while len(tokens) > head:
+        token = tokens[head]
+        if token.startswith(CTX_PREFIX):
+            trace_context = token[len(CTX_PREFIX):]
+        elif token.startswith(DL_PREFIX):
+            deadline = parse_deadline_token(token)
+        else:
+            break
+        head += 1
+    return trace_context, deadline, head
+
+
+def header_tokens(call):
+    """The ``ctx=``/``dl=`` emission pieces for *call* (maybe empty)."""
+    pieces = []
+    if call.trace_context is not None:
+        pieces.append(CTX_PREFIX + call.trace_context)
+    if call.deadline is not None:
+        pieces.append(DL_PREFIX + str(call.deadline.remaining_ms()))
+    return pieces
+
+
+def trace_context_data(trace_context):
+    """The GIOP trace ServiceContext body for a context token."""
+    return trace_context.encode("ascii", errors="replace")
+
+
+def deadline_context_data(deadline):
+    """The GIOP deadline ServiceContext body for a Deadline."""
+    return str(deadline.remaining_ms()).encode("ascii")

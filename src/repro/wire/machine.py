@@ -1,0 +1,129 @@
+"""The sans-I/O state-machine base class.
+
+A :class:`WireMachine` owns a byte buffer and a parsing state; it never
+touches a socket, a thread, or a clock.  Drivers push bytes in and pull
+events out:
+
+- an asyncio (or any other) pump calls ``feed_bytes(chunk)`` with
+  whatever arrived and handles the returned events;
+- the blocking adapters in ``repro.heidirmi.protocol`` instead ask
+  :meth:`read_hint` what the machine needs next (a line, or an exact
+  byte count), perform that one blocking read, and feed the exact
+  frame — so the blocking stack issues the *same reads against the
+  same channel methods* as it did before the refactor, which keeps
+  fault-injection points and deterministic chaos schedules intact.
+
+Machines are per-direction: a ``role="client"`` machine parses replies,
+a ``role="server"`` machine parses requests.  Emission (``emit_*``) is
+stateless for the text protocols and nearly so for GIOP, so one machine
+can both emit and parse its direction of a full-duplex connection.
+"""
+
+from repro.wire.events import NEED_DATA
+
+#: Compact the receive buffer once this much consumed prefix accumulates
+#: (same policy as the transport channel's buffer).
+_COMPACT_THRESHOLD = 1 << 16
+
+CLIENT = "client"
+SERVER = "server"
+
+
+class WireMachine:
+    """Pure bytes-in/events-out protocol state machine."""
+
+    #: Protocol name, matching ``repro.heidirmi.protocol`` registry keys.
+    protocol_name = "?"
+
+    def __init__(self, role):
+        if role not in (CLIENT, SERVER):
+            raise ValueError(f"role must be 'client' or 'server', not {role!r}")
+        self.role = role
+        self._buffer = bytearray()
+        self._start = 0
+
+    # -- feeding -----------------------------------------------------------
+
+    def receive_data(self, data):
+        """Buffer *data* without parsing (pump-style drivers)."""
+        self._buffer += data
+
+    def feed_bytes(self, data):
+        """Buffer *data* and return every now-complete event."""
+        self._buffer += data
+        events = []
+        while True:
+            event = self.next_event()
+            if event is NEED_DATA:
+                break
+            events.append(event)
+        return events
+
+    def next_event(self):
+        """One parsed event, or :data:`NEED_DATA`."""
+        event = self._parse_one()
+        if event is not NEED_DATA:
+            self._compact()
+        return event
+
+    def feed_frame(self, data):
+        """One exact frame from a hint-driven pump: buffer, parse once.
+
+        Semantically ``receive_data(data)`` + ``next_event()``.  A
+        blocking driver that already performed the exact read a
+        :meth:`read_hint` asked for uses this to skip the speculative
+        parse of an empty buffer that a feed-then-poll loop would pay
+        on every frame.
+        """
+        self._buffer += data
+        event = self._parse_one()
+        if event is not NEED_DATA:
+            self._compact()
+        return event
+
+    def read_hint(self):
+        """What one blocking read should fetch next.
+
+        ``("line",)`` — one newline-terminated line;
+        ``("exact", n)`` — exactly *n* more bytes.
+        Only meaningful while ``next_event()`` returns NEED_DATA.
+        """
+        raise NotImplementedError
+
+    # -- buffer plumbing ---------------------------------------------------
+
+    @property
+    def has_buffered(self):
+        """Unparsed bytes sitting in the machine?"""
+        return len(self._buffer) > self._start
+
+    @property
+    def buffered(self):
+        """The unparsed bytes (a copy; diagnostics only)."""
+        return bytes(self._buffer[self._start:])
+
+    def _available(self):
+        return len(self._buffer) - self._start
+
+    def _consume(self, count):
+        data = bytes(self._buffer[self._start:self._start + count])
+        self._start += count
+        return data
+
+    def _compact(self):
+        if self._start == len(self._buffer):
+            self._buffer.clear()
+            self._start = 0
+        elif self._start > _COMPACT_THRESHOLD:
+            del self._buffer[:self._start]
+            self._start = 0
+
+    # -- to be provided by protocol machines -------------------------------
+
+    def _parse_one(self):
+        """Parse one event off the buffer, or return NEED_DATA."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return (f"<{type(self).__name__} {self.role} "
+                f"buffered={self._available()}>")

@@ -1,0 +1,330 @@
+"""Sans-I/O state machines for the text and text2 wire protocols.
+
+The parse and emit logic that used to live inline in
+``repro.heidirmi.protocol`` — these functions are the single source of
+truth now; the blocking protocol classes are thin pumps over them.
+
+Message shapes (one printable-ASCII line each, ``\\n``-terminated)::
+
+    CALL   [ctx=..] [dl=..] <objref> <operation> <token>...
+    ONEWAY [ctx=..] [dl=..] <objref> <operation> <token>...
+    RET OK <token>...
+    RET EXC <repo-id> <token>...
+    RET ERR <category> <message-token>
+
+    CALL2 <id> [ctx=..] [dl=..] <objref> <operation> <token>...
+    ONEWAY2 [ctx=..] [dl=..] <objref> <operation> <token>...
+    RET2 <id> OK <token>...
+    RET2 <id> EXC <repo-id> <token>...
+    RET2 <id> ERR <category> <message-token>
+"""
+
+from repro.heidirmi.call import (
+    STATUS_ERROR,
+    STATUS_EXCEPTION,
+    STATUS_OK,
+    Call,
+    Reply,
+)
+from repro.heidirmi.errors import ProtocolError
+from repro.heidirmi.textwire import (
+    TextUnmarshaller,
+    escape_token,
+    unescape_token,
+)
+from repro.wire import headers
+from repro.wire.events import (
+    NEED_DATA,
+    ReplyReceived,
+    RequestReceived,
+    WireViolation,
+)
+from repro.wire.machine import CLIENT, WireMachine
+
+#: A line beyond this with no newline is an attack or a bug; the stream
+#: cannot be re-synchronised past it.  (Matches the transport channel's
+#: own cap, which fires first on the blocking path.)
+MAX_LINE = 1 << 20
+
+#: Memo for header tokens (targets, operation names): the same handful
+#: of strings heads every request on a connection, so escaping each
+#: once beats re-scanning them per call.  Bounded against churn.
+_HEADER_ESCAPES = {}
+
+
+def _escape_header(text):
+    token = _HEADER_ESCAPES.get(text)
+    if token is None:
+        if len(_HEADER_ESCAPES) >= 4096:
+            _HEADER_ESCAPES.clear()
+        token = escape_token(text)
+        _HEADER_ESCAPES[text] = token
+    return token
+
+
+# ---------------------------------------------------------------------------
+# Emission: pure Call/Reply -> bytes
+# ---------------------------------------------------------------------------
+
+
+def encode_request(call):
+    """Classic ``CALL``/``ONEWAY`` line for *call*."""
+    # Build the line in one pass at the token level; going through
+    # payload() would encode and re-decode the same bytes.
+    pieces = ["ONEWAY" if call.oneway else "CALL"]
+    if call.trace_context is not None or call.deadline is not None:
+        pieces += headers.header_tokens(call)
+    pieces.append(_escape_header(call.target))
+    pieces.append(_escape_header(call.operation))
+    pieces += call._m.tokens()
+    return (" ".join(pieces) + "\n").encode("ascii")
+
+
+def encode_reply(reply):
+    """Classic ``RET`` line for *reply*."""
+    pieces = ["RET", reply.status]
+    if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
+        pieces.append(escape_token(reply.repo_id))
+    pieces += reply._m.tokens()
+    return (" ".join(pieces) + "\n").encode("ascii")
+
+
+def encode_request2(call):
+    """``CALL2 <id>``/``ONEWAY2`` line for *call*.
+
+    Two-way calls must already carry a request id (the communicator or
+    machine allocates one); oneways never do — nothing correlates back.
+    """
+    if call.oneway:
+        pieces = ["ONEWAY2"]
+    else:
+        if call.request_id is None:
+            raise ProtocolError("text2 two-way request needs a request id")
+        pieces = ["CALL2", str(call.request_id)]
+    if call.trace_context is not None or call.deadline is not None:
+        pieces += headers.header_tokens(call)
+    pieces.append(_escape_header(call.target))
+    pieces.append(_escape_header(call.operation))
+    pieces += call._m.tokens()
+    return (" ".join(pieces) + "\n").encode("ascii")
+
+
+def encode_reply2(reply):
+    """``RET2 <id>`` line for *reply* (id 0 = reserved channel error)."""
+    request_id = (reply.request_id if reply.request_id is not None
+                  else 0)
+    pieces = ["RET2", str(request_id), reply.status]
+    if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
+        pieces.append(escape_token(reply.repo_id))
+    pieces += reply._m.tokens()
+    return (" ".join(pieces) + "\n").encode("ascii")
+
+
+# ---------------------------------------------------------------------------
+# Parsing: decoded line -> Call/Reply (shared by both machines)
+# ---------------------------------------------------------------------------
+
+
+def parse_request_id(token):
+    """A decimal request-id token → int (ids are never negative)."""
+    if token is None:
+        raise ProtocolError("CALL2 needs a request id")
+    try:
+        request_id = int(token)
+    except ValueError:
+        raise ProtocolError(f"bad request id {token!r}") from None
+    if request_id < 0:
+        raise ProtocolError(f"negative request id {request_id}")
+    return request_id
+
+
+def _parse_request_tail(tokens, head, oneway, request_id):
+    """Shared tail of both request grammars: headers, target, args."""
+    trace_context, deadline, head = headers.scan_header_tokens(tokens, head)
+    if len(tokens) < head + 2:
+        raise ProtocolError(
+            "request needs an object reference and an operation"
+        )
+    call = Call(
+        unescape_token(tokens[head]),
+        unescape_token(tokens[head + 1]),
+        unmarshaller=TextUnmarshaller.adopt(tokens, head + 2),
+        oneway=oneway,
+        request_id=request_id,
+    )
+    call.trace_context = trace_context
+    call.deadline = deadline
+    return call
+
+
+def parse_request_line(line):
+    """Classic request line (already decoded) → Call."""
+    tokens = line.split()
+    if not tokens:
+        raise ProtocolError("empty request line")
+    verb = tokens[0]
+    if verb not in ("CALL", "ONEWAY"):
+        raise ProtocolError(
+            f"expected CALL or ONEWAY, got {verb!r} "
+            "(request shape: CALL <objref> <operation> <args...>)"
+        )
+    return _parse_request_tail(
+        tokens, 1, oneway=(verb == "ONEWAY"), request_id=None
+    )
+
+
+def parse_request2_line(line):
+    """text2 request line (already decoded) → Call."""
+    tokens = line.split()
+    if not tokens:
+        raise ProtocolError("empty request line")
+    verb = tokens[0]
+    if verb == "CALL2":
+        try:
+            request_id = parse_request_id(tokens[1])
+        except IndexError:
+            raise ProtocolError("CALL2 needs a request id") from None
+        head = 2
+        oneway = False
+    elif verb == "ONEWAY2":
+        request_id = None
+        head = 1
+        oneway = True
+    else:
+        raise ProtocolError(
+            f"expected CALL2 or ONEWAY2, got {verb!r} "
+            "(request shape: CALL2 <id> <objref> <operation> <args...>)"
+        )
+    return _parse_request_tail(tokens, head, oneway, request_id)
+
+
+def parse_reply_line(line):
+    """Classic reply line (already decoded) → Reply."""
+    tokens = line.split()
+    if len(tokens) < 2 or tokens[0] != "RET":
+        raise ProtocolError(f"malformed reply line {line!r}")
+    status = tokens[1]
+    if status == STATUS_OK:
+        return Reply(
+            status=STATUS_OK, unmarshaller=TextUnmarshaller.adopt(tokens, 2)
+        )
+    if status in (STATUS_EXCEPTION, STATUS_ERROR):
+        if len(tokens) < 3:
+            raise ProtocolError(f"{status} reply needs an identifier")
+        return Reply(
+            status=status,
+            repo_id=unescape_token(tokens[2]),
+            unmarshaller=TextUnmarshaller.adopt(tokens, 3),
+        )
+    raise ProtocolError(f"unknown reply status {status!r}")
+
+
+def parse_reply2_line(line):
+    """text2 reply line (already decoded) → Reply."""
+    tokens = line.split()
+    if len(tokens) < 3 or tokens[0] != "RET2":
+        raise ProtocolError(f"malformed reply line {line!r}")
+    try:
+        request_id = int(tokens[1])
+    except ValueError:
+        raise ProtocolError(f"bad request id {tokens[1]!r}") from None
+    if request_id < 0:
+        raise ProtocolError(f"negative request id {request_id}")
+    status = tokens[2]
+    if status == STATUS_OK:
+        return Reply(
+            status=STATUS_OK,
+            unmarshaller=TextUnmarshaller.adopt(tokens, 3),
+            request_id=request_id,
+        )
+    if status in (STATUS_EXCEPTION, STATUS_ERROR):
+        if len(tokens) < 4:
+            raise ProtocolError(f"{status} reply needs an identifier")
+        return Reply(
+            status=status,
+            repo_id=unescape_token(tokens[3]),
+            unmarshaller=TextUnmarshaller.adopt(tokens, 4),
+            request_id=request_id,
+        )
+    raise ProtocolError(f"unknown reply status {status!r}")
+
+
+# ---------------------------------------------------------------------------
+# The machines
+# ---------------------------------------------------------------------------
+
+
+class TextWire(WireMachine):
+    """State machine for the classic newline-ASCII protocol."""
+
+    protocol_name = "text"
+
+    _parse_request = staticmethod(parse_request_line)
+    _parse_reply = staticmethod(parse_reply_line)
+    _encode_request = staticmethod(encode_request)
+    _encode_reply = staticmethod(encode_reply)
+
+    def read_hint(self):
+        return ("line",)
+
+    def _parse_one(self):
+        index = self._buffer.find(b"\n", self._start)
+        if index < 0:
+            if self._available() > MAX_LINE:
+                # Discard the poisoned bytes so the violation is
+                # delivered once, not re-parsed forever; the driver
+                # must abandon the stream (recoverable=False) anyway.
+                self._consume(self._available())
+                return WireViolation(
+                    "request line too long", recoverable=False
+                )
+            return NEED_DATA
+        raw = self._buffer[self._start:index]
+        self._start = index + 1
+        while raw and raw[-1] == 0x0D:  # rstrip(b"\r"), no realloc
+            del raw[-1]
+        return self._event_for_line(raw)
+
+    def feed_line(self, raw):
+        """One complete line (terminator already stripped) → event.
+
+        The zero-copy fast path of the blocking pump: the channel's
+        ``recv_line`` has already demarcated the line, so when nothing
+        is buffered the machine parses it in place instead of paying a
+        copy into its own buffer and a second newline scan.  With bytes
+        pending (a feed_bytes driver mixing styles) it falls back to
+        ordered buffering so no message can overtake another.
+        """
+        if len(self._buffer) > self._start:
+            self._buffer += raw
+            self._buffer += b"\n"
+            return self.next_event()
+        return self._event_for_line(raw)
+
+    def _event_for_line(self, raw):
+        line = raw.decode("ascii", errors="replace")
+        try:
+            if self.role == CLIENT:
+                return ReplyReceived(self._parse_reply(line))
+            return RequestReceived(self._parse_request(line))
+        except ProtocolError as exc:
+            return WireViolation(str(exc))
+
+    # -- emission ----------------------------------------------------------
+
+    def emit_request(self, call):
+        return self._encode_request(call)
+
+    def emit_reply(self, reply):
+        return self._encode_reply(reply)
+
+
+class Text2Wire(TextWire):
+    """State machine for the id-framed text2 protocol."""
+
+    protocol_name = "text2"
+
+    _parse_request = staticmethod(parse_request2_line)
+    _parse_reply = staticmethod(parse_reply2_line)
+    _encode_request = staticmethod(encode_request2)
+    _encode_reply = staticmethod(encode_reply2)

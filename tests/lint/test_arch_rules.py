@@ -1,0 +1,84 @@
+"""ARCH001: the sans-I/O layering contract for repro.wire."""
+
+import os
+
+from repro.lint.arch_rules import (
+    lint_wire_layering,
+    lint_wire_source,
+)
+from repro.lint.cli import main
+
+
+class TestWireSource:
+    def test_clean_module(self):
+        assert lint_wire_source("import struct\nx = 1\n") == []
+
+    def test_import_socket(self):
+        findings = lint_wire_source("import socket\n", filename="text.py")
+        assert [d.code for d in findings] == ["ARCH001"]
+        assert findings[0].span.line == 1
+        assert "'socket'" in findings[0].message
+
+    def test_import_asyncio_submodule(self):
+        findings = lint_wire_source("import asyncio.streams\n")
+        assert [d.code for d in findings] == ["ARCH001"]
+
+    def test_from_import_selectors(self):
+        findings = lint_wire_source(
+            "from selectors import DefaultSelector\n"
+        )
+        assert [d.code for d in findings] == ["ARCH001"]
+
+    def test_transport_import_banned(self):
+        findings = lint_wire_source(
+            "from repro.heidirmi.transport import Channel\n"
+        )
+        assert [d.code for d in findings] == ["ARCH001"]
+
+    def test_transport_via_package_from_import(self):
+        # ``from repro.heidirmi import transport`` names the banned
+        # module through the alias list, not the module part.
+        findings = lint_wire_source(
+            "from repro.heidirmi import transport\n"
+        )
+        assert [d.code for d in findings] == ["ARCH001"]
+
+    def test_function_local_import_caught(self):
+        findings = lint_wire_source(
+            "def sneak():\n    import socket\n    return socket\n"
+        )
+        assert [d.code for d in findings] == ["ARCH001"]
+        assert findings[0].span.line == 2
+
+    def test_other_heidirmi_imports_allowed(self):
+        source = (
+            "from repro.heidirmi.errors import ProtocolError\n"
+            "from repro.heidirmi.call import Call\n"
+        )
+        assert lint_wire_source(source) == []
+
+
+class TestWireLayering:
+    def test_shipped_wire_package_is_clean(self):
+        """The repo's own sans-I/O core must satisfy its own contract."""
+        assert lint_wire_layering() == []
+
+    def test_violating_tree(self, tmp_path):
+        (tmp_path / "bad.py").write_text("import socket\n")
+        (tmp_path / "good.py").write_text("import struct\n")
+        (tmp_path / "aio.py").write_text("import asyncio\nimport socket\n")
+        findings = lint_wire_layering(str(tmp_path))
+        # Only bad.py is reported: aio.py is the sanctioned front-end.
+        assert [d.code for d in findings] == ["ARCH001"]
+        assert os.path.basename(findings[0].span.file) == "bad.py"
+
+
+class TestCli:
+    def test_arch_flag_passes_on_clean_repo(self, capsys):
+        assert main(["--arch"]) == 0
+        # With --arch alone the default lint-every-pack pass is skipped.
+        out = capsys.readouterr().out
+        assert "ARCH001" not in out
+
+    def test_arch_flag_composes_with_json_format(self, capsys):
+        assert main(["--arch", "--format", "json"]) == 0

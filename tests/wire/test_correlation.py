@@ -1,0 +1,90 @@
+"""Shared request-id correlation (wire/correlation.py)."""
+
+import threading
+
+from repro.heidirmi.call import Reply, STATUS_ERROR, STATUS_OK
+from repro.heidirmi.textwire import TextMarshaller
+from repro.wire.correlation import (
+    RESERVED_CHANNEL_ERROR_ID,
+    CorrelationTable,
+    RequestIdAllocator,
+    is_channel_level_error,
+)
+
+
+def _reply(status, request_id):
+    return Reply(status=status, marshaller=TextMarshaller(),
+                 request_id=request_id)
+
+
+class TestAllocator:
+    def test_starts_above_reserved_id(self):
+        ids = RequestIdAllocator()
+        first = ids.next()
+        assert first == RESERVED_CHANNEL_ERROR_ID + 1
+        assert [ids.next() for _ in range(3)] == [2, 3, 4]
+
+    def test_iterator_protocol(self):
+        ids = RequestIdAllocator()
+        assert next(ids) == 1
+
+    def test_thread_safety(self):
+        ids = RequestIdAllocator()
+        seen = []
+        lock = threading.Lock()
+
+        def grab():
+            mine = [ids.next() for _ in range(500)]
+            with lock:
+                seen.extend(mine)
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)) == 4000
+
+
+class TestChannelLevelError:
+    def test_reserved_error_reply(self):
+        assert is_channel_level_error(
+            _reply(STATUS_ERROR, RESERVED_CHANNEL_ERROR_ID)
+        )
+
+    def test_correlated_error_is_not(self):
+        assert not is_channel_level_error(_reply(STATUS_ERROR, 3))
+
+    def test_ok_with_reserved_id_is_not(self):
+        assert not is_channel_level_error(_reply(STATUS_OK, 0))
+
+
+class TestTable:
+    def test_register_reports_depth(self):
+        table = CorrelationTable()
+        assert table.register(1, "a") == 1
+        assert table.register(2, "b") == 2
+        assert table.depth == len(table) == 2
+
+    def test_take_preserves_request_order(self):
+        table = CorrelationTable()
+        table.register(1, "a")
+        table.register(2, "b")
+        waiters, depth = table.take([2, 1, 99])
+        assert waiters == ["b", "a", None]
+        assert depth == 0
+
+    def test_discard(self):
+        table = CorrelationTable()
+        table.register(5, "w")
+        assert table.discard(5) == ("w", 0)
+        assert table.discard(5) == (None, 0)
+
+    def test_drain_swaps_in_fresh_dict(self):
+        table = CorrelationTable()
+        table.register(1, "a")
+        old_entries = table.entries
+        drained = table.drain()
+        assert drained == {1: "a"}
+        assert table.entries == {}
+        assert table.entries is not old_entries
