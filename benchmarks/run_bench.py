@@ -27,6 +27,15 @@ than ``--tolerance`` (default 5%) throughput, the exit status is 3.
 CI runs this as a regression gate for the sans-I/O refactor::
 
     PYTHONPATH=src python benchmarks/run_bench.py --compare BENCH_rpc.json
+
+Combining ``--faults --compare`` turns the resilience run into a gate
+instead: exit 3 if the zero-fault policy overhead exceeds
+``--overhead-tolerance`` (default 10%) or any 5%-fault-rate row's
+success rate drops below ``--success-floor`` (default 99%).  CI runs
+this so the fused policy fast path cannot silently regress::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --faults \
+        --compare BENCH_resilience.json
 """
 
 import argparse
@@ -89,6 +98,12 @@ def main(argv=None):
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="allowed fractional throughput loss for "
                              "--compare (default 0.05 = 5%%)")
+    parser.add_argument("--overhead-tolerance", type=float, default=10.0,
+                        help="max zero-fault policy overhead percent the "
+                             "--faults --compare gate allows (default 10)")
+    parser.add_argument("--success-floor", type=float, default=0.99,
+                        help="min success rate the --faults --compare gate "
+                             "requires of 5%%-fault rows (default 0.99)")
     parser.add_argument("--spans-out",
                         default=os.path.join(REPO_ROOT, "benchmarks",
                                              "out", "spans.jsonl"),
@@ -257,7 +272,15 @@ def _main_faults(args):
         trials=args.trials,
         baseline_root=args.baseline,
     )
-    out = args.out or os.path.join(REPO_ROOT, "BENCH_resilience.json")
+    out = args.out
+    if out is None:
+        if args.compare is not None:
+            # The gate must not clobber the recorded document it gates
+            # against; park the fresh numbers with the bench scratch.
+            out = os.path.join(REPO_ROOT, "benchmarks", "out",
+                               "BENCH_resilience.fresh.json")
+        else:
+            out = os.path.join(REPO_ROOT, "BENCH_resilience.json")
     path = write_document(document, out)
     print(f"wrote {path}")
     for result in document["results"]:
@@ -284,7 +307,92 @@ def _main_faults(args):
             f"({baseline['current_no_policy_calls_per_sec']:,.1f} vs "
             f"{baseline['baseline_calls_per_sec']:,.1f} calls/s)"
         )
+    if args.compare is not None:
+        try:
+            with open(args.compare, "r", encoding="utf-8") as handle:
+                recorded = json.load(handle)
+        except FileNotFoundError:
+            recorded = None
+        regressions = compare_faults(
+            document, args.overhead_tolerance, args.success_floor,
+            remeasure=lambda: run_faults(
+                transport=args.transport,
+                calls=args.fault_calls,
+                seed=args.seed,
+                # Extra trials: best-of-more separates scheduler noise
+                # from a true fast-path regression.
+                trials=args.trials + 2,
+            ),
+        )
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 3
+        recorded_claim = (recorded or {}).get("claim", {})
+        recorded_overhead = recorded_claim.get("policy_overhead_pct")
+        if recorded_overhead is not None:
+            print(
+                f"compare: overhead {claim['policy_overhead_pct']:+.2f}% "
+                f"(recorded {recorded_overhead:+.2f}%), "
+                f"budget {args.overhead_tolerance:.0f}%"
+            )
+        else:
+            print(
+                f"compare: overhead {claim['policy_overhead_pct']:+.2f}% "
+                f"within the {args.overhead_tolerance:.0f}% budget"
+            )
     return 0
+
+
+#: Extra full-suite rounds a failing resilience gate gets.  The
+#: zero-fault overhead is a ratio of two interleaved measurements, so
+#: it is steadier than raw throughput, but a loaded CI box can still
+#: skew one side of a pair; a true regression fails every retry.
+FAULT_COMPARE_RETRIES = 2
+
+
+def compare_faults(document, overhead_tolerance, success_floor,
+                   remeasure=None):
+    """Regression report for the resilience claims.
+
+    Two invariants are gated: the zero-fault policy overhead (the
+    fused fast path must stay within *overhead_tolerance* percent of
+    bare calls) and the 5%-fault success rate (retries must keep
+    delivering at least *success_floor* of idempotent traffic).  A
+    failing document is re-measured up to :data:`FAULT_COMPARE_RETRIES`
+    times via *remeasure()* and passes if any round clears both bars.
+    Returns human-readable regression lines, empty when the gate holds.
+    """
+
+    def violations(doc):
+        lines = []
+        overhead = doc["claim"]["policy_overhead_pct"]
+        if overhead > overhead_tolerance:
+            lines.append(
+                f"zero-fault policy overhead {overhead:+.2f}% exceeds "
+                f"the {overhead_tolerance:.0f}% budget"
+            )
+        for row in doc.get("results", ()):
+            if row["fault_rate"] >= 0.05 and row["success_rate"] < success_floor:
+                lines.append(
+                    f"success rate {row['success_rate']:.2%} at "
+                    f"fault rate {row['fault_rate']:g} ({row['mode']}) "
+                    f"below the {success_floor:.0%} floor"
+                )
+        return lines
+
+    regressions = violations(document)
+    retries = FAULT_COMPARE_RETRIES if remeasure is not None else 0
+    for attempt in range(retries):
+        if not regressions:
+            break
+        print(
+            f"compare: resilience gate failing "
+            f"({'; '.join(regressions)}), "
+            f"re-measuring ({attempt + 1}/{retries})"
+        )
+        regressions = violations(remeasure())
+    return regressions
 
 
 if __name__ == "__main__":

@@ -167,7 +167,7 @@ class Call(_DelegatingWriter, _DelegatingReader):
     __slots__ = ("_m", "_u", "target", "operation", "oneway",
                  "request_id", "_giop_request_id",
                  "trace_context", "trace_span",
-                 "deadline", "idempotent")
+                 "deadline", "idempotent", "_wire_tail", "_dl_token")
 
     def __init__(self, target, operation, marshaller=None, unmarshaller=None,
                  oneway=False, request_id=None, idempotent=False):
@@ -200,6 +200,15 @@ class Call(_DelegatingWriter, _DelegatingReader):
         #: Declared retry-safe: the resilient invoke path may retry
         #: this call under a RetryPolicy (oneways always qualify).
         self.idempotent = idempotent
+        #: Text encoders' memo of the marshalled target/operation/args
+        #: tail, so a retry re-enqueues the same bytes under a fresh
+        #: request id instead of re-escaping and re-joining the tokens.
+        self._wire_tail = None
+        #: Pre-rendered ``dl=<ms>`` token, stamped by the resilient
+        #: engine alongside a fresh default-budget deadline (the token
+        #: for a full budget is attempt-invariant, so the plan renders
+        #: it once).  None means the encoders compute remaining ms.
+        self._dl_token = None
 
     @property
     def writable(self):

@@ -25,6 +25,7 @@ explicit :meth:`flush`.
 """
 
 import threading
+import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as _FutureTimeout
 
@@ -84,6 +85,13 @@ class ObjectCommunicator:
                  batch_max_calls=32, reply_max_bytes=65536,
                  reply_max_calls=256, observer=None):
         self.channel = channel
+        # Bound once: the exclusive deadline path arms and disarms the
+        # channel expiry on every deadlined call, so the two attribute
+        # hops per call are worth pre-resolving.  (``channel`` is fixed
+        # for the communicator's lifetime; duck-typed test channels
+        # without set_deadline only fail if a deadlined call reaches
+        # them, as before.)
+        self._set_deadline = getattr(channel, "set_deadline", None)
         self.protocol = protocol
         if multiplexed and not getattr(protocol, "supports_multiplexing", False):
             raise HeidiRmiError(
@@ -186,15 +194,17 @@ class ObjectCommunicator:
         if deadline is not None:
             # Exclusive channels enforce the budget at the socket: a
             # timed-out channel closes (its stream position is unknown).
-            self.channel.set_deadline(deadline.expires_at)
+            self._set_deadline(deadline.expires_at)
         try:
             self.protocol.send_request(self.channel, call)
             if call.trace_span is not None:
                 call.trace_span.stage("send")
             return self._recv_reply_checked()
         finally:
-            if deadline is not None and not self.channel.closed:
-                self.channel.set_deadline(None)
+            if deadline is not None:
+                # Disarming is a plain attribute store, harmless even
+                # on a channel the deadline just killed.
+                self._set_deadline(None)
 
     def _recv_reply_checked(self):
         """recv_reply with framing errors normalized to channel failures.
@@ -240,6 +250,7 @@ class ObjectCommunicator:
             return future
         if call.request_id is None:
             call.request_id = self.protocol.next_request_id()
+        deadline = call.deadline
         with self._pending_lock:
             if self.channel.closed:
                 raise CommunicationError(
@@ -247,6 +258,12 @@ class ObjectCommunicator:
                     kind="channel-closed",
                 )
             self._pending[call.request_id] = future
+            if deadline is not None:
+                # Arm the expiry on the completion-table entry: the
+                # demux reader's select timeout enforces it even when
+                # nobody blocks on the future (invoke's result-timeout
+                # backstop still covers mid-frame stalls).
+                self._table.deadlines[call.request_id] = deadline.expires_at
             depth = len(self._pending)
         if self._pending_gauge is not None:
             self._pending_gauge.set(depth)
@@ -257,6 +274,7 @@ class ObjectCommunicator:
         except BaseException:
             with self._pending_lock:
                 self._pending.pop(call.request_id, None)
+                self._table.deadlines.pop(call.request_id, None)
             raise
         if call.trace_span is not None:
             call.trace_span.stage("send")
@@ -295,6 +313,10 @@ class ObjectCommunicator:
                             call.request_id = self.protocol.next_request_id()
                         self.protocol.send_request(buffer, call)
                         self._pending[call.request_id] = future
+                        if call.deadline is not None:
+                            self._table.deadlines[call.request_id] = (
+                                call.deadline.expires_at
+                            )
                         registered.append(call.request_id)
                     futures.append(future)
                 depth = len(self._pending)
@@ -308,6 +330,7 @@ class ObjectCommunicator:
             with self._pending_lock:
                 for request_id in registered:
                     self._pending.pop(request_id, None)
+                    self._table.deadlines.pop(request_id, None)
             raise
         return futures
 
@@ -345,6 +368,10 @@ class ObjectCommunicator:
                         if call.request_id is None:
                             call.request_id = next_request_id()
                         pending[call.request_id] = collector
+                        if call.deadline is not None:
+                            self._table.deadlines[call.request_id] = (
+                                call.deadline.expires_at
+                            )
                         registered.append(call.request_id)
                     send_request(buffer, call)
                 depth = len(pending)
@@ -358,6 +385,7 @@ class ObjectCommunicator:
             with self._pending_lock:
                 for request_id in registered:
                     self._pending.pop(request_id, None)
+                    self._table.deadlines.pop(request_id, None)
             raise
         if registered:
             if deadline is None:
@@ -370,6 +398,7 @@ class ObjectCommunicator:
                 with self._pending_lock:
                     for request_id in registered:
                         self._pending.pop(request_id, None)
+                        self._table.deadlines.pop(request_id, None)
                     depth = len(self._pending)
                 if self._pending_gauge is not None:
                     self._pending_gauge.set(depth)
@@ -429,12 +458,57 @@ class ObjectCommunicator:
                 )
                 self._reader.start()
 
+    def _enforce_deadlines(self):
+        """Park until bytes arrive or the earliest armed expiry passes.
+
+        The pump half of deadline enforcement: instead of every caller
+        polling its own budget, the demux reader waits on the channel
+        with a timeout equal to the completion table's earliest armed
+        expiry and fails exactly the entries that lapsed — with zero
+        inbound bytes ever required.  Channel-mates and the shared
+        channel itself are untouched; a late reply to an expired id is
+        counted as an orphan like any abandoned call's.
+        """
+        table = self._table
+        channel = self.channel
+        wait_readable = getattr(channel, "wait_readable", None)
+        while True:
+            expiry = table.next_expiry()
+            if expiry is None:
+                return
+            now = time.monotonic()
+            if expiry > now:
+                if wait_readable is None:
+                    # Channel cannot wait with a timeout (a bare test
+                    # double); caller-side backstops still enforce.
+                    return
+                if wait_readable(expiry - now):
+                    return  # bytes (or channel death): go read them
+                now = time.monotonic()
+            expired = table.expire(now)
+            if expired and self._pending_gauge is not None:
+                self._pending_gauge.set(len(table))
+            for request_id, waiter in expired:
+                exc = DeadlineExceeded(
+                    f"deadline expired waiting for reply "
+                    f"(id {request_id}) from {channel.peer}"
+                )
+                if type(waiter) is _BulkCollector:
+                    waiter.fail(exc)
+                else:
+                    waiter.set_exception(exc)
+
     def _demux_loop(self):
         recv_reply = self.protocol.recv_reply
         channel = self.channel
+        deadlines = self._table.deadlines
         while True:
             batch = []
             try:
+                # One dict truthiness test on the no-deadline hot path;
+                # armed entries route through the select-timeout wait.
+                if deadlines and not channel.has_buffered:
+                    self._enforce_deadlines()
                 batch.append(recv_reply(channel))
                 # Servers coalesce replies into one send, so more whole
                 # replies usually sit in the receive buffer already —

@@ -115,8 +115,14 @@ class ConnectionCache:
             channel, self._protocol, multiplexed=multiplexed, **self._options
         )
 
-    def acquire(self, bootstrap, connect_timeout=None):
-        """A ready communicator for (protocol, host, port) *bootstrap*."""
+    def acquire(self, bootstrap, connect_timeout=None, deadline=None):
+        """A ready communicator for (protocol, host, port) *bootstrap*.
+
+        *deadline* (a Deadline or None) clamps connection establishment
+        the same way an explicit *connect_timeout* does, but its
+        remaining budget is only computed on a cache miss — pooled hits
+        never touch the clock.
+        """
         if self._mode == "multiplexed":
             # One shared channel per peer; opening is serialized under
             # the lock so racing callers cannot double-connect.
@@ -130,6 +136,8 @@ class ConnectionCache:
                     # is an eviction.
                     self._evict()
                 self._miss()
+                if deadline is not None:
+                    connect_timeout = max(0.0, deadline.remaining())
                 communicator = self._open(
                     bootstrap, multiplexed=True,
                     connect_timeout=connect_timeout,
@@ -147,6 +155,8 @@ class ConnectionCache:
                     self._evict()
         with self._lock:
             self._miss()
+        if deadline is not None:
+            connect_timeout = max(0.0, deadline.remaining())
         return self._open(
             bootstrap, multiplexed=False, connect_timeout=connect_timeout
         )
@@ -197,6 +207,18 @@ class ConnectionCache:
         if victims:
             self._evict(len(victims))
         return len(victims)
+
+    def has_cached(self, bootstrap):
+        """Any pooled or shared connection to *bootstrap* right now?
+
+        The Orb's breaker reaper consults this so a breaker whose
+        endpoint still holds live connections survives the reap — its
+        rolling window is current history, not garbage.
+        """
+        with self._lock:
+            if self._shared.get(bootstrap) is not None:
+                return True
+            return bool(self._idle.get(bootstrap))
 
     def flush_all(self):
         """Flush batched oneway buffers on every live communicator."""

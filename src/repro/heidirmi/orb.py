@@ -13,7 +13,9 @@ Everything the paper calls configurable is a constructor knob: the
 transport, the wire protocol, the dispatch strategy, and each cache.
 """
 
+import functools
 import threading
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 
@@ -36,8 +38,9 @@ from repro.heidirmi.serialize import GLOBAL_TYPES
 from repro.heidirmi.stub import HdStub
 from repro.heidirmi.transport import get_transport
 from repro.observe import context as _trace_state
-from repro.resilience.breaker import BREAKER_OPEN, CircuitBreaker
-from repro.resilience.engine import resilient_invoke, resolve_deadline
+from repro.resilience.breaker import BREAKER_CLOSED, BREAKER_OPEN, CircuitBreaker
+from repro.resilience.deadline import Deadline
+from repro.resilience.engine import PolicyPlan, resilient_invoke, resolve_deadline
 
 
 class Orb:
@@ -139,8 +142,22 @@ class Orb:
         # One extra boolean test on Orb.invoke is all the resilience
         # layer costs an unconfigured Orb.
         self._resilient = resilience is not None or default_deadline is not None
-        # Lazily-built per-endpoint circuit breakers (bootstrap-keyed).
+        if self._resilient:
+            # Every invoke on this Orb takes the resilient path, so
+            # bind the engine as the *instance's* invoke: stubs reach
+            # resilient_invoke in one frame instead of detouring
+            # through the class method's dispatch test.  (Policies are
+            # fixed at construction; nothing rebinds this later.)
+            self.invoke = functools.partial(resilient_invoke, self)
+        # Lazily-built per-endpoint circuit breakers (bootstrap-keyed),
+        # bounded: once the table outgrows _breaker_cap, creating a new
+        # breaker reaps closed breakers whose endpoints hold no cached
+        # connections (lifecycle tied to ConnectionCache eviction).
         self._breakers = {}
+        self._breaker_cap = 256
+        # Bumped whenever the breaker table is reaped; cached PolicyPlans
+        # carry the epoch they were built under and rebuild on mismatch.
+        self._plan_epoch = 0
         self.connections = ConnectionCache(
             get_transport,
             self.protocol,
@@ -469,13 +486,12 @@ class Orb:
         clamps connection establishment too.
         """
         bootstrap = reference.bootstrap
-        deadline = call.deadline
-        if deadline is None:
-            communicator = self.connections.acquire(bootstrap)
-        else:
-            communicator = self.connections.acquire(
-                bootstrap, connect_timeout=max(0.0, deadline.remaining())
-            )
+        # The deadline clamps connection establishment too, but the
+        # remaining budget is only computed if the cache actually has
+        # to connect — a pooled hit pays nothing for it.
+        communicator = self.connections.acquire(
+            bootstrap, None, call.deadline
+        )
         if self.trace is not None:
             self._event("call:invoke", operation=call.operation,
                         target=call.target)
@@ -724,10 +740,15 @@ class Orb:
                     protocol=self.protocol.name,
                 )
                 self._requests_counter.inc()
-            if call.deadline is not None and call.deadline.expired:
-                # The wire-propagated budget ran out while this request
-                # sat queued behind the backlog: the client has stopped
-                # waiting, so dispatching is dead work.
+            deadline = call.deadline
+            if deadline is not None and deadline.budget <= 0.0:
+                # The wire said the budget was already gone when the
+                # peer sent it (dl=0): the client has stopped waiting,
+                # so dispatching is dead work.  The parse re-anchored
+                # the budget microseconds ago, so comparing the budget
+                # itself replaces a clock read; requests that age in
+                # the *pipeline* queue are re-checked against the real
+                # clock in _dispatch_and_reply.
                 self._drop_expired(communicator, call)
                 continue
             if (
@@ -829,6 +850,35 @@ class Orb:
 
     # -- resilience helpers ------------------------------------------------
 
+    def _plan_for(self, reference):
+        """The cached :class:`PolicyPlan` for *reference*, rebuilt when
+        stale (different Orb, or the breaker table was reaped since).
+
+        ObjectReference is a frozen dataclass with a ``__dict__`` (its
+        cached_property renders live there), so the plan rides the
+        reference the same way: the per-call cost of policy resolution
+        is one ``getattr`` and two compares instead of policy/default
+        lookups, a Deadline coercion and a ``_breakers`` probe per
+        invoke.
+        """
+        plan = getattr(reference, "_hd_plan", None)
+        if (plan is not None and plan.orb is self
+                and plan.epoch == self._plan_epoch):
+            return plan
+        policy = self.resilience
+        retry = policy.retry if policy is not None else None
+        budget = policy.default_deadline if policy is not None else None
+        if budget is None:
+            budget = self.default_deadline
+        if budget is not None and not isinstance(budget, Deadline):
+            budget = float(budget)
+        plan = PolicyPlan(self, self._plan_epoch, budget, retry,
+                          self._breaker_for(reference.bootstrap))
+        # Store past the frozen-dataclass guard, exactly as
+        # cached_property does.
+        reference.__dict__["_hd_plan"] = plan
+        return plan
+
     def _breaker_for(self, bootstrap):
         """This endpoint's CircuitBreaker (lazily built); None when the
         resilience policy has no breaker configured."""
@@ -840,6 +890,8 @@ class Orb:
             with self._lock:
                 breaker = self._breakers.get(bootstrap)
                 if breaker is None:
+                    if len(self._breakers) >= self._breaker_cap:
+                        self._reap_breakers()
                     breaker = CircuitBreaker(
                         policy.breaker,
                         on_transition=(
@@ -849,6 +901,29 @@ class Orb:
                     )
                     self._breakers[bootstrap] = breaker
         return breaker
+
+    def _reap_breakers(self):
+        """Drop closed breakers for endpoints with no cached connections.
+
+        Called under ``_lock`` when the breaker table hits its cap, so
+        per-endpoint breakers cannot grow without bound as references
+        churn.  Open and half-open breakers are never reaped — their
+        state is exactly what sheds traffic to a broken endpoint — and
+        an endpoint that still holds pooled/shared connections keeps
+        its breaker (its window is live history).  Reaping bumps the
+        plan epoch so cached PolicyPlans drop their stale breaker refs.
+        """
+        has_cached = self.connections.has_cached
+        victims = [
+            bootstrap
+            for bootstrap, breaker in self._breakers.items()
+            if breaker.state == BREAKER_CLOSED and not has_cached(bootstrap)
+        ]
+        if not victims:
+            return
+        for bootstrap in victims:
+            del self._breakers[bootstrap]
+        self._plan_epoch += 1
 
     def _breaker_transition(self, bootstrap, old, new):
         if self.observer is not None:

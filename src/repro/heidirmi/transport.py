@@ -12,9 +12,11 @@ A channel supports line reads (text protocol) and exact-count reads
 """
 
 import collections
+import select
 import socket
 import threading
 import time
+import weakref
 
 from repro.heidirmi.errors import CommunicationError, DeadlineExceeded
 
@@ -27,6 +29,58 @@ _MAX_LINE = 1 << 20  # 1 MiB: a request line beyond this is an attack/bug.
 
 #: Compact the receive buffer once this much consumed prefix accumulates.
 _COMPACT_THRESHOLD = 1 << 16
+
+
+class _DeadlineWatchdog:
+    """Process-wide scanner that kills channels at deadline expiry.
+
+    Deadlined channels stay in plain blocking mode — a socket with a
+    timeout set pays an internal poll on *every* send and recv, which
+    was the dominant per-call cost of the resilience stack.  Instead a
+    single daemon thread ticks every :data:`_TICK` seconds, reads each
+    watched channel's ``_deadline`` attribute (a GIL-atomic load — no
+    per-call locking anywhere), and calls ``_expire_deadline()``
+    (shutdown, which unblocks the in-flight operation) on whatever is
+    overdue.  A channel registers here once, the first time it ever
+    gets a deadline; after that, arming and disarming are plain
+    attribute stores on the channel.  The tick bounds enforcement
+    latency at ~``_TICK`` past the deadline — deliberate slack: every
+    blocking point still pre-checks the remaining budget exactly, the
+    watchdog only exists to unblock an operation that is *stuck*.
+    """
+
+    _TICK = 0.05
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._channels = weakref.WeakSet()
+        self._thread = None
+
+    def watch(self, channel):
+        with self._lock:
+            self._channels.add(channel)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="heidirmi-deadline-watchdog",
+                    daemon=True,
+                )
+                self._thread.start()
+
+    def _run(self):
+        while True:
+            time.sleep(self._TICK)
+            now = time.monotonic()
+            # Snapshot under the registration lock; expire outside it.
+            with self._lock:
+                channels = list(self._channels)
+            for channel in channels:
+                deadline = channel._deadline
+                if (deadline is not None and deadline <= now
+                        and not channel._closed):
+                    channel._expire_deadline()
+
+
+_WATCHDOG = _DeadlineWatchdog()
 
 
 class Channel:
@@ -48,67 +102,71 @@ class Channel:
         self.peer = peer
         # Serialize writers: an ORB may share a channel between threads.
         self._send_lock = threading.Lock()
-        # Absolute monotonic expiry bounding send/recv; None (the hot
-        # path — one attribute test) means block forever as always.
+        # Absolute monotonic expiry bounding send/recv; None means
+        # block forever as always.  Only the watchdog reads this on its
+        # tick — send/recv themselves never touch the clock; an expiry
+        # surfaces as the watchdog's shutdown unblocking them.
         self._deadline = None
+        # Set by the watchdog when it kills this channel at expiry, so
+        # the unblocked send/recv can tell "deadline fired" apart from
+        # an ordinary peer failure.
+        self._expired = False
+        # True once this channel has registered with the watchdog; the
+        # registration happens at most once per channel lifetime.
+        self._watched = False
 
     def set_deadline(self, expires_at):
         """Arm (or, with None, disarm) an absolute ``time.monotonic()``
         expiry that bounds every subsequent send and recv.
 
-        Expiry closes the channel — a timed-out channel has a frame in
-        an unknown half-written/half-read state and cannot be reused —
-        and raises :class:`DeadlineExceeded`.  Never arm this on a
+        The socket itself stays in plain blocking mode — a socket in
+        timeout mode pays an internal poll on *every* send and recv,
+        which is exactly the per-call resilience tax this design
+        removes.  Instead the expiry is filed with the process-wide
+        deadline watchdog, which wakes at the earliest armed expiry and
+        shuts the socket down; the blocked operation then surfaces
+        :class:`DeadlineExceeded`.  Expiry closes the channel — a
+        timed-out channel has a frame in an unknown half-written /
+        half-read state and cannot be reused.  Never arm this on a
         multiplexed channel: its one demux reader waits on behalf of
         every caller, so a single call's budget would kill the shared
         channel; the completion table enforces deadlines there instead.
+
+        Arming and disarming are plain attribute stores — the watchdog
+        reads ``_deadline`` directly on its tick — so the zero- and
+        long-budget hot paths pay no locking, no syscalls, no timers.
         """
         self._deadline = expires_at
+        if expires_at is not None and not self._watched:
+            self._watched = True
+            _WATCHDOG.watch(self)
+
+    def _expire_deadline(self):
+        """Watchdog upcall at expiry: unblock any in-flight operation."""
+        self._expired = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
 
     def send(self, data):
         if self._closed:
             raise CommunicationError(
                 f"channel to {self.peer} is closed", kind="channel-closed"
             )
-        if self._deadline is not None:
-            self._send_with_deadline(data)
-            return
         try:
             with self._send_lock:
+                # Plain blocking sendall even when deadlined: if the
+                # budget runs out mid send, the watchdog shuts the
+                # socket down under us and the OSError maps below.
                 self._sock.sendall(data)
         except OSError as exc:
+            expired = self._expired
             self.close()
-            raise CommunicationError(
-                f"send to {self.peer} failed: {exc}", kind="send-failed"
-            ) from exc
-        if self.meter is not None:
-            self.meter.sent(len(data))
-
-    def _send_with_deadline(self, data):
-        remaining = self._deadline - time.monotonic()
-        if remaining <= 0.0:
-            self.close()
-            raise DeadlineExceeded(
-                f"deadline expired before send to {self.peer}"
-            )
-        try:
-            with self._send_lock:
-                self._sock.settimeout(remaining)
-                try:
-                    self._sock.sendall(data)
-                finally:
-                    try:
-                        self._sock.settimeout(None)
-                    except OSError:
-                        pass
-        # socket.timeout is an OSError subclass: catch it first.
-        except (socket.timeout, TimeoutError) as exc:
-            self.close()
-            raise DeadlineExceeded(
-                f"deadline expired in send to {self.peer}"
-            ) from exc
-        except OSError as exc:
-            self.close()
+            if expired:
+                raise DeadlineExceeded(
+                    f"deadline expired in send to {self.peer}"
+                ) from exc
             raise CommunicationError(
                 f"send to {self.peer} failed: {exc}", kind="send-failed"
             ) from exc
@@ -116,17 +174,28 @@ class Channel:
             self.meter.sent(len(data))
 
     def _fill(self):
-        if self._deadline is not None:
-            self._fill_with_deadline()
-            return
         try:
+            # Plain blocking recv even when deadlined: at expiry the
+            # watchdog's shutdown unblocks it with EOF (or an error),
+            # mapped below.
             chunk = self._sock.recv(65536)
         except OSError as exc:
+            expired = self._expired
             self.close()
+            if expired:
+                raise DeadlineExceeded(
+                    f"deadline expired waiting for {self.peer}"
+                ) from exc
             raise CommunicationError(
                 f"recv from {self.peer} failed: {exc}", kind="recv-failed"
             ) from exc
         if not chunk:
+            expired = self._expired
+            self.close()
+            if expired:
+                raise DeadlineExceeded(
+                    f"deadline expired waiting for {self.peer}"
+                )
             raise CommunicationError(
                 f"peer {self.peer} closed the connection", kind="peer-closed"
             )
@@ -134,40 +203,25 @@ class Channel:
             self.meter.received(len(chunk))
         self._buffer += chunk
 
-    def _fill_with_deadline(self):
-        remaining = self._deadline - time.monotonic()
-        if remaining <= 0.0:
-            self.close()
-            raise DeadlineExceeded(
-                f"deadline expired waiting for {self.peer}"
-            )
+    def wait_readable(self, timeout):
+        """Block until a recv would not block, at most *timeout* seconds.
+
+        Returns True when bytes are buffered/readable (or the channel is
+        dead — the next recv then raises promptly rather than blocking);
+        False when the timeout elapsed with nothing to read.  This is
+        the select-timeout half of pump-side deadline enforcement: the
+        demultiplexer parks here for exactly the completion table's
+        earliest expiry instead of each caller polling its own budget.
+        """
+        if len(self._buffer) > self._start:
+            return True
+        if self._closed:
+            return True
         try:
-            self._sock.settimeout(remaining)
-            try:
-                chunk = self._sock.recv(65536)
-            finally:
-                try:
-                    self._sock.settimeout(None)
-                except OSError:
-                    pass
-        # socket.timeout is an OSError subclass: catch it first.
-        except (socket.timeout, TimeoutError) as exc:
-            self.close()
-            raise DeadlineExceeded(
-                f"deadline expired waiting for {self.peer}"
-            ) from exc
-        except OSError as exc:
-            self.close()
-            raise CommunicationError(
-                f"recv from {self.peer} failed: {exc}", kind="recv-failed"
-            ) from exc
-        if not chunk:
-            raise CommunicationError(
-                f"peer {self.peer} closed the connection", kind="peer-closed"
-            )
-        if self.meter is not None:
-            self.meter.received(len(chunk))
-        self._buffer += chunk
+            ready, _, _ = select.select([self._sock], [], [], timeout)
+        except (OSError, ValueError):
+            return True  # fd died under us; let recv surface the error
+        return bool(ready)
 
     @property
     def has_buffered(self):

@@ -66,7 +66,17 @@ class CircuitBreaker:
     # -- admission ---------------------------------------------------------
 
     def allow(self):
-        """May a call proceed right now?  Drives open → half-open."""
+        """May a call proceed right now?  Drives open → half-open.
+
+        The closed state — the steady state every zero-fault call sees —
+        is answered with one GIL-atomic attribute read, no lock.  State
+        *transitions* all happen under the lock (in the slow paths here
+        and in the recorders below), so a stale read can only admit a
+        call that raced the open transition — indistinguishable from the
+        call having won the race outright.
+        """
+        if self.state == BREAKER_CLOSED:
+            return True
         transition = None
         with self._lock:
             if self.state == BREAKER_CLOSED:
@@ -88,6 +98,15 @@ class CircuitBreaker:
     # -- outcome recording -------------------------------------------------
 
     def record_success(self):
+        # Closed-state successes (every zero-fault call) are a bare
+        # bounded-deque append — GIL-atomic, no lock, no transition
+        # possible.  A success racing the closed→open transition can at
+        # worst leave one stray True in the freshly-cleared window; the
+        # open/half-open machine never reads the window, and the next
+        # transition clears it again under the lock.
+        if self.state == BREAKER_CLOSED:
+            self._outcomes.append(True)
+            return
         transition = None
         with self._lock:
             self._outcomes.append(True)

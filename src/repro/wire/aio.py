@@ -131,6 +131,13 @@ class AioChannel(Channel):
         self._writer = writer
         self._loop = get_event_loop()
 
+    def set_deadline(self, expires_at):
+        # Plain attribute store: no watchdog here.  There is no kernel
+        # socket to shut down (``_sock`` is None) — the rerouted
+        # primitives below already bound every operation with the
+        # ``future.result(timeout)`` they run on the shared loop.
+        self._deadline = expires_at
+
     async def _send_async(self, data):
         self._writer.write(data)
         await self._writer.drain()
@@ -202,6 +209,46 @@ class AioChannel(Channel):
         if self.meter is not None:
             self.meter.received(len(chunk))
         self._buffer += chunk
+
+    def wait_readable(self, timeout):
+        """Block until a recv would not block, at most *timeout* seconds.
+
+        The aio mirror of ``Channel.wait_readable``: a read is started
+        on the shared loop and awaited for *timeout*.  A chunk that
+        lands is buffered (never dropped), EOF and errors report True
+        so the next recv surfaces them, and only a clean timeout — the
+        coroutine observably cancelled before any data was taken off
+        the stream — reports False.
+        """
+        if len(self._buffer) > self._start:
+            return True
+        if self._closed:
+            return True
+        future = asyncio.run_coroutine_threadsafe(
+            self._fill_async(), self._loop
+        )
+        try:
+            chunk = future.result(timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            # The cancel races the read completing: block until the
+            # future settles (the loop settles it on its next pass).
+            # StreamReader.read only takes bytes out of its buffer
+            # after its last await, so a cancelled read loses nothing.
+            try:
+                chunk = future.result()
+            except concurrent.futures.CancelledError:
+                return False
+            except Exception:
+                return True  # let the recv path raise it properly
+        except Exception:
+            return True  # ditto: connection errors surface on recv
+        if chunk:
+            if self.meter is not None:
+                self.meter.received(len(chunk))
+            self._buffer += chunk
+        # An empty chunk is EOF: recv re-reads and raises peer-closed.
+        return True
 
     def close(self):
         if self._closed:
@@ -542,12 +589,47 @@ class AioClientConnection:
                 self._pending[call.request_id] = future
             else:
                 self._fifo.append(future)
+            if call.deadline is not None:
+                self._arm_deadline(call, future)
         self._writer.write(self._machine.emit_request(call))
         await self._writer.drain()
         if future is None:
             return None
         self._ensure_reader()
         return await future
+
+    def _arm_deadline(self, call, future):
+        """Enforce *call*'s budget from the loop's shared timer wheel.
+
+        One ``call_later`` on the process-wide loop per deadlined call —
+        every connection shares the same heap of timers — in place of
+        any per-await polling.  Expiry abandons just this call's entry
+        (a late reply is dropped as an orphan) and fails the awaiter
+        with :class:`DeadlineExceeded`; the timer is cancelled the
+        moment the future settles, so completed calls leave no debris.
+        """
+        request_id = call.request_id
+        operation = call.operation
+
+        def _expire():
+            if future.done():
+                return
+            if self._multiplexed:
+                self._pending.pop(request_id, None)
+            else:
+                try:
+                    self._fifo.remove(future)
+                except ValueError:
+                    pass
+            future.set_exception(DeadlineExceeded(
+                f"deadline expired waiting for reply to {operation!r}"
+                + (f" (id {request_id})" if request_id is not None else "")
+            ))
+
+        handle = asyncio.get_running_loop().call_later(
+            max(0.0, call.deadline.remaining()), _expire
+        )
+        future.add_done_callback(lambda _future: handle.cancel())
 
     def _ensure_reader(self):
         if self._reader_task is None:

@@ -58,18 +58,32 @@ class CorrelationTable:
     owns the id → waiter map and its consistency.  Compound operations
     (register-many-then-send) take :attr:`lock` directly and work on
     :attr:`entries`; the common single steps have methods.
+
+    Entries may also carry an **armed deadline**: an absolute monotonic
+    expiry filed in :attr:`deadlines` alongside the waiter.  The table
+    stays pure — it never reads a clock; the pump passes ``now`` in —
+    so whichever I/O front-end drains it (the blocking demultiplexer's
+    select timeout, the asyncio client's loop timers) can enforce
+    expiry from its own wait primitive instead of every caller
+    re-checking a budget per attempt.
     """
 
-    __slots__ = ("lock", "entries")
+    __slots__ = ("lock", "entries", "deadlines")
 
     def __init__(self):
         self.lock = threading.Lock()
         self.entries = {}
+        #: request id → absolute monotonic expiry, a subset of
+        #: :attr:`entries`'s keys.  Compound registration blocks that
+        #: hold :attr:`lock` directly write it in place.
+        self.deadlines = {}
 
-    def register(self, request_id, waiter):
-        """File a waiter; returns the new table depth."""
+    def register(self, request_id, waiter, expires_at=None):
+        """File a waiter (optionally deadlined); returns the new depth."""
         with self.lock:
             self.entries[request_id] = waiter
+            if expires_at is not None:
+                self.deadlines[request_id] = expires_at
             return len(self.entries)
 
     def take(self, request_ids):
@@ -79,9 +93,13 @@ class CorrelationTable:
         the demultiplexer resolves a whole batch of replies this way.
         """
         entries = self.entries
+        deadlines = self.deadlines
         with self.lock:
             waiters = [entries.pop(request_id, None)
                        for request_id in request_ids]
+            if deadlines:
+                for request_id in request_ids:
+                    deadlines.pop(request_id, None)
             return waiters, len(entries)
 
     def discard(self, request_id):
@@ -91,13 +109,50 @@ class CorrelationTable:
         """
         with self.lock:
             waiter = self.entries.pop(request_id, None)
+            self.deadlines.pop(request_id, None)
             return waiter, len(self.entries)
 
     def drain(self):
         """Remove and return every entry (channel death)."""
         with self.lock:
             entries, self.entries = self.entries, {}
+            self.deadlines.clear()
         return entries
+
+    def next_expiry(self):
+        """The earliest armed expiry, or None when nothing is deadlined.
+
+        The unlocked emptiness peek keeps the no-deadline pump loop at
+        one dict truthiness test per batch.
+        """
+        deadlines = self.deadlines
+        if not deadlines:
+            return None
+        with self.lock:
+            if not deadlines:
+                return None
+            return min(deadlines.values())
+
+    def expire(self, now):
+        """Pop every entry whose expiry is ``<= now``.
+
+        Returns ``[(request_id, waiter), ...]`` for the pump to fail;
+        an entry whose waiter was already taken is skipped.  *now* is
+        caller-provided monotonic time — the table owns no clock.
+        """
+        deadlines = self.deadlines
+        if not deadlines:
+            return []
+        with self.lock:
+            due = [request_id for request_id, expires_at in deadlines.items()
+                   if expires_at <= now]
+            expired = []
+            for request_id in due:
+                del deadlines[request_id]
+                waiter = self.entries.pop(request_id, None)
+                if waiter is not None:
+                    expired.append((request_id, waiter))
+            return expired
 
     @property
     def depth(self):

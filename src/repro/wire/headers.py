@@ -20,6 +20,8 @@ same two values as ServiceContext entries ("HDTC"/"HDDL") whose bodies
 reuse the validation here.
 """
 
+from time import monotonic
+
 from repro.heidirmi.errors import ProtocolError
 from repro.resilience.deadline import Deadline
 
@@ -28,6 +30,16 @@ CTX_PREFIX = "ctx="
 
 #: Prefix of the optional deadline header token.
 DL_PREFIX = "dl="
+
+_CTX_LEN = len(CTX_PREFIX)
+_DL_LEN = len(DL_PREFIX)
+
+# Single-entry parse memo for the deadline token.  A server under a
+# default-deadline client sees the same full-budget token (e.g.
+# ``dl=30000``) on every first attempt, so remembering the last
+# (token, seconds) pair skips the slice/int/validate work on the read
+# loop's hot path.  Benign under races: worst case a thread re-parses.
+_DL_MEMO = ("", 0.0)
 
 
 def deadline_from_ms(ms):
@@ -68,10 +80,30 @@ def scan_header_tokens(tokens, head):
     deadline = None
     while len(tokens) > head:
         token = tokens[head]
-        if token.startswith(CTX_PREFIX):
-            trace_context = token[len(CTX_PREFIX):]
-        elif token.startswith(DL_PREFIX):
-            deadline = parse_deadline_token(token)
+        if token[0] == "@":
+            # A stringified object reference always starts with ``@``
+            # and always terminates the (maybe empty) header run: one
+            # char compare ends the scan instead of two prefix tests.
+            break
+        if token.startswith(DL_PREFIX):
+            # Inlined parse_deadline_token/deadline_from_ms: this runs
+            # once per deadlined request on the server's read loop.
+            global _DL_MEMO
+            memo_token, seconds = _DL_MEMO
+            if token != memo_token:
+                try:
+                    ms = int(token[_DL_LEN:])
+                except ValueError:
+                    raise ProtocolError(
+                        f"bad deadline token {token!r}"
+                    ) from None
+                if ms < 0:
+                    raise ProtocolError(f"negative deadline {ms}ms")
+                seconds = ms / 1000.0
+                _DL_MEMO = (token, seconds)
+            deadline = Deadline(monotonic() + seconds, seconds)
+        elif token.startswith(CTX_PREFIX):
+            trace_context = token[_CTX_LEN:]
         else:
             break
         head += 1
@@ -83,8 +115,9 @@ def header_tokens(call):
     pieces = []
     if call.trace_context is not None:
         pieces.append(CTX_PREFIX + call.trace_context)
-    if call.deadline is not None:
-        pieces.append(DL_PREFIX + str(call.deadline.remaining_ms()))
+    deadline = call.deadline
+    if deadline is not None:
+        pieces.append(DL_PREFIX + str(deadline.remaining_ms()))
     return pieces
 
 

@@ -19,6 +19,8 @@ Message shapes (one printable-ASCII line each, ``\\n``-terminated)::
     RET2 <id> ERR <category> <message-token>
 """
 
+from time import monotonic as _monotonic
+
 from repro.heidirmi.call import (
     STATUS_ERROR,
     STATUS_EXCEPTION,
@@ -67,16 +69,62 @@ def _escape_header(text):
 # ---------------------------------------------------------------------------
 
 
+def _request_tail(call):
+    """The target/operation/args tail, memoized on the call.
+
+    The tail is the expensive, attempt-invariant part of a request line;
+    caching it on the Call means a retry re-enqueues the marshalled
+    frame verbatim — only the verb/id/header prefix (fresh request id,
+    refreshed ``dl=`` remaining) is rebuilt per attempt.
+    """
+    tail = call._wire_tail
+    if tail is None:
+        tail = " ".join(
+            [_escape_header(call.target), _escape_header(call.operation)]
+            + call._m.tokens()
+        )
+        call._wire_tail = tail
+    return tail
+
+
+def _deadline_token(call):
+    """The ``dl=<ms>`` piece for a deadlined call (deadline-only fast
+    path of the resilient hot loop — traced calls go through
+    ``headers.header_tokens`` instead).
+
+    A first attempt stamped by the resilient engine carries the plan's
+    pre-rendered full-budget token (``call._dl_token``); everything
+    else — explicit deadlines, retries, hand-built calls — computes the
+    live remaining budget, ``remaining_ms`` inlined (rounded up so a
+    positive remainder survives as at least 1 ms).  Duck-typed
+    deadlines without ``expires_at`` keep the method call.  The grammar
+    stays headers.py's.
+    """
+    token = call._dl_token
+    if token is not None:
+        return token
+    deadline = call.deadline
+    try:
+        remaining = deadline.expires_at - _monotonic()
+    except AttributeError:
+        ms = deadline.remaining_ms()
+    else:
+        ms = int(remaining * 1000.0) + 1 if remaining > 0.0 else 0
+    return headers.DL_PREFIX + str(ms)
+
+
 def encode_request(call):
     """Classic ``CALL``/``ONEWAY`` line for *call*."""
     # Build the line in one pass at the token level; going through
     # payload() would encode and re-decode the same bytes.
     pieces = ["ONEWAY" if call.oneway else "CALL"]
-    if call.trace_context is not None or call.deadline is not None:
+    if call.trace_context is not None:
         pieces += headers.header_tokens(call)
-    pieces.append(_escape_header(call.target))
-    pieces.append(_escape_header(call.operation))
-    pieces += call._m.tokens()
+    elif call.deadline is not None:
+        # The engine-stamped token avoids even the helper frame here.
+        token = call._dl_token
+        pieces.append(token if token is not None else _deadline_token(call))
+    pieces.append(_request_tail(call))
     return (" ".join(pieces) + "\n").encode("ascii")
 
 
@@ -101,11 +149,13 @@ def encode_request2(call):
         if call.request_id is None:
             raise ProtocolError("text2 two-way request needs a request id")
         pieces = ["CALL2", str(call.request_id)]
-    if call.trace_context is not None or call.deadline is not None:
+    if call.trace_context is not None:
         pieces += headers.header_tokens(call)
-    pieces.append(_escape_header(call.target))
-    pieces.append(_escape_header(call.operation))
-    pieces += call._m.tokens()
+    elif call.deadline is not None:
+        # The engine-stamped token avoids even the helper frame here.
+        token = call._dl_token
+        pieces.append(token if token is not None else _deadline_token(call))
+    pieces.append(_request_tail(call))
     return (" ".join(pieces) + "\n").encode("ascii")
 
 
