@@ -109,7 +109,7 @@ class ObjectCommunicator:
         # correlation core from repro.wire; the aliases keep the
         # compound register-then-send blocks below on the same lock.
         self._table = CorrelationTable()
-        self._pending = self._table.entries
+        self._pending = self._table.entries  # guarded-by: self._pending_lock
         self._pending_lock = self._table.lock
         self._reader = None
         self._reader_lock = threading.Lock()
@@ -119,8 +119,8 @@ class ObjectCommunicator:
         self._batch_oneways = batch_oneways
         self._batch_max_bytes = batch_max_bytes
         self._batch_max_calls = batch_max_calls
-        self._batch = bytearray()
-        self._batch_calls = 0
+        self._batch = bytearray()  # guarded-by: self._batch_lock
+        self._batch_calls = 0  # guarded-by: self._batch_lock
         self._batch_lock = threading.Lock()
         # Server-side reply coalescing sink; only the serial request
         # loop touches it, so it needs no lock.  Persistent so each
@@ -131,8 +131,8 @@ class ObjectCommunicator:
         # in one send.
         self._reply_max_bytes = reply_max_bytes
         self._reply_max_calls = reply_max_calls
-        self._reply_sink = _SendBuffer()
-        self._sink_replies = 0
+        self._reply_sink = _SendBuffer()  # guarded-by: <serial:server-loop>
+        self._sink_replies = 0  # guarded-by: <serial:server-loop>
         # Pre-resolved instruments (repro.observe): resolving each once
         # here keeps recording to one method call on the hot path, and
         # the unobserved path to bare ``is None`` tests.
@@ -591,6 +591,9 @@ class ObjectCommunicator:
 
     def _fail_pending(self, exc):
         pending = self._table.drain()
+        # race-ok: alias refresh after drain swapped the dict; the
+        # channel is already closed, so invoke_async's closed-check
+        # under the lock keeps new registrations out of the old dict.
         self._pending = self._table.entries
         if pending and self._metrics is not None:
             self._count_error(exc)

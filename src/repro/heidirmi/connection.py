@@ -49,11 +49,12 @@ class ConnectionCache:
         #: the transport's own default (30 s for tcp).
         self._connect_timeout = connect_timeout
         self._options = dict(communicator_options or {})
-        self._idle = {}
-        self._shared = {}
+        self._idle = {}  # guarded-by: self._lock
+        self._shared = {}  # guarded-by: self._lock
         self._lock = threading.Lock()
         #: Counters the caching benchmarks read.
-        self.stats = {"hits": 0, "misses": 0, "opened": 0, "evicted": 0}
+        self.stats = {"hits": 0, "misses": 0, "opened": 0,
+                      "evicted": 0}  # guarded-by: self._lock
         self._observer = observer
         if observer is not None:
             metrics = observer.metrics
@@ -77,19 +78,19 @@ class ConnectionCache:
     def mode(self):
         return self._mode
 
-    def _hit(self):
+    def _hit(self):  # holds-lock: self._lock
         self.stats["hits"] += 1
         if self._hit_counter is not None:
             self._hit_counter.inc()
 
-    def _miss(self):
+    def _miss(self):  # holds-lock: self._lock
         self.stats["misses"] += 1
         self.stats["opened"] += 1
         if self._miss_counter is not None:
             self._miss_counter.inc()
             self._open_counter.inc()
 
-    def _evict(self, count=1):
+    def _evict(self, count=1):  # holds-lock: self._lock
         self.stats["evicted"] += count
         if self._evict_counter is not None:
             self._evict_counter.inc(count)
@@ -202,10 +203,12 @@ class ConnectionCache:
             shared = self._shared.pop(bootstrap, None)
             if shared is not None:
                 victims.append(shared)
+            if victims:
+                # Count while still holding the lock: bumping stats
+                # after release raced concurrent _hit/_miss updates.
+                self._evict(len(victims))
         for communicator in victims:
             communicator.close()
-        if victims:
-            self._evict(len(victims))
         return len(victims)
 
     def has_cached(self, bootstrap):

@@ -153,11 +153,11 @@ class Orb:
         # bounded: once the table outgrows _breaker_cap, creating a new
         # breaker reaps closed breakers whose endpoints hold no cached
         # connections (lifecycle tied to ConnectionCache eviction).
-        self._breakers = {}
+        self._breakers = {}  # guarded-by: self._lock
         self._breaker_cap = 256
         # Bumped whenever the breaker table is reaped; cached PolicyPlans
         # carry the epoch they were built under and rebuild on mismatch.
-        self._plan_epoch = 0
+        self._plan_epoch = 0  # guarded-by: self._lock
         self.connections = ConnectionCache(
             get_transport,
             self.protocol,
@@ -173,12 +173,12 @@ class Orb:
         self._pool_lock = threading.Lock()
         # Accepted server-side communicators, closed on stop() so worker
         # threads blocked in recv unwind promptly.
-        self._active = set()
+        self._active = set()  # guarded-by: self._lock
         #: Counters read by the caching benchmarks.  Mutated through
         #: _count() under _stats_lock — concurrent client threads and
         #: pipelined server workers all bump them.
         self._stats_lock = threading.Lock()
-        self.stats = {
+        self.stats = {  # guarded-by: self._stats_lock
             "stub_hits": 0,
             "stub_created": 0,
             "skeleton_hits": 0,
@@ -885,6 +885,7 @@ class Orb:
         policy = self.resilience
         if policy is None or policy.breaker is None:
             return None
+        # race-ok: lock-free probe; a miss re-probes under the lock.
         breaker = self._breakers.get(bootstrap)
         if breaker is None:
             with self._lock:
@@ -902,7 +903,7 @@ class Orb:
                     self._breakers[bootstrap] = breaker
         return breaker
 
-    def _reap_breakers(self):
+    def _reap_breakers(self):  # holds-lock: self._lock
         """Drop closed breakers for endpoints with no cached connections.
 
         Called under ``_lock`` when the breaker table hits its cap, so

@@ -53,8 +53,8 @@ class _DeadlineWatchdog:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._channels = weakref.WeakSet()
-        self._thread = None
+        self._channels = weakref.WeakSet()  # guarded-by: self._lock
+        self._thread = None  # guarded-by: self._lock
 
     def watch(self, channel):
         with self._lock:
@@ -414,8 +414,8 @@ class _InProcRegistry:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._listeners = {}
-        self._next_port = 1
+        self._listeners = {}  # guarded-by: self._lock
+        self._next_port = 1  # guarded-by: self._lock
 
     def listen(self, host, port):
         with self._lock:
@@ -455,7 +455,7 @@ class InProcListener(Listener):
         self._host = host
         self._port = port
         self._registry = registry
-        self._pending = collections.deque()
+        self._pending = collections.deque()  # guarded-by: self._cond
         self._cond = threading.Condition()
         self.closed = False
 

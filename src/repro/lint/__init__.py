@@ -34,6 +34,7 @@ from repro.lint.diagnostics import (
 from repro.lint.idl_rules import lint_idl_source, lint_spec
 from repro.lint.template_rules import TemplateLintResult, lint_template, lint_template_source
 from repro.lint.mapping_rules import lint_pack
+from repro.lint.flow import lint_concurrency_paths, lint_concurrency_sources
 from repro.lint.formats import render_json, render_sarif, render_text
 
 __all__ = [
@@ -50,6 +51,8 @@ __all__ = [
     "lint_template_source",
     "TemplateLintResult",
     "lint_pack",
+    "lint_concurrency_paths",
+    "lint_concurrency_sources",
     "render_text",
     "render_json",
     "render_sarif",

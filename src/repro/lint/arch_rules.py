@@ -68,18 +68,23 @@ def _imported_names(node):
     return []
 
 
-def lint_wire_source(source, filename="<wire>"):
-    """ARCH001 findings for one wire module's source text."""
-    try:
-        tree = ast.parse(source, filename=filename)
-    except SyntaxError as exc:
-        return [Diagnostic(
-            code="ARCH001",
-            severity=Severity.ERROR,
-            message=f"cannot parse wire module: {exc.msg}",
-            span=Span(file=filename, line=exc.lineno or 0),
-            source="arch",
-        )]
+def lint_wire_source(source, filename="<wire>", tree=None):
+    """ARCH001 findings for one wire module's source text.
+
+    *tree* lets a caller that already parsed the module (the flow pass
+    shares one parse with this one) skip the re-parse.
+    """
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=filename)
+        except SyntaxError as exc:
+            return [Diagnostic(
+                code="ARCH001",
+                severity=Severity.ERROR,
+                message=f"cannot parse wire module: {exc.msg}",
+                span=Span(file=filename, line=exc.lineno or 0),
+                source="arch",
+            )]
     diagnostics = []
     for node in ast.walk(tree):
         # One finding per facility per statement: ``from selectors
@@ -104,8 +109,13 @@ def lint_wire_source(source, filename="<wire>"):
     return diagnostics
 
 
-def lint_wire_layering(wire_dir=None):
-    """ARCH001 findings for every non-exempt module under *wire_dir*."""
+def lint_wire_layering(wire_dir=None, preparsed=None):
+    """ARCH001 findings for every non-exempt module under *wire_dir*.
+
+    *preparsed* maps absolute paths to already-parsed ASTs (from a
+    combined ``--arch --concurrency`` run) so each module is parsed at
+    most once per invocation.
+    """
     if wire_dir is None:
         wire_dir = default_wire_dir()
     diagnostics = []
@@ -113,7 +123,10 @@ def lint_wire_layering(wire_dir=None):
         if not name.endswith(".py") or name in EXEMPT_FILES:
             continue
         path = os.path.join(wire_dir, name)
+        tree = None
+        if preparsed:
+            tree = preparsed.get(os.path.abspath(path))
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
-        diagnostics.extend(lint_wire_source(source, filename=path))
+        diagnostics.extend(lint_wire_source(source, filename=path, tree=tree))
     return diagnostics

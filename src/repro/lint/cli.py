@@ -7,6 +7,12 @@ examples carry their IDL inline), or directories (scanned recursively
 for all three).  ``--mapping`` lints a bundled pack by name; with no
 targets at all, every registered pack is linted.
 
+``--concurrency`` switches the ``.py`` targets to the flow pass
+(CON0xx concurrency analysis) instead of embedded-IDL extraction, with
+an optional justified baseline (``--baseline`` / ``--write-baseline``).
+``--arch`` composes with it in the same invocation, sharing one parse
+per wire module.
+
 Exit status is 1 when any finding reaches ``--fail-on`` severity
 (default: error), 2 on usage errors.
 """
@@ -22,6 +28,9 @@ from repro.lint.formats import render_json, render_sarif, render_text
 from repro.lint.idl_rules import lint_idl_source
 from repro.lint.mapping_rules import lint_pack, lint_pack_idempotence
 from repro.lint.template_rules import lint_template_source
+
+#: The checked-in concurrency baseline, picked up when present.
+DEFAULT_BASELINE = ".concurrency-baseline.json"
 
 
 def build_arg_parser():
@@ -56,6 +65,25 @@ def build_arg_parser():
              "under repro.wire except wire/aio may import socket, "
              "selectors, asyncio, or the blocking transport",
     )
+    parser.add_argument(
+        "--concurrency", action="store_true",
+        help="run the flow pass (CON0xx) over the .py targets: blocking "
+             "calls reachable from async code, lock-order cycles, "
+             "guarded-by violations, thread lifecycle, error-kind "
+             "vocabulary (default target: the installed repro package)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="justified-baseline file for --concurrency (default: "
+             f"{DEFAULT_BASELINE} when it exists); matching findings "
+             "are suppressed, stale entries become CON000 warnings",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="write the current --concurrency findings to FILE as a "
+             "baseline skeleton (justifications must be filled in) and "
+             "exit clean",
+    )
     return parser
 
 
@@ -74,16 +102,48 @@ def main(argv=None):
 
         packs.append(get_pack(name))
 
-    files = _expand_targets(args.targets)
+    # A concurrency run walks directories for .py only; the IDL and
+    # template passes still apply to explicitly named files.
+    extensions = (".py",) if args.concurrency else (".idl", ".tmpl", ".py")
+    files = _expand_targets(args.targets, extensions)
     if files is None:
         return 2
+
+    program = None
+    if args.concurrency:
+        # .py targets feed the flow pass (one parse, shared with
+        # --arch below); everything else flows through the usual
+        # per-file passes.  Embedded-IDL extraction is a per-file
+        # convenience for the examples, not wanted on a whole-package
+        # concurrency sweep.
+        from repro.lint.flow import build_program, lint_program
+
+        py_targets = [f for f in files if f.endswith(".py")]
+        files = [f for f in files if not f.endswith(".py")]
+        if not args.targets:
+            import repro
+
+            py_targets = [os.path.dirname(repro.__file__)]
+        program = build_program(py_targets)
+        flow_findings = lint_program(program)
+        code = _apply_flow_baseline(args, flow_findings, diagnostics)
+        if code is not None:
+            return code
+
     for path in files:
         diagnostics.extend(_lint_file(path, args.include, packs))
 
     if args.arch:
-        diagnostics.extend(lint_wire_layering())
+        preparsed = None
+        if program is not None:
+            preparsed = {
+                os.path.abspath(module.filename): module.tree
+                for module in program.modules.values()
+            }
+        diagnostics.extend(lint_wire_layering(preparsed=preparsed))
 
-    if not args.targets and not args.mapping and not args.arch:
+    if (not args.targets and not args.mapping and not args.arch
+            and not args.concurrency):
         from repro.mappings.registry import all_packs
 
         for pack in all_packs():
@@ -98,13 +158,47 @@ def main(argv=None):
     return 1 if failing else 0
 
 
-def _expand_targets(targets):
+def _apply_flow_baseline(args, flow_findings, diagnostics):
+    """Fold the flow findings into *diagnostics* through the baseline
+    workflow.  Returns an exit code to short-circuit with, or None to
+    continue the run."""
+    from repro.lint.flow import apply_baseline, load_baseline, render_baseline
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(render_baseline(flow_findings))
+        print(
+            f"wrote {len(flow_findings)} finding(s) to "
+            f"{args.write_baseline}; fill in the justifications",
+            file=sys.stderr,
+        )
+        return 0
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.isfile(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path is None:
+        diagnostics.extend(flow_findings)
+        return None
+    try:
+        entries = load_baseline(baseline_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kept, _suppressed, stale = apply_baseline(
+        flow_findings, entries, baseline_path
+    )
+    diagnostics.extend(kept)
+    diagnostics.extend(stale)
+    return None
+
+
+def _expand_targets(targets, extensions=(".idl", ".tmpl", ".py")):
     files = []
     for target in targets:
         if os.path.isdir(target):
             for root, _dirs, names in sorted(os.walk(target)):
                 for name in sorted(names):
-                    if name.endswith((".idl", ".tmpl", ".py")):
+                    if name.endswith(extensions):
                         files.append(os.path.join(root, name))
         elif os.path.isfile(target):
             files.append(target)

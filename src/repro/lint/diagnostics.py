@@ -67,6 +67,15 @@ CODES = {
     # -- architecture / layering ------------------------------------------
     "ARCH001": "sans-I/O wire module imports an I/O facility "
                "(socket/selectors/asyncio/transport)",
+    # -- concurrency / flow analysis ---------------------------------------
+    "CON000": "flow pass administrative finding (unparseable module or "
+              "stale baseline entry)",
+    "CON001": "blocking call reachable from async code",
+    "CON002": "lock-order cycle in the acquisition graph",
+    "CON003": "guarded-by violation: field accessed without its "
+              "declared lock",
+    "CON004": "thread lifecycle: non-daemon thread is never joined",
+    "CON005": "CommunicationError kind outside the documented vocabulary",
 }
 
 

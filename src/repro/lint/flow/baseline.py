@@ -1,0 +1,116 @@
+"""Justified-baseline support for the concurrency pass.
+
+A baseline file lets pre-existing findings gate CI on *new* regressions
+only.  It is JSON, human-edited, and every entry must carry a written
+justification:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "findings": [
+        {
+          "code": "CON003",
+          "file": "src/repro/heidirmi/communicator.py",
+          "message": "field ... without holding it",
+          "justification": "why this race is benign"
+        }
+      ]
+    }
+
+Matching is by code, path suffix (so the baseline works from any
+checkout root), and exact message — deliberately *not* by line number,
+so unrelated edits above a finding do not invalidate the baseline.
+Entries that no longer match anything are reported as CON000 warnings:
+a stale entry is usually a fixed bug whose justification should be
+deleted, or a reworded message that silently un-suppressed itself.
+"""
+
+import json
+
+from repro.lint.diagnostics import Diagnostic, Severity, Span
+
+__all__ = ["apply_baseline", "load_baseline", "render_baseline"]
+
+
+def _norm(path):
+    return path.replace("\\", "/")
+
+
+def load_baseline(path):
+    """Parse a baseline file into its entry list.
+
+    Raises ValueError on malformed content (missing justification is
+    malformed: an unexplained suppression is how baselines rot).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: baseline must be an object with 'findings'")
+    entries = data["findings"]
+    for entry in entries:
+        for field in ("code", "file", "message", "justification"):
+            if not entry.get(field):
+                raise ValueError(
+                    f"{path}: baseline entry {entry!r} is missing {field!r}"
+                )
+    return entries
+
+
+def apply_baseline(diagnostics, entries, baseline_path):
+    """Split *diagnostics* against the baseline.
+
+    Returns ``(kept, suppressed, stale)`` where *stale* is a list of
+    CON000 warning diagnostics for entries that matched nothing.
+    """
+    kept = []
+    suppressed = []
+    used = [False] * len(entries)
+    for diagnostic in diagnostics:
+        match = None
+        for index, entry in enumerate(entries):
+            if (entry["code"] == diagnostic.code
+                    and entry["message"] == diagnostic.message
+                    and _norm(diagnostic.span.file).endswith(_norm(entry["file"]))):
+                match = index
+                break
+        if match is None:
+            kept.append(diagnostic)
+        else:
+            used[match] = True
+            suppressed.append(diagnostic)
+    stale = []
+    for index, entry in enumerate(entries):
+        if used[index]:
+            continue
+        stale.append(Diagnostic(
+            code="CON000",
+            severity=Severity.WARNING,
+            message=(
+                f"stale baseline entry for {entry['code']} in "
+                f"{entry['file']}: the finding is no longer produced "
+                "(delete the entry)"
+            ),
+            span=Span(file=baseline_path),
+            source="flow",
+        ))
+    return kept, suppressed, stale
+
+
+def render_baseline(diagnostics):
+    """Serialize *diagnostics* as a fresh baseline document.
+
+    Justifications are emitted as a placeholder the author must fill
+    in; ``load_baseline`` rejects the placeholder-free empty string but
+    accepts anything non-empty, so review is the real gate.
+    """
+    findings = [
+        {
+            "code": d.code,
+            "file": _norm(d.span.file),
+            "message": d.message,
+            "justification": "TODO: explain why this finding is acceptable",
+        }
+        for d in sorted(diagnostics, key=lambda d: d.sort_key)
+    ]
+    return json.dumps({"version": 1, "findings": findings}, indent=2) + "\n"

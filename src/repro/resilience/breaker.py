@@ -54,10 +54,14 @@ class CircuitBreaker:
 
     def __init__(self, policy=None, on_transition=None):
         self.policy = policy if policy is not None else BreakerPolicy()
-        self.state = BREAKER_CLOSED
-        self._outcomes = collections.deque(maxlen=self.policy.window)
-        self._opened_at = None
-        self._probes = 0
+        # ``state`` and ``_outcomes`` have documented lock-free fast
+        # paths (closed-state reads/appends); everything else holds the
+        # lock, and all state *transitions* do.
+        self.state = BREAKER_CLOSED  # guarded-by: self._lock
+        self._outcomes = collections.deque(
+            maxlen=self.policy.window)  # guarded-by: self._lock
+        self._opened_at = None  # guarded-by: self._lock
+        self._probes = 0  # guarded-by: self._lock
         self._lock = threading.Lock()
         #: Called as ``on_transition(old_state, new_state)`` after each
         #: state change, outside the breaker lock.
@@ -105,6 +109,7 @@ class CircuitBreaker:
         # open/half-open machine never reads the window, and the next
         # transition clears it again under the lock.
         if self.state == BREAKER_CLOSED:
+            # race-ok: GIL-atomic bounded-deque append; see above.
             self._outcomes.append(True)
             return
         transition = None

@@ -64,7 +64,7 @@ _READ_CHUNK = 65536
 # The shared background loop
 # ---------------------------------------------------------------------------
 
-_LOOP = None
+_LOOP = None  # guarded-by: _LOOP_LOCK
 _LOOP_LOCK = threading.Lock()
 
 
@@ -554,8 +554,8 @@ class AioClientConnection:
         self._multiplexed = bool(
             getattr(protocol, "supports_multiplexing", False)
         )
-        self._pending = {}
-        self._fifo = collections.deque()
+        self._pending = {}  # guarded-by: <serial:event-loop>
+        self._fifo = collections.deque()  # guarded-by: <serial:event-loop>
         self._reader_task = None
         self._closed = False
 
@@ -665,10 +665,11 @@ class AioClientConnection:
                 return
             if is_channel_level_error(reply):
                 # RET2 0 ERR / GIOP id 0: the server could not even
-                # correlate — every call in flight is dead.
+                # correlate — every call in flight is dead.  Same kind
+                # as the blocking demultiplexer raises for this case.
                 self._fail_pending(CommunicationError(
                     "channel-level protocol error from peer",
-                    kind="channel-error",
+                    kind="peer-protocol-error",
                 ))
                 return
             future = self._pending.pop(reply.request_id, None)

@@ -72,11 +72,11 @@ class CorrelationTable:
 
     def __init__(self):
         self.lock = threading.Lock()
-        self.entries = {}
+        self.entries = {}  # guarded-by: self.lock
         #: request id → absolute monotonic expiry, a subset of
         #: :attr:`entries`'s keys.  Compound registration blocks that
         #: hold :attr:`lock` directly write it in place.
-        self.deadlines = {}
+        self.deadlines = {}  # guarded-by: self.lock
 
     def register(self, request_id, waiter, expires_at=None):
         """File a waiter (optionally deadlined); returns the new depth."""
@@ -156,7 +156,7 @@ class CorrelationTable:
 
     @property
     def depth(self):
-        return len(self.entries)
+        return len(self.entries)  # race-ok: GIL-atomic len, metrics only
 
     def __len__(self):
-        return len(self.entries)
+        return len(self.entries)  # race-ok: GIL-atomic len, metrics only

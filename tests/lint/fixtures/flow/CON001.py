@@ -1,0 +1,26 @@
+"""Seeded CON001: blocking calls reachable from coroutine code."""
+
+import threading
+import time
+
+_LOCK = threading.Lock()
+
+
+def _backoff():
+    time.sleep(0.05)
+
+
+async def poll_direct():
+    time.sleep(0.1)
+
+
+async def poll_transitive():
+    _backoff()
+
+
+async def guarded_update():
+    _LOCK.acquire()
+    try:
+        pass
+    finally:
+        _LOCK.release()

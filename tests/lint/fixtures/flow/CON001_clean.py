@@ -1,0 +1,21 @@
+"""Clean twin of CON001: coroutine code awaits instead of blocking."""
+
+import asyncio
+import threading
+import time
+
+_LOCK = threading.Lock()
+
+
+def backoff_blocking():
+    # Blocking in plain sync code is fine.
+    time.sleep(0.05)
+
+
+def guarded_update():
+    with _LOCK:
+        pass
+
+
+async def poll():
+    await asyncio.sleep(0.1)

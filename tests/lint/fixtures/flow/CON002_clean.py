@@ -1,0 +1,19 @@
+"""Clean twin of CON002: both paths take the locks in one order."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def also_forward(self):
+        with self._a:
+            with self._b:
+                pass

@@ -1,0 +1,23 @@
+"""Seeded CON003: guarded field touched without its declared lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: self._lock
+        self._pending = []  # guarded-by: self._lock
+
+    def bump(self):
+        self._hits = self._hits + 1
+
+    def bump_locked(self):
+        with self._lock:
+            self._hits = self._hits + 1
+
+    def _drain_unlocked(self):  # holds-lock: self._lock
+        self._pending = []
+
+    def bad_drain(self):
+        self._drain_unlocked()

@@ -1,0 +1,24 @@
+"""Clean twin of CON003: every deep access holds the declared lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: self._lock
+        self._pending = []  # guarded-by: self._lock
+
+    def bump(self):
+        with self._lock:
+            self._hits = self._hits + 1
+
+    def _drain_unlocked(self):  # holds-lock: self._lock
+        self._pending = []
+
+    def drain(self):
+        with self._lock:
+            self._drain_unlocked()
+
+    def approximate_depth(self):
+        return len(self._pending)  # race-ok: approximate metric snapshot

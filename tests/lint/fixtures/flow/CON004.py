@@ -1,0 +1,8 @@
+"""Seeded CON004: non-daemon worker thread is never joined."""
+
+import threading
+
+
+def start_worker():
+    worker = threading.Thread(target=print)
+    worker.start()

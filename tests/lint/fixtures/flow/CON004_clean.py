@@ -1,0 +1,14 @@
+"""Clean twin of CON004: threads are daemonized or joined."""
+
+import threading
+
+
+def run_worker():
+    worker = threading.Thread(target=print)
+    worker.start()
+    worker.join()
+
+
+def start_ticker():
+    ticker = threading.Thread(target=print, daemon=True)
+    ticker.start()

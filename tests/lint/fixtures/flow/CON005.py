@@ -1,0 +1,7 @@
+"""Seeded CON005: CommunicationError kind outside the vocabulary."""
+
+from repro.heidirmi.errors import CommunicationError
+
+
+def fail():
+    raise CommunicationError("socket burst", kind="socket-burst")

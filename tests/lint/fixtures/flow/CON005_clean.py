@@ -1,0 +1,7 @@
+"""Clean twin of CON005: only documented error kinds are raised."""
+
+from repro.heidirmi.errors import CommunicationError
+
+
+def fail():
+    raise CommunicationError("peer went away", kind="peer-closed")
