@@ -30,7 +30,7 @@ import time
 from repro.heidirmi import HdSkel, HdStub, Orb
 from repro.heidirmi.errors import CommunicationError
 from repro.heidirmi.serialize import TypeRegistry
-from repro.observe import Observer
+from repro.observe import FlightControl, Observer
 from repro.observe.cli import percentile
 from repro.resilience import (
     DEFAULT_RETRYABLE_KINDS,
@@ -84,11 +84,13 @@ def _registry():
 
 
 def _run_once(transport, protocol, mode, clients, calls_per_client,
-              window, pipeline_workers, client_kwargs=None):
+              window, pipeline_workers, client_kwargs=None,
+              server_kwargs=None):
     """One timed run; returns elapsed seconds (replies all verified)."""
     types = _registry()
     server = Orb(transport=transport, protocol=protocol, types=types,
-                 pipeline_workers=pipeline_workers).start()
+                 pipeline_workers=pipeline_workers,
+                 **(server_kwargs or {})).start()
     client = Orb(transport=transport, protocol=protocol, types=types,
                  multiplex=(mode == "multiplexed"),
                  **(client_kwargs or {}))
@@ -305,11 +307,57 @@ def _run_traced_once(transport, protocol, mode, calls, pipeline_workers):
         server.stop()
 
 
-def run_traced(transport="inproc", calls=100, pipeline_workers=0):
+def measure_flight_claim(transport, clients, calls_per_client, window=64,
+                         pipeline_workers=0, trials=4):
+    """What the flight recorder costs: recorder-on vs recorder-off.
+
+    Interleaved pairs on the multiplexed text2 axis — the hottest path
+    the wire-event tap touches — with observers on both ends in both
+    runs, so the ratio isolates the recorder itself rather than
+    tracing.  The "on" side attaches a :class:`FlightControl` (ring
+    capture of every frame, both directions, both ends); the "off"
+    side runs the same observers with no recorder, i.e. the tap
+    attribute stays ``None`` and the hot path takes its one-pointer
+    fast test.  Best run of each side is kept.
+    """
+    off_best = None
+    on_best = None
+    for _ in range(trials):
+        off = _run_once(
+            transport, "text2", "multiplexed", clients, calls_per_client,
+            window, pipeline_workers,
+            client_kwargs={"observer": Observer()},
+            server_kwargs={"observer": Observer()},
+        )
+        on = _run_once(
+            transport, "text2", "multiplexed", clients, calls_per_client,
+            window, pipeline_workers,
+            client_kwargs={"observer": Observer(flight=FlightControl())},
+            server_kwargs={"observer": Observer(flight=FlightControl())},
+        )
+        if off_best is None or off < off_best:
+            off_best = off
+        if on_best is None or on < on_best:
+            on_best = on
+    total = clients * calls_per_client
+    return {
+        "clients": clients,
+        "calls_per_client": calls_per_client,
+        "method": f"interleaved pairs, best of {trials}",
+        "recorder_off_calls_per_sec": round(total / off_best, 1),
+        "recorder_on_calls_per_sec": round(total / on_best, 1),
+        "recorder_overhead_pct": round((on_best / off_best - 1.0) * 100, 2),
+    }
+
+
+def run_traced(transport="inproc", calls=100, pipeline_workers=0,
+               clients=8, calls_per_client=150, trials=4):
     """The traced suite: per-stage latency attribution under tracing.
 
     Runs each configuration with observers on both ends, then reduces
-    the exported spans to p50/p99 per pipeline stage.  Returns the
+    the exported spans to p50/p99 per pipeline stage.  The claim block
+    prices the flight recorder: recorder-on throughput must track
+    recorder-off on the multiplexed text2 axis.  Returns the
     ``BENCH_obs.json`` document plus every raw span (for spans.jsonl).
     """
     results = []
@@ -345,8 +393,15 @@ def run_traced(transport="inproc", calls=100, pipeline_workers=0):
             "transport": transport,
             "calls": calls,
             "pipeline_workers": pipeline_workers,
+            "claim_clients": clients,
+            "claim_calls_per_client": calls_per_client,
+            "claim_trials": trials,
         },
         "results": results,
+        "claim": measure_flight_claim(
+            transport, clients, calls_per_client,
+            pipeline_workers=pipeline_workers, trials=trials,
+        ),
     }
     return document, all_spans
 

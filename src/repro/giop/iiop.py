@@ -91,13 +91,20 @@ def pump_giop_event(channel, machine):
     try:
         header = MessageHeader.decode(header_bytes)
     except ProtocolError as exc:
-        return WireViolation(str(exc))
+        event = WireViolation(str(exc))
+        if machine.tap is not None:
+            machine.tap.record_in(header_bytes, event, machine.role)
+        return event
     if header.message_size > MAX_MESSAGE_SIZE:
-        return WireViolation(
+        event = WireViolation(
             f"implausible GIOP message size {header.message_size}"
         )
+        if machine.tap is not None:
+            machine.tap.record_in(header_bytes, event, machine.role)
+        return event
     return machine.feed_message(
-        header, channel.recv_exact(header.message_size)
+        header, channel.recv_exact(header.message_size),
+        raw_header=header_bytes if machine.tap is not None else None,
     )
 
 

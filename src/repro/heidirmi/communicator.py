@@ -271,10 +271,17 @@ class ObjectCommunicator:
         try:
             self.flush()
             self.protocol.send_request(self.channel, call)
-        except BaseException:
+        except BaseException as exc:
             with self._pending_lock:
                 self._pending.pop(call.request_id, None)
                 self._table.deadlines.pop(call.request_id, None)
+            if isinstance(exc, CommunicationError):
+                # A failed send killed the channel; spool its flight
+                # ring from this thread.  The demux reader reports the
+                # same death, but an orderly stop can disarm the
+                # recorder before that thread wakes — the once-only
+                # spool guard dedupes when both get there.
+                self._channel_postmortem(exc)
             raise
         if call.trace_span is not None:
             call.trace_span.stage("send")
@@ -326,11 +333,14 @@ class ObjectCommunicator:
             self.flush()
             if buffer.data:
                 self.channel.send(bytes(buffer.data))
-        except BaseException:
+        except BaseException as exc:
             with self._pending_lock:
                 for request_id in registered:
                     self._pending.pop(request_id, None)
                     self._table.deadlines.pop(request_id, None)
+            if isinstance(exc, CommunicationError):
+                # Sender-side spool: see invoke_async.
+                self._channel_postmortem(exc)
             raise
         return futures
 
@@ -381,11 +391,14 @@ class ObjectCommunicator:
             self.flush()
             if buffer.data:
                 self.channel.send(bytes(buffer.data))
-        except BaseException:
+        except BaseException as exc:
             with self._pending_lock:
                 for request_id in registered:
                     self._pending.pop(request_id, None)
                     self._table.deadlines.pop(request_id, None)
+            if isinstance(exc, CommunicationError):
+                # Sender-side spool: see invoke_async.
+                self._channel_postmortem(exc)
             raise
         if registered:
             if deadline is None:
@@ -517,6 +530,7 @@ class ObjectCommunicator:
                     batch.append(recv_reply(channel))
             except CommunicationError as exc:
                 self._resolve(batch)
+                self._channel_postmortem(exc)
                 # Mark the channel dead before failing waiters: the
                 # multiplexed ConnectionCache only replaces a shared
                 # communicator once it reads as closed, and this reader
@@ -532,12 +546,12 @@ class ObjectCommunicator:
                 # failures (recv-failed/peer-closed), which keep their
                 # own kind from the except branch above.
                 self._resolve(batch)
-                self.channel.close()
-                self._fail_pending(
-                    CommunicationError(
-                        f"demultiplexer failed: {exc}", kind="reader-died"
-                    )
+                died = CommunicationError(
+                    f"demultiplexer failed: {exc}", kind="reader-died"
                 )
+                self._channel_postmortem(died)
+                self.channel.close()
+                self._fail_pending(died)
                 return
             if self._demux_batch is not None:
                 self._demux_batch.record(len(batch))
@@ -674,7 +688,18 @@ class ObjectCommunicator:
 
     # -- lifecycle ------------------------------------------------------------
 
+    def _channel_postmortem(self, reason):
+        """Spool the channel's flight bundle for an abnormal death."""
+        recorder = getattr(self.channel, "flight", None)
+        if recorder is not None:
+            recorder.postmortem(reason)
+
     def close(self):
+        # Orderly teardown: a disarmed recorder never spools, so cache
+        # eviction and Orb.stop() leave no bogus "postmortem" bundles.
+        recorder = getattr(self.channel, "flight", None)
+        if recorder is not None:
+            recorder.disarm()
         self.channel.close()
         self._fail_pending(
             CommunicationError(

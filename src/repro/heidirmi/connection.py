@@ -29,6 +29,19 @@ from repro.heidirmi.communicator import ObjectCommunicator
 from repro.heidirmi.errors import HeidiRmiError
 
 
+class _BreakerOpen:
+    """Postmortem reason for connections torn down by an opening breaker."""
+
+    kind = "breaker-open"
+
+    def __init__(self, bootstrap):
+        self._bootstrap = bootstrap
+
+    def __str__(self):
+        protocol, host, port = self._bootstrap
+        return f"circuit opened for {host}:{port} ({protocol})"
+
+
 class ConnectionCache:
     """Pool of communicators keyed by bootstrap tuple."""
 
@@ -112,6 +125,9 @@ class ConnectionCache:
             channel = transport.connect(host, port)
         if self._meter is not None:
             channel.meter = self._meter
+        flight = getattr(self._observer, "flight", None)
+        if flight is not None:
+            flight.attach(channel, self._protocol.name, "client")
         return ObjectCommunicator(
             channel, self._protocol, multiplexed=multiplexed, **self._options
         )
@@ -179,8 +195,17 @@ class ConnectionCache:
             else:
                 pool.append(communicator)
 
-    def discard(self, communicator):
-        """Drop a communicator that failed mid-call."""
+    def discard(self, communicator, reason=None):
+        """Drop a communicator that failed mid-call.
+
+        *reason* (the failure exception, when the caller has one) feeds
+        the flight recorder: the channel's last-N wire events are
+        spooled as a postmortem bundle before the close disarms it.
+        """
+        if reason is not None:
+            recorder = getattr(communicator.channel, "flight", None)
+            if recorder is not None:
+                recorder.postmortem(reason)
         communicator.close()
         if self._mode == "multiplexed":
             with self._lock:
@@ -208,6 +233,12 @@ class ConnectionCache:
                 # after release raced concurrent _hit/_miss updates.
                 self._evict(len(victims))
         for communicator in victims:
+            # Spool before close: close() disarms the recorder (orderly
+            # teardown must not leave bundles), but a breaker opening is
+            # exactly the moment the last wire events are wanted.
+            recorder = getattr(communicator.channel, "flight", None)
+            if recorder is not None:
+                recorder.postmortem(_BreakerOpen(bootstrap))
             communicator.close()
         return len(victims)
 

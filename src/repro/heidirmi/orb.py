@@ -66,6 +66,7 @@ class Orb:
         connect_timeout=None,
         default_deadline=None,
         resilience=None,
+        monitor=False,
     ):
         self.host = host
         self.transport_name = transport
@@ -92,6 +93,9 @@ class Orb:
         #: metric catalogue of docs/OBSERVABILITY.md into its registry.
         #: None (the default) keeps the hot path to ``is None`` tests.
         self.observer = observer
+        #: True registers the built-in ORBMonitor object (live ORB
+        #: introspection served over the ORB itself) on start().
+        self.monitor = bool(monitor)
         self._transport = get_transport(transport)
         self._requested_port = port
         self._listener = None
@@ -278,22 +282,36 @@ class Orb:
             target=self._accept_loop, name="heidirmi-acceptor", daemon=True
         )
         self._acceptor_thread.start()
+        if self.monitor:
+            # Registered after the listener binds (references embed the
+            # bound port) and exactly once across restarts.  Imported
+            # lazily: repro.observe.monitor imports the stub/skeleton
+            # bases from this package.
+            from repro.observe.monitor import MONITOR_OID, MonitorImpl
+
+            with self._lock:
+                already = MONITOR_OID in self._objects
+            if not already:
+                self.register(MonitorImpl(self), oid=MONITOR_OID)
         self._event("orb:listen", address=self.address)
         return self
 
     def stop(self):
         """Shut down the listener, worker threads and cached connections."""
         with self._lock:
-            if not self._running:
-                return
-            self._running = False
-        if self._listener is not None:
-            self._listener.close()
-        with self._lock:
-            active = list(self._active)
-            self._active.clear()
-        for communicator in active:
-            communicator.close()
+            was_running, self._running = self._running, False
+        if was_running:
+            if self._listener is not None:
+                self._listener.close()
+            with self._lock:
+                active = list(self._active)
+                self._active.clear()
+            for communicator in active:
+                communicator.close()
+        # Outbound connections exist even on a client-only Orb that was
+        # never start()ed; close them unconditionally so their flight
+        # recorders disarm BEFORE the peer's shutdown can look like a
+        # channel death from this side.
         self.connections.close_all()
         with self._pool_lock:
             pools = (self._dispatch_pool, self._async_pool)
@@ -506,8 +524,8 @@ class Orb:
             else:
                 self.connections.release(bootstrap, communicator)
             raise
-        except CommunicationError:
-            self.connections.discard(communicator)
+        except CommunicationError as exc:
+            self.connections.discard(communicator, reason=exc)
             raise
         self.connections.release(bootstrap, communicator)
         if self.trace is not None:
@@ -536,7 +554,7 @@ class Orb:
             try:
                 future = communicator.invoke_async(call)
             except CommunicationError as exc:
-                self.connections.discard(communicator)
+                self.connections.discard(communicator, reason=exc)
                 self._finish_client_span(call, error=exc)
                 raise
             self.connections.release(bootstrap, communicator)
@@ -548,7 +566,7 @@ class Orb:
             try:
                 reply = communicator.invoke(call)
             except CommunicationError as exc:
-                self.connections.discard(communicator)
+                self.connections.discard(communicator, reason=exc)
                 self._finish_client_span(call, error=exc)
                 raise
             self.connections.release(bootstrap, communicator)
@@ -575,7 +593,7 @@ class Orb:
         try:
             futures = communicator.invoke_pipelined(calls)
         except CommunicationError as exc:
-            self.connections.discard(communicator)
+            self.connections.discard(communicator, reason=exc)
             if self.observer is not None:
                 for call in calls:
                     self._finish_client_span(call, error=exc)
@@ -631,7 +649,7 @@ class Orb:
                     self._finish_client_span(call, error=exc)
             raise
         except CommunicationError as exc:
-            self.connections.discard(communicator)
+            self.connections.discard(communicator, reason=exc)
             if self.observer is not None:
                 for call in calls:
                     self._finish_client_span(call, error=exc)
@@ -678,6 +696,9 @@ class Orb:
         # the client blocked forever.
         if self._server_meter is not None:
             channel.meter = self._server_meter
+        flight = getattr(self.observer, "flight", None)
+        if flight is not None:
+            flight.attach(channel, self.protocol.name, "server")
         communicator = ObjectCommunicator(channel, self.protocol,
                                           observer=self.observer)
         with self._lock:
@@ -690,6 +711,20 @@ class Orb:
             with self._lock:
                 self._active.discard(communicator)
             communicator.close()
+
+    @staticmethod
+    def _server_postmortem(communicator, reason):
+        """Spool a flight bundle for a server channel that died.
+
+        A peer that simply hung up between requests is routine — only
+        mid-stream failures (resets, garbled frames, chaos kills) leave
+        a bundle.
+        """
+        if getattr(reason, "kind", None) == "peer-closed":
+            return
+        recorder = getattr(communicator.channel, "flight", None)
+        if recorder is not None:
+            recorder.postmortem(reason)
 
     def _serve_requests(self, communicator):
         # Pipelined servers read ahead with a bounded in-flight window:
@@ -715,11 +750,13 @@ class Orb:
                 # oneway would strand its replies in the sink forever.
                 try:
                     communicator.flush_replies()
-                except CommunicationError:
+                except CommunicationError as exc:
+                    self._server_postmortem(communicator, exc)
                     return
             try:
                 call = next_request(object_exists=object_key_exists)
-            except CommunicationError:
+            except CommunicationError as exc:
+                self._server_postmortem(communicator, exc)
                 return
             except ProtocolError as exc:
                 # A human (or buggy peer) typed something malformed; keep
@@ -787,7 +824,8 @@ class Orb:
                         self._finish_server_span(call, reply, coalesced=True)
                     continue
                 communicator.reply(reply)
-            except CommunicationError:
+            except CommunicationError as exc:
+                self._server_postmortem(communicator, exc)
                 return
             except HeidiRmiError as exc:
                 # The reply itself failed to encode (e.g. a result value

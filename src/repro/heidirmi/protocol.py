@@ -85,11 +85,19 @@ def pump_line_event(channel, machine):
 
 
 def channel_machine(channel, role, factory):
-    """The per-channel wire machine for *role*, built on first use."""
+    """The per-channel wire machine for *role*, built on first use.
+
+    A channel carrying a flight recorder (``channel.flight``) hands it
+    to the machine as its tap, so every event the machine emits lands
+    in the ring with its exact frame bytes.
+    """
     attribute = _CLIENT_MACHINE if role == "client" else _SERVER_MACHINE
     machine = getattr(channel, attribute, None)
     if machine is None:
         machine = factory(role)
+        recorder = getattr(channel, "flight", None)
+        if recorder is not None:
+            machine.tap = recorder
         setattr(channel, attribute, machine)
     return machine
 
@@ -181,33 +189,62 @@ class TextProtocol(Protocol):
     # the machines' pure line parsers — this is the per-call hot path.
     # A per-channel machine exists only when a chunk-style driver fed it
     # (``feed_bytes``); any bytes it buffered are drained first so no
-    # message can overtake another.
+    # message can overtake another.  A flight-recorded channel keeps the
+    # direct parse and taps the recorder with the raw line plus the
+    # parsed result — routing every line through a machine just to reach
+    # its tap costs double-digit throughput, while the direct tap
+    # synthesizes the identical record (the recorder pins the event repr
+    # formats; replay through a fresh machine still compares equal).
 
     _parse_request_line = staticmethod(parse_request_line)
     _parse_reply_line = staticmethod(parse_reply_line)
 
     def recv_request(self, channel, object_exists=None):
         machine = getattr(channel, _SERVER_MACHINE, None)
-        if machine is not None and machine.has_buffered:
+        if machine is not None and (
+            machine.has_buffered or machine.tap is not None
+        ):
             event = pump_line_event(channel, machine)
             if type(event) is wire_events.WireViolation:
                 raise ProtocolError(event.message)
             return event.call
-        line = channel.recv_line().decode("ascii", errors="replace")
-        return self._parse_request_line(line)
+        raw = channel.recv_line()
+        line = raw.decode("ascii", errors="replace")
+        recorder = getattr(channel, "flight", None)
+        if recorder is None:
+            return self._parse_request_line(line)
+        try:
+            call = self._parse_request_line(line)
+        except ProtocolError as exc:
+            recorder.record_violation(raw, str(exc), "server")
+            raise
+        recorder.record_request(raw, call)
+        return call
 
     def send_reply(self, channel, reply):
         channel.send(encode_reply(reply))
 
     def recv_reply(self, channel):
         machine = getattr(channel, _CLIENT_MACHINE, None)
-        if machine is not None and machine.has_buffered:
+        if machine is not None and (
+            machine.has_buffered or machine.tap is not None
+        ):
             event = pump_line_event(channel, machine)
             if type(event) is wire_events.WireViolation:
                 raise ProtocolError(event.message)
             return event.reply
-        line = channel.recv_line().decode("ascii", errors="replace")
-        return self._parse_reply_line(line)
+        raw = channel.recv_line()
+        line = raw.decode("ascii", errors="replace")
+        recorder = getattr(channel, "flight", None)
+        if recorder is None:
+            return self._parse_reply_line(line)
+        try:
+            reply = self._parse_reply_line(line)
+        except ProtocolError as exc:
+            recorder.record_violation(raw, str(exc), "client")
+            raise
+        recorder.record_reply(raw, reply)
+        return reply
 
 
 class Text2Protocol(TextProtocol):

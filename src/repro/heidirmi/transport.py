@@ -91,6 +91,13 @@ class Channel:
     #: None default keeps the unobserved hot path at one attribute test.
     meter = None
 
+    #: Optional flight-recorder hook (``repro.observe.flight``): when
+    #: set, every successful send records the outbound frame bytes in
+    #: the channel's bounded ring.  Inbound frames are recorded at the
+    #: wire-machine tap instead (typed events, not raw chunks).  Same
+    #: class-level-None idiom as ``meter``.
+    flight = None
+
     def __init__(self, sock, peer="?"):
         self._sock = sock
         # Receive buffer: a growable bytearray with a consumed-prefix
@@ -172,6 +179,8 @@ class Channel:
             ) from exc
         if self.meter is not None:
             self.meter.sent(len(data))
+        if self.flight is not None:
+            self.flight.record_out(data)
 
     def _fill(self):
         try:

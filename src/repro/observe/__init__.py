@@ -35,6 +35,13 @@ from repro.observe.export import (
     JsonLinesExporter,
     load_spans,
 )
+from repro.observe.flight import (
+    FlightControl,
+    FlightRecorder,
+    load_bundle,
+    render_replay,
+    replay_bundle,
+)
 from repro.observe.metrics import (
     ChannelMeter,
     Counter,
@@ -44,6 +51,7 @@ from repro.observe.metrics import (
     global_registry,
 )
 from repro.observe.observer import Observer, file_observer
+from repro.observe.prom import MetricsServer, render_prometheus
 from repro.observe.span import Span
 
 __all__ = [
@@ -66,4 +74,11 @@ __all__ = [
     "ChannelMeter",
     "MetricsRegistry",
     "global_registry",
+    "FlightControl",
+    "FlightRecorder",
+    "load_bundle",
+    "replay_bundle",
+    "render_replay",
+    "MetricsServer",
+    "render_prometheus",
 ]

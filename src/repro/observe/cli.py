@@ -188,17 +188,41 @@ def format_span_line(span):
 
 
 def tail(path, follow=False, limit=None, out=None, poll=0.2):
-    """Print spans one per line; with *follow*, keep reading appends."""
+    """Print spans one per line; with *follow*, keep reading appends.
+
+    Robust against a live writer: malformed records (a crashed writer,
+    a torn flush) are skipped and counted, never fatal, and a partial
+    final line — a record caught mid-append — is buffered in follow
+    mode until its remainder lands.  Returns the number printed; the
+    skip count is reported on *out* when nonzero.
+    """
     if out is None:
         out = sys.stdout
     printed = 0
-    with open(path, "r", encoding="utf-8") as handle:
+    skipped = 0
+    partial = ""
+
+    def _finish():
+        if skipped:
+            out.write(f"({skipped} malformed record(s) skipped)\n")
+        return printed
+
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
         while True:
             line = handle.readline()
             if not line:
                 if not follow:
-                    return printed
+                    if partial.strip():
+                        skipped += 1  # file ends inside a record
+                    return _finish()
                 time.sleep(poll)
+                continue
+            if partial:
+                line = partial + line
+                partial = ""
+            if not line.endswith("\n") and follow:
+                # A writer is mid-append; wait for the rest of the line.
+                partial = line
                 continue
             line = line.strip()
             if not line:
@@ -206,11 +230,71 @@ def tail(path, follow=False, limit=None, out=None, poll=0.2):
             try:
                 span = json.loads(line)
             except ValueError:
+                skipped += 1
                 continue
             out.write(format_span_line(span) + "\n")
             printed += 1
             if limit is not None and printed >= limit:
-                return printed
+                return _finish()
+
+
+# -- replay / serve ----------------------------------------------------------
+
+
+def replay(path, out=None):
+    """Re-decode a postmortem bundle's bytes through fresh machines.
+
+    Returns 0 when every inbound record decodes exactly as the live
+    capture recorded, 1 when any record diverges (a decoder bug, or a
+    bundle from an incompatible version).
+    """
+    from repro.observe.flight import load_bundle, render_replay, replay_bundle
+
+    if out is None:
+        out = sys.stdout
+    bundle = load_bundle(path)
+    replayed = replay_bundle(bundle)
+    out.write(render_replay(bundle, replayed))
+    diverged = any(item.matches_live is False for item in replayed)
+    return 1 if diverged else 0
+
+
+def serve(path=None, host="127.0.0.1", port=0, oneshot=False, out=None):
+    """Prometheus-style exposition over HTTP.
+
+    *path* serves a saved snapshot (a postmortem bundle, an Observer
+    snapshot, or a bare metrics snapshot JSON document); None serves
+    the process-global registry live.  ``oneshot`` answers exactly one
+    request and exits (the CI smoke mode).
+    """
+    from repro.observe.metrics import global_registry
+    from repro.observe.prom import MetricsServer
+
+    if out is None:
+        out = sys.stdout
+    if path is None:
+        source = global_registry()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        # Accept a bundle ({"observer": {"metrics": ...}}), an Observer
+        # snapshot ({"metrics": ...}) or a raw metrics snapshot.
+        if "observer" in document:
+            document = document.get("observer") or {}
+        source = document.get("metrics", document)
+    server = MetricsServer(source, host=host, port=port)
+    bound_host, bound_port = server.address
+    out.write(f"serving metrics at http://{bound_host}:{bound_port}/metrics\n")
+    out.flush()
+    if oneshot:
+        server.handle_once()
+        server.stop()
+        return 0
+    try:
+        server.serve_forever()
+    finally:
+        server.stop()
+    return 0
 
 
 # -- entry point -------------------------------------------------------------
@@ -236,6 +320,23 @@ def main(argv=None):
     cmd.add_argument("--limit", type=int, default=None,
                      help="stop after N spans")
 
+    cmd = commands.add_parser(
+        "replay", help="re-decode a postmortem bundle's captured bytes"
+    )
+    cmd.add_argument("path", help="a postmortem-*.json flight bundle")
+
+    cmd = commands.add_parser(
+        "serve", help="Prometheus-style metrics exposition over HTTP"
+    )
+    cmd.add_argument("path", nargs="?", default=None,
+                     help="bundle or snapshot JSON (default: live "
+                          "process-global registry)")
+    cmd.add_argument("--host", default="127.0.0.1")
+    cmd.add_argument("--port", type=int, default=0,
+                     help="port to bind (default: ephemeral)")
+    cmd.add_argument("--oneshot", action="store_true",
+                     help="answer one request, then exit")
+
     args = parser.parse_args(argv)
     try:
         if args.command == "summary":
@@ -245,6 +346,11 @@ def main(argv=None):
                                               trace_id=args.trace))
         elif args.command == "tail":
             tail(args.path, follow=args.follow, limit=args.limit)
+        elif args.command == "replay":
+            return replay(args.path)
+        elif args.command == "serve":
+            return serve(args.path, host=args.host, port=args.port,
+                         oneshot=args.oneshot)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -20,9 +20,19 @@ from repro.observe.span import Span
 class Observer:
     """Tracing + metrics facade handed to an Orb."""
 
-    def __init__(self, exporter=None, metrics=None):
+    def __init__(self, exporter=None, metrics=None, flight=None):
         self.exporter = exporter if exporter is not None else InMemoryExporter()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Optional ``repro.observe.flight.FlightControl``: when set,
+        #: every channel of an Orb built with this observer carries a
+        #: per-channel wire-event ring, and abnormal channel deaths
+        #: spool postmortem bundles.  None keeps the recorder fully out
+        #: of the hot path.
+        self.flight = flight
+        if flight is not None:
+            # Back-reference: bundles embed a metrics + recent-span
+            # snapshot taken at the moment of death.
+            flight.observer = self
 
     # -- spans ------------------------------------------------------------
 
@@ -56,10 +66,13 @@ class Observer:
 
     def snapshot(self):
         """In-process snapshot: metric state plus any retained spans."""
-        return {
+        snapshot = {
             "metrics": self.metrics.snapshot(),
             "spans": self.exporter.snapshot(),
         }
+        if self.flight is not None:
+            snapshot["flight"] = self.flight.snapshot()
+        return snapshot
 
     def close(self):
         self.exporter.close()

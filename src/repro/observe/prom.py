@@ -1,0 +1,196 @@
+"""Prometheus-style text exposition of a :class:`MetricsRegistry`.
+
+:func:`render_prometheus` turns a registry (or its ``snapshot()``
+plain-data form) into the text format scrapers understand; counters map
+to counters, gauges to gauges (plus a ``_max`` high-water companion),
+and the fixed-bucket histograms to the cumulative ``_bucket``/``_sum``/
+``_count`` triple.  :class:`MetricsServer` serves it over HTTP from a
+background thread — one endpoint per process is enough for a scrape
+target, and ``python -m repro.observe serve`` wraps it for ad-hoc use.
+"""
+
+import socketserver
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+def _metric_name(name):
+    """A registry name ("rpc.invoke_us") as a Prometheus identifier."""
+    cleaned = []
+    for index, char in enumerate(name):
+        if char.isalnum() or char == "_" or (char == ":" and index):
+            cleaned.append(char)
+        else:
+            cleaned.append("_")
+    if cleaned and cleaned[0].isdigit():
+        cleaned.insert(0, "_")
+    return "".join(cleaned)
+
+
+def _label_text(labels, extra=None):
+    pairs = dict(labels or {})
+    if extra:
+        pairs.update(extra)
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{_metric_name(str(key))}="{_escape(str(value))}"'
+        for key, value in sorted(pairs.items())
+    )
+    return "{" + rendered + "}"
+
+
+def _escape(value):
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _number(value):
+    if value is None:
+        return "NaN"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(metrics):
+    """The exposition text for *metrics* (a registry or its snapshot)."""
+    snapshot = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+    lines = []
+    for name, entries in sorted(snapshot.items()):
+        base = _metric_name(name)
+        kind = entries[0].get("type", "counter") if entries else "counter"
+        if kind == "counter":
+            lines.append(f"# TYPE {base} counter")
+            for entry in entries:
+                lines.append(
+                    f"{base}{_label_text(entry.get('labels'))} "
+                    f"{_number(entry.get('value', 0))}"
+                )
+        elif kind == "gauge":
+            lines.append(f"# TYPE {base} gauge")
+            for entry in entries:
+                labels = _label_text(entry.get("labels"))
+                lines.append(f"{base}{labels} {_number(entry.get('value', 0))}")
+            lines.append(f"# TYPE {base}_max gauge")
+            for entry in entries:
+                labels = _label_text(entry.get("labels"))
+                lines.append(f"{base}_max{labels} {_number(entry.get('max', 0))}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {base} histogram")
+            for entry in entries:
+                labels = entry.get("labels")
+                cumulative = 0
+                for bound, count in sorted(
+                    (entry.get("buckets") or {}).items(),
+                    key=lambda pair: float(pair[0]),
+                ):
+                    cumulative += count
+                    lines.append(
+                        f"{base}_bucket"
+                        f"{_label_text(labels, {'le': bound})} {cumulative}"
+                    )
+                cumulative += entry.get("overflow", 0)
+                lines.append(
+                    f"{base}_bucket{_label_text(labels, {'le': '+Inf'})} "
+                    f"{cumulative}"
+                )
+                lines.append(
+                    f"{base}_sum{_label_text(labels)} "
+                    f"{_number(entry.get('sum', 0))}"
+                )
+                lines.append(
+                    f"{base}_count{_label_text(labels)} "
+                    f"{_number(entry.get('count', 0))}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class MetricsServer:
+    """Serve one registry's exposition at ``/metrics`` (and ``/``).
+
+    *source* is anything :func:`render_prometheus` accepts — typically
+    the live :class:`~repro.observe.MetricsRegistry` of an Observer, so
+    every scrape sees current values — or a callable returning one.
+    """
+
+    def __init__(self, source, host="127.0.0.1", port=0):
+        self.source = source
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (http.server API)
+                if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+                    self.send_error(404)
+                    return
+                source = outer.source
+                if callable(source) and not hasattr(source, "snapshot"):
+                    source = source()
+                body = render_prometheus(source).encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # quiet by default
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread = None
+        self._serving = False
+
+    @property
+    def address(self):
+        """(host, port) actually bound (port 0 resolves ephemeral)."""
+        return self._server.server_address[:2]
+
+    def start(self):
+        """Serve from a daemon thread; returns self."""
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-observe-metrics",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self):
+        """Serve on the calling thread (the CLI's blocking mode)."""
+        self._serving = True
+        self._server.serve_forever()
+
+    def handle_once(self):
+        """Serve exactly one request, synchronously (the CI smoke mode).
+
+        The threading server hands each request to a daemon thread and
+        returns at once — a one-shot caller would then tear the server
+        down (and exit the process) mid-response.  Route this single
+        request through the base server's inline handler instead, so
+        the response is fully written before this method returns.
+        """
+        server = self._server
+        original = server.process_request
+        server.process_request = (
+            lambda request, client_address:
+                socketserver.TCPServer.process_request(
+                    server, request, client_address
+                )
+        )
+        try:
+            server.handle_request()
+        finally:
+            server.process_request = original
+
+    def stop(self):
+        # shutdown() handshakes with a running serve_forever loop and
+        # blocks forever if one never started — the one-shot path only
+        # ever called handle_once(), so skip the handshake there.
+        if self._serving:
+            self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

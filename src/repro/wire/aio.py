@@ -183,6 +183,8 @@ class AioChannel(Channel):
                 ) from exc
         if self.meter is not None:
             self.meter.sent(len(data))
+        if self.flight is not None:
+            self.flight.record_out(data)
 
     def _fill(self):
         timeout = self._remaining("recv")
@@ -440,6 +442,22 @@ class AioOrbServer:
         orb = self.orb
         protocol = orb.protocol
         machine = protocol.server_machine()
+        control = getattr(
+            getattr(orb, "observer", None), "flight", None
+        )
+        recorder = None
+        if control is not None:
+            peername = writer.get_extra_info("peername")
+            peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+            recorder = control.new_recorder(protocol.name, "server", peer)
+            machine.tap = recorder
+            raw_write = writer.write
+
+            def recording_write(data):
+                recorder.record_out(data)
+                raw_write(data)
+
+            writer.write = recording_write
         loop = asyncio.get_running_loop()
         try:
             while True:
@@ -477,6 +495,8 @@ class AioOrbServer:
                     return
                 elif kind is WireViolation:
                     if not event.recoverable:
+                        if recorder is not None:
+                            recorder.postmortem(ProtocolError(event.message))
                         return
                     # Same telnet-forgiveness as the blocking server:
                     # report the parse failure, keep the connection.
@@ -484,8 +504,13 @@ class AioOrbServer:
                         protocol, "Protocol", event.message
                     )))
                     await writer.drain()
-        except (ConnectionError, OSError, asyncio.IncompleteReadError):
-            pass  # connection died mid-frame; nothing to report to
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+            # Connection died mid-frame; nothing to report to the peer,
+            # but the flight ring (when armed) becomes a postmortem.
+            if recorder is not None:
+                recorder.postmortem(CommunicationError(
+                    f"connection died: {exc}", kind="recv-failed"
+                ))
         finally:
             try:
                 writer.close()
@@ -546,7 +571,7 @@ class AioClientConnection:
     path.
     """
 
-    def __init__(self, protocol, reader, writer):
+    def __init__(self, protocol, reader, writer, flight=None):
         self.protocol = protocol
         self._reader = reader
         self._writer = writer
@@ -558,9 +583,15 @@ class AioClientConnection:
         self._fifo = collections.deque()  # guarded-by: <serial:event-loop>
         self._reader_task = None
         self._closed = False
+        self._flight = None
+        if flight is not None:
+            peername = writer.get_extra_info("peername")
+            peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+            self._flight = flight.new_recorder(protocol.name, "client", peer)
+            self._machine.tap = self._flight
 
     @classmethod
-    async def open(cls, protocol, host, port):
+    async def open(cls, protocol, host, port, flight=None):
         try:
             reader, writer = await asyncio.open_connection(host, port)
         except (ConnectionError, OSError) as exc:
@@ -568,7 +599,7 @@ class AioClientConnection:
                 f"cannot connect {host}:{port}: {exc}", kind="connect-refused"
             ) from exc
         _set_nodelay(writer)
-        return cls(protocol, reader, writer)
+        return cls(protocol, reader, writer, flight=flight)
 
     async def invoke(self, call):
         """Send *call*; await and return its Reply (None for oneways)."""
@@ -591,7 +622,10 @@ class AioClientConnection:
                 self._fifo.append(future)
             if call.deadline is not None:
                 self._arm_deadline(call, future)
-        self._writer.write(self._machine.emit_request(call))
+        data = self._machine.emit_request(call)
+        if self._flight is not None:
+            self._flight.record_out(data)
+        self._writer.write(data)
         await self._writer.drain()
         if future is None:
             return None
@@ -651,6 +685,8 @@ class AioClientConnection:
         except asyncio.CancelledError:
             raise
         except Exception as exc:
+            if self._flight is not None:
+                self._flight.postmortem(exc)
             self._fail_pending(exc)
         finally:
             self._reader_task = None
@@ -710,6 +746,8 @@ class AioClientConnection:
         if self._closed:
             return
         self._closed = True
+        if self._flight is not None:
+            self._flight.disarm()  # orderly close leaves no bundle
         if self._reader_task is not None:
             self._reader_task.cancel()
             self._reader_task = None

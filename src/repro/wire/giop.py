@@ -217,7 +217,7 @@ class GiopWire(WireMachine):
             # aligned; the driver may report and continue.
             return WireViolation(str(exc))
 
-    def feed_message(self, header, body):
+    def feed_message(self, header, body, raw_header=None):
         """One already-framed message → event (exact-read fast path).
 
         A blocking pump that performed the header and body reads
@@ -225,11 +225,18 @@ class GiopWire(WireMachine):
         buffer round-trip :meth:`feed_frame` would pay.  All state
         rules (role table, serial checks, pending ids) still apply.
         Only valid while nothing is buffered in the machine.
+
+        *raw_header* is the 12 header bytes as read off the wire; a
+        pump driving a tapped machine passes them so the flight record
+        holds the replayable full frame (header + body).
         """
         try:
-            return self._parse_message(header, body)
+            event = self._parse_message(header, body)
         except (ProtocolError, MarshalError) as exc:
-            return WireViolation(str(exc))
+            event = WireViolation(str(exc))
+        if self.tap is not None and raw_header is not None:
+            self.tap.record_in(raw_header + body, event, self.role)
+        return event
 
     def _unexpected(self, message_type):
         expected = "GIOP Reply" if self.role == CLIENT else "GIOP Request"

@@ -35,12 +35,26 @@ class WireMachine:
     #: Protocol name, matching ``repro.heidirmi.protocol`` registry keys.
     protocol_name = "?"
 
+    #: Optional flight-recorder tap (``repro.observe.flight``): when
+    #: set, every parsed event is recorded together with the exact
+    #: consumed frame bytes.  A class-level None default keeps the
+    #: untapped hot path at one ``is None`` test per event — the same
+    #: idiom as the transport channel's byte ``meter``.  The tap is an
+    #: *observer* only: it never feeds bytes back or mutates state, so
+    #: the machine stays sans-I/O.
+    tap = None
+
     def __init__(self, role):
         if role not in (CLIENT, SERVER):
             raise ValueError(f"role must be 'client' or 'server', not {role!r}")
         self.role = role
         self._buffer = bytearray()
         self._start = 0
+        # Where the in-progress frame began: bytes consumed since the
+        # last emitted event (a GIOP header may be consumed one call
+        # before its body completes the event).  Advanced on every
+        # event so a tap attached mid-stream starts frame-aligned.
+        self._tap_mark = 0
 
     # -- feeding -----------------------------------------------------------
 
@@ -63,7 +77,15 @@ class WireMachine:
         """One parsed event, or :data:`NEED_DATA`."""
         event = self._parse_one()
         if event is not NEED_DATA:
+            if self.tap is not None:
+                # The slice from the last event's end to here is
+                # exactly the bytes behind this event; captured before
+                # _compact shifts the offsets.
+                self.tap.record_in(
+                    self._buffer[self._tap_mark:self._start], event, self.role
+                )
             self._compact()
+            self._tap_mark = self._start
         return event
 
     def feed_frame(self, data):
@@ -78,7 +100,12 @@ class WireMachine:
         self._buffer += data
         event = self._parse_one()
         if event is not NEED_DATA:
+            if self.tap is not None:
+                self.tap.record_in(
+                    self._buffer[self._tap_mark:self._start], event, self.role
+                )
             self._compact()
+            self._tap_mark = self._start
         return event
 
     def read_hint(self):

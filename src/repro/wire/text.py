@@ -349,7 +349,19 @@ class TextWire(WireMachine):
             self._buffer += raw
             self._buffer += b"\n"
             return self.next_event()
-        return self._event_for_line(raw)
+        event = self._event_for_line(raw)
+        if self.tap is not None:
+            # The channel stripped the terminator; restore it so the
+            # recorded frame is replayable byte-for-byte.  The caller's
+            # line is a fresh buffer it never reuses (the ``recv_line``
+            # contract), so a mutable one grows in place — the recorder
+            # takes ownership either way.
+            if isinstance(raw, bytearray):
+                raw += b"\n"
+                self.tap.record_in(raw, event, self.role)
+            else:
+                self.tap.record_in(raw + b"\n", event, self.role)
+        return event
 
     def _event_for_line(self, raw):
         line = raw.decode("ascii", errors="replace")

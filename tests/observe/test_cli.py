@@ -132,6 +132,55 @@ class TestTail:
         assert tail(str(path), limit=2, out=io.StringIO()) == 2
 
 
+class TestTailTolerance:
+    """A live writer can crash or be caught mid-append; tail survives."""
+
+    def test_malformed_record_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps(_span(span_id="s0")) + "\n")
+            handle.write("{this is not json\n")
+            handle.write(json.dumps(_span(span_id="s1")) + "\n")
+        out = io.StringIO()
+        assert tail(str(path), out=out) == 2
+        text = out.getvalue()
+        assert len([line for line in text.splitlines()
+                    if "trace=" in line]) == 2
+        assert "1 malformed record(s) skipped" in text
+
+    def test_truncated_final_line_counts_as_skipped(self, tmp_path):
+        # A crashed writer leaves the file ending mid-record; without
+        # --follow there is no remainder coming, so it is reported.
+        path = tmp_path / "spans.jsonl"
+        whole = json.dumps(_span())
+        with open(path, "w") as handle:
+            handle.write(whole + "\n")
+            handle.write(whole[: len(whole) // 2])
+        out = io.StringIO()
+        assert tail(str(path), out=out) == 1
+        assert "1 malformed record(s) skipped" in out.getvalue()
+
+    def test_blank_lines_are_ignored_silently(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps(_span()) + "\n\n\n")
+            handle.write(json.dumps(_span()) + "\n")
+        out = io.StringIO()
+        assert tail(str(path), out=out) == 2
+        assert "skipped" not in out.getvalue()
+
+    def test_limit_reached_amid_garbage(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as handle:
+            handle.write("garbage\n")
+            handle.write(json.dumps(_span()) + "\n")
+            handle.write("more garbage\n")
+            handle.write(json.dumps(_span()) + "\n")
+        out = io.StringIO()
+        assert tail(str(path), limit=1, out=out) == 1
+        assert "1 malformed record(s) skipped" in out.getvalue()
+
+
 class TestMain:
     def _span_file(self, tmp_path):
         path = tmp_path / "spans.jsonl"

@@ -1,0 +1,154 @@
+"""Prometheus exposition: text rendering, the HTTP endpoint, the CLI.
+
+``render_prometheus`` is pinned against the text format scrapers
+parse (TYPE lines, label rendering, cumulative histogram buckets);
+``MetricsServer`` and ``python -m repro.observe serve --oneshot`` are
+exercised over real HTTP on an ephemeral port.
+"""
+
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.observe import cli as observe_cli
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.prom import MetricsServer, render_prometheus
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("rpc.calls", op="echo").inc(3)
+    gauge = registry.gauge("pending")
+    gauge.set(5)
+    gauge.set(2)
+    histogram = registry.histogram("invoke.us", buckets=(100, 1000))
+    histogram.record(50)
+    histogram.record(500)
+    histogram.record(5000)
+    return registry
+
+
+class TestRender:
+    def test_counter_with_labels(self):
+        text = render_prometheus(sample_registry())
+        assert "# TYPE rpc_calls counter" in text
+        assert 'rpc_calls{op="echo"} 3' in text
+
+    def test_gauge_keeps_high_water_companion(self):
+        text = render_prometheus(sample_registry())
+        assert "# TYPE pending gauge" in text
+        assert "pending 2" in text
+        assert "pending_max 5" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(sample_registry())
+        assert 'invoke_us_bucket{le="100"} 1' in text
+        assert 'invoke_us_bucket{le="1000"} 2' in text
+        assert 'invoke_us_bucket{le="+Inf"} 3' in text
+        assert "invoke_us_sum 5550" in text
+        assert "invoke_us_count 3" in text
+
+    def test_accepts_a_plain_snapshot(self):
+        snapshot = sample_registry().snapshot()
+        assert render_prometheus(snapshot) == render_prometheus(
+            sample_registry()
+        )
+
+    def test_metric_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("wire.bytes-sent").inc()
+        assert "wire_bytes_sent 1" in render_prometheus(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestMetricsServer:
+    def test_serves_live_registry_over_http(self):
+        registry = sample_registry()
+        server = MetricsServer(registry).start()
+        try:
+            host, port = server.address
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=10
+            ) as response:
+                assert response.status == 200
+                assert "text/plain" in response.headers["Content-Type"]
+                body = response.read().decode("utf-8")
+            assert 'rpc_calls{op="echo"} 3' in body
+            # Live source: a scrape between updates sees current values.
+            registry.counter("rpc.calls", op="echo").inc()
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/", timeout=10
+            ) as response:
+                assert 'rpc_calls{op="echo"} 4' in response.read().decode()
+        finally:
+            server.stop()
+
+    def test_unknown_path_is_404(self):
+        server = MetricsServer(sample_registry()).start()
+        try:
+            host, port = server.address
+            try:
+                urllib.request.urlopen(
+                    f"http://{host}:{port}/nope", timeout=10
+                )
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+            else:
+                raise AssertionError("expected a 404")
+        finally:
+            server.stop()
+
+
+class TestServeCli:
+    def _scrape_oneshot(self, path=None):
+        out = io.StringIO()
+        result = {}
+
+        def run():
+            result["exit"] = observe_cli.serve(
+                path, oneshot=True, out=out
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10
+        url = None
+        while time.monotonic() < deadline:
+            text = out.getvalue()
+            if "http://" in text and text.endswith("\n"):
+                url = text.split("http://", 1)[1].split()[0]
+                break
+            time.sleep(0.02)
+        assert url, "serve never announced its address"
+        with urllib.request.urlopen(f"http://{url}", timeout=10) as response:
+            body = response.read().decode("utf-8")
+        thread.join(timeout=10)
+        assert result["exit"] == 0
+        return body
+
+    def test_serves_a_postmortem_bundle(self, tmp_path):
+        bundle = {
+            "version": 1,
+            "reason": {"kind": "send-failed", "message": "boom"},
+            "observer": {
+                "metrics": sample_registry().snapshot(),
+                "spans": [],
+            },
+            "events": [],
+        }
+        path = tmp_path / "postmortem-1-0001-send-failed.json"
+        path.write_text(json.dumps(bundle), encoding="utf-8")
+        body = self._scrape_oneshot(str(path))
+        assert 'rpc_calls{op="echo"} 3' in body
+
+    def test_serves_a_bare_metrics_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(
+            json.dumps(sample_registry().snapshot()), encoding="utf-8"
+        )
+        assert "pending_max 5" in self._scrape_oneshot(str(path))
