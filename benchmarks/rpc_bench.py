@@ -28,12 +28,13 @@ import threading
 import time
 
 from repro.heidirmi import HdSkel, HdStub, Orb
-from repro.heidirmi.errors import CommunicationError
+from repro.heidirmi.errors import CommunicationError, OverloadedError
 from repro.heidirmi.serialize import TypeRegistry
 from repro.observe import FlightControl, Observer
 from repro.observe.cli import percentile
 from repro.resilience import (
     DEFAULT_RETRYABLE_KINDS,
+    AdmissionPolicy,
     BreakerPolicy,
     FaultPlan,
     ResiliencePolicy,
@@ -622,6 +623,289 @@ def run_faults(transport="inproc", calls=300, seed=42, deadline=5.0,
                                         calls_per_client, trials=trials)
         )
     return document
+
+
+#: Offered-load multiples the overload suite measures, as factors of
+#: ``base_clients``; the acceptance contract gates the highest one.
+OVERLOAD_LOADS = (1, 4, 16)
+
+
+def _spin(seconds):
+    """Burn CPU for *seconds* — real work the GIL serialises, so server
+    capacity saturates honestly instead of hiding in a sleep()."""
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        pass
+
+
+class SpinEchoImpl(EchoImpl):
+    """Echo with a fixed CPU cost per call (the overload workload)."""
+
+    def __init__(self, service_s):
+        self.service_s = service_s
+
+    def echo(self, text):
+        _spin(self.service_s)
+        return text
+
+
+def _run_overload_once(transport, clients, service_s, deadline_s,
+                       warmup_s, measure_s, admission):
+    """One overload cell: goodput + accepted-latency under closed-loop load.
+
+    *clients* caller threads hammer a CPU-bound echo (``service_s`` of
+    spin per call) through blocking exclusive text2 calls with a per-call
+    deadline.  Callers honour the server's shed hints: an ``Overloaded``
+    reply pauses that caller for the ``retry-after`` the server asked
+    for, exactly what a well-behaved resilient client does.  The first
+    ``warmup_s`` of the run is discarded (the AIMD limit is converging),
+    then outcomes are counted for ``measure_s``.
+    """
+    types = _registry()
+    server_kwargs = {"admission": admission} if admission is not None else {}
+    server = Orb(transport=transport, protocol="text2", types=types,
+                 **server_kwargs).start()
+    client = Orb(transport=transport, protocol="text2", types=types,
+                 resilience=ResiliencePolicy(default_deadline=deadline_s))
+    measuring = threading.Event()
+    stop = threading.Event()
+    lock = threading.Lock()
+    outcomes = {"ok": 0, "shed": 0, "failed": 0}
+    latencies_ms = []
+    try:
+        reference = server.register(
+            SpinEchoImpl(service_s), type_id=TYPE_ID
+        ).stringify()
+
+        def worker(index):
+            stub = client.resolve(reference)
+            token = f"w{index}"
+            while not stop.is_set():
+                started = time.perf_counter()
+                try:
+                    if stub.echo(token) != token:
+                        raise RuntimeError("cross-wired reply under overload")
+                except OverloadedError as exc:
+                    if measuring.is_set():
+                        with lock:
+                            outcomes["shed"] += 1
+                    pause = exc.retry_after if exc.retry_after else 0.005
+                    stop.wait(min(pause, 0.05))
+                    continue
+                except CommunicationError:
+                    if measuring.is_set():
+                        with lock:
+                            outcomes["failed"] += 1
+                    continue
+                elapsed_ms = (time.perf_counter() - started) * 1e3
+                if measuring.is_set():
+                    with lock:
+                        outcomes["ok"] += 1
+                        latencies_ms.append(elapsed_ms)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,), daemon=True)
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(warmup_s)
+        measuring.set()
+        started = time.perf_counter()
+        time.sleep(measure_s)
+        measured = time.perf_counter() - started
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        snapshot = (server._admission.snapshot()
+                    if admission is not None else None)
+    finally:
+        stop.set()
+        client.stop()
+        server.stop()
+    row = {
+        "transport": transport,
+        "protocol": "text2",
+        "mode": "exclusive",
+        "shed": admission is not None,
+        "clients": clients,
+        "window_s": round(measured, 3),
+        "goodput_calls_per_sec": round(outcomes["ok"] / measured, 1),
+        "shed_calls_per_sec": round(outcomes["shed"] / measured, 1),
+        "failed_calls_per_sec": round(outcomes["failed"] / measured, 1),
+        "accepted_p50_ms": round(percentile(latencies_ms, 0.50) or 0, 2),
+        "accepted_p99_ms": round(percentile(latencies_ms, 0.99) or 0, 2),
+    }
+    if snapshot is not None:
+        row["admission"] = {
+            "limit": snapshot["limit"],
+            "shed": snapshot["shed"],
+            "sojourn_ewma_ms": snapshot["sojourn_ewma_ms"],
+        }
+    return row
+
+
+def _overload_admission(service_s):
+    """The admission policy the overload grid runs under.
+
+    The AIMD setpoint is three service times, and the hard cap matches
+    it: CPU-bound calls stretch with every concurrent spinner the GIL
+    interleaves, so admitted wall time tops out near cap x service
+    time — a cap of target/service IS the accepted-tail bound.
+    Cost-aware shedding is off: it exists to protect cheap operations
+    from expensive ones, and with a single homogeneous operation its
+    "admit at-or-below-average cost" rule would admit everything up to
+    the hard cap, bypassing the adaptive limit under measurement.  The
+    retry-after floor is 25 service times: every shed client parked
+    for a while is one fewer runnable thread stealing CPU from the
+    admitted work, which is most of what keeps the accepted tail down
+    on a saturated box.
+    """
+    return AdmissionPolicy(
+        max_queue_depth=3,
+        latency_target=3.0 * service_s,
+        cost_aware=False,
+        retry_after_min=0.05,
+    )
+
+
+def measure_overload_overhead(transport, clients, calls_per_client,
+                              admission=None, trials=4):
+    """The zero-overload fast-path check: an idle admission controller.
+
+    Interleaved pairs (bare server, then admission-configured server;
+    best of each kept) of the plain no-spin echo workload — load far
+    below the limit, so every call pays exactly the admit/finished
+    bookkeeping and nothing is ever shed.  *admission* is the policy
+    under measurement (the grid's own policy when called from
+    :func:`run_overload`).
+
+    The estimator is a *trimmed ratio of sums*: each side's slowest
+    runs are dropped (they are the ones a scheduler hiccup landed on)
+    and the ratio is taken over the summed remainder.  A best-of-one
+    ratio would divide two single noisy samples — the overhead being
+    resolved (~1.5us per ~25us call) is smaller than this box's
+    run-to-run swing, so only trimmed averaging over interleaved pairs
+    separates the policy's cost from the machine's mood.
+    """
+    bare_runs = []
+    admitted_runs = []
+    for _ in range(trials):
+        bare_runs.append(
+            _run_once(transport, "text2", "exclusive", clients,
+                      calls_per_client, 64, 0)
+        )
+        admitted_runs.append(_run_once(
+            transport, "text2", "exclusive", clients, calls_per_client,
+            64, 0,
+            server_kwargs={
+                "admission": admission or AdmissionPolicy(),
+            },
+        ))
+    keep = max(1, (trials * 5) // 8)
+    bare_kept = sum(sorted(bare_runs)[:keep])
+    admitted_kept = sum(sorted(admitted_runs)[:keep])
+    total = clients * calls_per_client * keep
+    return {
+        "clients": clients,
+        "method": (f"interleaved pairs, trimmed ratio of sums "
+                   f"(fastest {keep} of {trials} per side)"),
+        "bare_calls_per_sec": round(total / bare_kept, 1),
+        "admission_idle_calls_per_sec": round(total / admitted_kept, 1),
+        "admission_overhead_pct": round(
+            (admitted_kept / bare_kept - 1.0) * 100, 2
+        ),
+    }
+
+
+def run_overload(transport="inproc", base_clients=2, loads=OVERLOAD_LOADS,
+                 service_ms=2.0, deadline_ms=30.0, warmup_s=0.5,
+                 measure_s=2.0, claim_clients=8, calls_per_client=300,
+                 trials=4):
+    """The overload measurement document (``BENCH_overload.json``).
+
+    For each load multiple × shed on/off: goodput (successful calls per
+    second), accepted-call p50/p99 and the shed/failure rates of a
+    closed-loop CPU-bound workload.  The claim block compares the
+    shed-on overloaded cell against the shed-on baseline cell — graceful
+    degradation means goodput holds and accepted latency stays bounded
+    while offered load grows 16x — and measures what an *idle* admission
+    controller costs on the fast path.
+    """
+    service_s = service_ms / 1e3
+    deadline_s = deadline_ms / 1e3
+    # The fast-path overhead claim runs FIRST: the saturation grid
+    # leaves the box hot (scheduler debt, frequency throttling), and a
+    # one-percent-scale ratio measured in that hangover reads as pure
+    # noise.  The claim's policy keeps the grid's cost-blind
+    # configuration but with the default depth headroom — "zero
+    # overload" means nothing is ever shed, and the per-call
+    # admit/finished cost does not depend on how far away the cap is.
+    claim = measure_overload_overhead(
+        transport, claim_clients, calls_per_client,
+        admission=AdmissionPolicy(latency_target=3.0 * service_s,
+                                  cost_aware=False),
+        trials=max(trials, 8),
+    )
+    results = []
+    for shed in (True, False):
+        for load in loads:
+            admission = _overload_admission(service_s) if shed else None
+            row = _run_overload_once(
+                transport, base_clients * load, service_s, deadline_s,
+                warmup_s, measure_s, admission,
+            )
+            row["load_x"] = load
+            results.append(row)
+            # Let the run's thread churn drain before the next cell so
+            # each cell starts from comparable scheduler conditions.
+            time.sleep(0.25)
+    by_cell = {(row["shed"], row["load_x"]): row for row in results}
+    base = by_cell[(True, min(loads))]
+    peak = by_cell[(True, max(loads))]
+    claim.update({
+        "clients_base": base["clients"],
+        "clients_overload": peak["clients"],
+        "goodput_base_calls_per_sec": base["goodput_calls_per_sec"],
+        "goodput_overload_calls_per_sec": peak["goodput_calls_per_sec"],
+        "goodput_retention_pct": round(
+            100.0 * peak["goodput_calls_per_sec"]
+            / max(base["goodput_calls_per_sec"], 1e-9), 1
+        ),
+        "accepted_p99_base_ms": base["accepted_p99_ms"],
+        "accepted_p99_overload_ms": peak["accepted_p99_ms"],
+        "accepted_p99_blowup_x": round(
+            peak["accepted_p99_ms"] / max(base["accepted_p99_ms"], 1e-9), 2
+        ),
+    })
+    return {
+        "benchmark": "rpc_overload",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "params": {
+            "transport": transport,
+            "base_clients": base_clients,
+            "loads": list(loads),
+            "service_ms": service_ms,
+            "deadline_ms": deadline_ms,
+            "warmup_s": warmup_s,
+            "measure_s": measure_s,
+            "claim_clients": claim_clients,
+            "claim_calls_per_client": calls_per_client,
+            "claim_trials": max(trials, 8),
+            "admission": {
+                "max_queue_depth": 3,
+                "latency_target_s": 3.0 * service_s,
+                "cost_aware": False,
+                "retry_after_min_s": 0.05,
+            },
+        },
+        "results": results,
+        "claim": claim,
+    }
 
 
 def write_spans(spans, path):

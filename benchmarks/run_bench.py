@@ -37,6 +37,25 @@ this so the fused policy fast path cannot silently regress::
     PYTHONPATH=src python benchmarks/run_bench.py --faults \
         --compare BENCH_resilience.json
 
+With ``--overload`` it runs the overload suite — goodput, accepted-call
+p99 and shed rates of a CPU-bound closed-loop workload at 1x/4x/16x
+offered load, with admission-controlled shedding on and off, plus the
+idle-admission fast-path overhead check — writing
+``BENCH_overload.json``::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --overload
+
+Combining ``--overload --compare`` gates graceful degradation: exit 3
+if 16x-load shed-on goodput falls below ``--goodput-floor`` (default
+70%) of the 1x baseline, if the accepted p99 at 16x blows past
+``--p99-budget`` (default 5.0) times the 1x p99, or if the idle
+admission controller costs more than ``--overhead-tolerance`` (default
+10%) on the fast path.  CI runs this so overload control cannot
+silently stop degrading gracefully::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --overload \
+        --compare BENCH_overload.json
+
 Combining ``--trace --compare`` gates the flight recorder instead:
 exit 3 if recorder-on throughput on the multiplexed text2 axis falls
 more than ``--tolerance`` (default 5%) behind recorder-off.  CI runs
@@ -57,6 +76,7 @@ sys.path.insert(0, os.path.dirname(__file__))
 from rpc_bench import (  # noqa: E402
     run_faults,
     run_matrix,
+    run_overload,
     run_traced,
     write_document,
     write_spans,
@@ -91,6 +111,18 @@ def main(argv=None):
                         help="run the resilience suite instead: latency "
                              "and success rate under seeded chaos plans "
                              "to BENCH_resilience.json")
+    parser.add_argument("--overload", action="store_true",
+                        help="run the overload suite instead: goodput "
+                             "and accepted p99 at 1x/4x/16x load with "
+                             "shedding on/off to BENCH_overload.json")
+    parser.add_argument("--goodput-floor", type=float, default=70.0,
+                        help="min percent of baseline goodput the 16x "
+                             "shed-on cell must retain for --overload "
+                             "--compare (default 70)")
+    parser.add_argument("--p99-budget", type=float, default=5.0,
+                        help="max accepted-p99 growth factor (16x vs 1x, "
+                             "shed on) the --overload --compare gate "
+                             "allows (default 5.0)")
     parser.add_argument("--fault-calls", type=int, default=300,
                         help="calls per fault-rate configuration")
     parser.add_argument("--seed", type=int, default=42,
@@ -122,6 +154,8 @@ def main(argv=None):
         return _main_traced(args)
     if args.faults:
         return _main_faults(args)
+    if args.overload:
+        return _main_overload(args)
 
     baseline = None
     if args.compare is not None:
@@ -505,6 +539,134 @@ def compare_faults(document, overhead_tolerance, success_floor,
         )
         regressions = violations(remeasure())
     return regressions
+
+
+def _main_overload(args):
+    document = run_overload(trials=args.trials)
+    out = args.out
+    if out is None:
+        if args.compare is not None:
+            # The gate must not clobber the recorded document it gates
+            # against; park the fresh numbers with the bench scratch.
+            out = os.path.join(REPO_ROOT, "benchmarks", "out",
+                               "BENCH_overload.fresh.json")
+        else:
+            out = os.path.join(REPO_ROOT, "BENCH_overload.json")
+    path = write_document(document, out)
+    print(f"wrote {path}")
+    for result in document["results"]:
+        print(
+            f"  load={result['load_x']:>2d}x "
+            f"shed={'on ' if result['shed'] else 'off'} "
+            f"clients={result['clients']:<3d} "
+            f"goodput={result['goodput_calls_per_sec']:>7,.1f}/s "
+            f"shed={result['shed_calls_per_sec']:>7,.1f}/s "
+            f"failed={result['failed_calls_per_sec']:>6,.1f}/s "
+            f"p99={result['accepted_p99_ms']:>7,.2f}ms"
+        )
+    claim = document["claim"]
+    print(
+        f"claim: at {claim['clients_overload']} clients "
+        f"(16x offered load) shedding retains "
+        f"{claim['goodput_retention_pct']:.1f}% of baseline goodput "
+        f"({claim['goodput_overload_calls_per_sec']:,.1f} vs "
+        f"{claim['goodput_base_calls_per_sec']:,.1f} calls/s), "
+        f"accepted p99 {claim['accepted_p99_blowup_x']:.2f}x baseline"
+    )
+    print(
+        f"claim: idle admission costs "
+        f"{claim['admission_overhead_pct']:+.2f}% on the fast path "
+        f"({claim['admission_idle_calls_per_sec']:,.1f} vs "
+        f"{claim['bare_calls_per_sec']:,.1f} calls/s, "
+        f"{claim['clients']} clients)"
+    )
+    if args.compare is not None:
+        regressions, decided = compare_overload(
+            document, args.goodput_floor, args.p99_budget,
+            args.overhead_tolerance,
+            # Extra trials and a longer window: best-of-more separates
+            # scheduler noise from a real degradation regression.
+            remeasure=lambda: run_overload(measure_s=2.5,
+                                           trials=args.trials + 2),
+        )
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 3
+        claim = decided["claim"]
+        print(
+            f"compare: goodput retention "
+            f"{claim['goodput_retention_pct']:.1f}% "
+            f"(floor {args.goodput_floor:.0f}%), accepted p99 "
+            f"{claim['accepted_p99_blowup_x']:.2f}x "
+            f"(budget {args.p99_budget:g}x), idle admission "
+            f"{claim['admission_overhead_pct']:+.2f}% "
+            f"(budget {args.overhead_tolerance:.0f}%)"
+        )
+    return 0
+
+
+#: Extra full-suite rounds a failing overload gate gets.  Goodput and
+#: p99 under contention swing with scheduler load; a true graceful-
+#: degradation regression fails every retry, noise does not.
+OVERLOAD_COMPARE_RETRIES = 2
+
+
+def compare_overload(document, goodput_floor, p99_budget,
+                     overhead_tolerance, remeasure=None):
+    """Regression report for the graceful-degradation claims.
+
+    Three invariants are gated, all on the shed-on axis: goodput at the
+    highest load multiple must retain *goodput_floor* percent of the
+    baseline cell's, the accepted p99 must stay within *p99_budget*
+    times the baseline's, and an idle admission controller must cost at
+    most *overhead_tolerance* percent.  A failing document is
+    re-measured up to :data:`OVERLOAD_COMPARE_RETRIES` times via
+    *remeasure()* and passes if any round clears every bar.  Returns
+    ``(regressions, document)`` — the regression lines (empty when the
+    gate holds) and the document of the round that decided the outcome,
+    so callers report the numbers that actually passed or failed.
+    """
+
+    def violations(doc):
+        lines = []
+        claim = doc["claim"]
+        retention = claim["goodput_retention_pct"]
+        if retention < goodput_floor:
+            lines.append(
+                f"16x-load goodput retained only {retention:.1f}% of "
+                f"baseline ({claim['goodput_overload_calls_per_sec']:,.1f}"
+                f" vs {claim['goodput_base_calls_per_sec']:,.1f} calls/s,"
+                f" floor {goodput_floor:.0f}%)"
+            )
+        blowup = claim["accepted_p99_blowup_x"]
+        if blowup > p99_budget:
+            lines.append(
+                f"accepted p99 grew {blowup:.2f}x under 16x load "
+                f"({claim['accepted_p99_overload_ms']:,.2f}ms vs "
+                f"{claim['accepted_p99_base_ms']:,.2f}ms, budget "
+                f"{p99_budget:g}x)"
+            )
+        overhead = claim["admission_overhead_pct"]
+        if overhead > overhead_tolerance:
+            lines.append(
+                f"idle admission overhead {overhead:+.2f}% exceeds the "
+                f"{overhead_tolerance:.0f}% budget"
+            )
+        return lines
+
+    regressions = violations(document)
+    retries = OVERLOAD_COMPARE_RETRIES if remeasure is not None else 0
+    for attempt in range(retries):
+        if not regressions:
+            break
+        print(
+            f"compare: overload gate failing ({'; '.join(regressions)}), "
+            f"re-measuring ({attempt + 1}/{retries})"
+        )
+        document = remeasure()
+        regressions = violations(document)
+    return regressions, document
 
 
 if __name__ == "__main__":

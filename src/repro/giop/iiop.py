@@ -206,6 +206,9 @@ class GiopProtocol(Protocol):
         """Send the GIOP CloseConnection notification."""
         channel.send(encode_close())
 
+    #: Protocol.send_close — GIOP's orderly-close frame already exists.
+    send_close = close_connection
+
     # -- replies ----------------------------------------------------------------
 
     def send_reply(self, channel, reply, request_id=None):
@@ -234,6 +237,13 @@ class GiopProtocol(Protocol):
             return reply
         if kind is WireViolation:
             raise ProtocolError(event.message)
+        if kind is CloseReceived:
+            # The server is draining: it finished what it owed us and is
+            # handing any still-pending calls back as retryable work.
+            raise CommunicationError(
+                "peer sent GIOP CloseConnection (draining)",
+                kind="draining",
+            )
         raise ProtocolError(
             f"expected GIOP Reply, got message type "
             f"{_EVENT_MESSAGE_TYPE[kind]}"

@@ -35,6 +35,14 @@ SERVICE_CONTEXT_TRACE = 0x48445443
 #: unaware peers skip the entry.
 SERVICE_CONTEXT_DEADLINE = 0x4844444C
 
+#: ServiceContext id carrying the overload retry-after hint ("HDRA"):
+#: context_data is the hint in whole milliseconds as an ASCII decimal
+#: string, riding a TRANSIENT system-exception reply — the same value
+#: the text protocols lead the ``Overloaded`` error message with
+#: (``ra=`` token).  Unaware peers skip the entry and still see a
+#: standard TRANSIENT.
+SERVICE_CONTEXT_RETRY_AFTER = 0x48445241
+
 MSG_REQUEST = 0
 MSG_REPLY = 1
 MSG_CANCEL_REQUEST = 2

@@ -242,7 +242,13 @@ class Reply(_DelegatingWriter, _DelegatingReader):
     payload a message).
     """
 
-    __slots__ = ("_m", "_u", "status", "repo_id", "request_id")
+    # ``retry_after`` is only ever assigned on overload-shed error
+    # replies (server-side when shedding, GIOP decode from the HDRA
+    # ServiceContext); it stays *unset* on the hot path — readers use
+    # ``getattr(reply, "retry_after", None)`` so every OK reply skips
+    # the store entirely.
+    __slots__ = ("_m", "_u", "status", "repo_id", "request_id",
+                 "retry_after")
 
     def __init__(self, status=STATUS_OK, repo_id="", marshaller=None,
                  unmarshaller=None, request_id=None):

@@ -41,6 +41,15 @@ class CommunicationError(HeidiRmiError):
       (raised as :class:`DeadlineExceeded`, also a ``TimeoutError``);
     - ``circuit-open`` — the per-endpoint circuit breaker shed the
       call without a connection attempt (:class:`CircuitOpenError`);
+    - ``overloaded`` — the server refused the call at admission (queue
+      full or over its concurrency limit) and answered with a typed
+      overloaded reply, optionally carrying a retry-after hint
+      (:class:`OverloadedError`); the server is *alive* — this is
+      back-pressure, not a failure;
+    - ``draining`` — the peer announced an orderly shutdown (text2
+      ``BYE`` / GIOP CloseConnection) while calls were pending; the
+      calls were handed off un-dispatched and are safe to retry on a
+      fresh connection;
     - ``communication`` — the unclassified default.
     """
 
@@ -65,6 +74,20 @@ class CircuitOpenError(CommunicationError):
 
     def __init__(self, message):
         super().__init__(message, kind="circuit-open")
+
+
+class OverloadedError(CommunicationError):
+    """The server shed this call at admission (overload back-pressure).
+
+    ``retry_after`` is the server's hint, in seconds, of when capacity
+    is expected back (None when the server sent no hint).  The
+    resilient invoke path honours it as a backoff floor; retries remain
+    gated by the endpoint's retry budget.
+    """
+
+    def __init__(self, message, retry_after=None):
+        self.retry_after = retry_after
+        super().__init__(message, kind="overloaded")
 
 
 class ObjectNotFound(HeidiRmiError):

@@ -41,6 +41,8 @@ from repro.observe import context as _trace_state
 from repro.resilience.breaker import BREAKER_CLOSED, BREAKER_OPEN, CircuitBreaker
 from repro.resilience.deadline import Deadline
 from repro.resilience.engine import PolicyPlan, resilient_invoke, resolve_deadline
+from repro.resilience.overload import AdmissionController
+from repro.wire.headers import OVERLOADED_CATEGORY, overload_message
 
 
 class Orb:
@@ -66,6 +68,7 @@ class Orb:
         connect_timeout=None,
         default_deadline=None,
         resilience=None,
+        admission=None,
         monitor=False,
     ):
         self.host = host
@@ -153,6 +156,22 @@ class Orb:
             # through the class method's dispatch test.  (Policies are
             # fixed at construction; nothing rebinds this later.)
             self.invoke = functools.partial(resilient_invoke, self)
+        #: Server-side overload control: an
+        #: :class:`~repro.resilience.overload.AdmissionPolicy` (or a
+        #: prebuilt AdmissionController) bounds the dispatch queue and
+        #: answers the excess with typed ``Overloaded`` replies carrying
+        #: retry-after hints.  None (the default) admits everything.
+        if admission is None or isinstance(admission, AdmissionController):
+            self._admission = admission
+        else:
+            self._admission = AdmissionController(admission)
+        #: True while an orderly drain (``stop(drain=...)``) is running:
+        #: the listener is closed, new requests are handed back as
+        #: retryable sheds, and in-flight dispatches finish.
+        self._draining = False
+        # Lazily-built per-endpoint retry budgets (bootstrap-keyed, like
+        # the breakers); consulted by the engine before every retry.
+        self._retry_budgets = {}  # guarded-by: self._lock
         # Lazily-built per-endpoint circuit breakers (bootstrap-keyed),
         # bounded: once the table outgrows _breaker_cap, creating a new
         # breaker reaps closed breakers whose endpoints hold no cached
@@ -278,6 +297,7 @@ class Orb:
                 return self
             self._listener = self._transport.listen(self.host, self._requested_port)
             self._running = True
+            self._draining = False
         self._acceptor_thread = threading.Thread(
             target=self._accept_loop, name="heidirmi-acceptor", daemon=True
         )
@@ -296,10 +316,23 @@ class Orb:
         self._event("orb:listen", address=self.address)
         return self
 
-    def stop(self):
-        """Shut down the listener, worker threads and cached connections."""
+    def stop(self, drain=None):
+        """Shut down the listener, worker threads and cached connections.
+
+        *drain* (seconds) requests an orderly drain first: stop
+        accepting, let in-flight requests finish under the drain
+        deadline, and send each idle peer the protocol's orderly-close
+        frame (text2 ``BYE``, GIOP CloseConnection) before the socket
+        closes — so multiplexed clients see their pending calls fail as
+        retryable ``draining`` handoffs, not channel deaths.  Whatever
+        is still busy when the drain deadline passes is force-closed
+        exactly as a plain ``stop()`` would.
+        """
+        if drain is not None:
+            self._drain(float(drain))
         with self._lock:
             was_running, self._running = self._running, False
+            self._draining = False
         if was_running:
             if self._listener is not None:
                 self._listener.close()
@@ -320,6 +353,51 @@ class Orb:
         for pool in pools:
             if pool is not None:
                 pool.shutdown(wait=False)
+
+    def _drain(self, timeout):
+        """Orderly-drain phase of ``stop(drain=...)``.
+
+        Sets the draining flag (server loops shed new work from here
+        on), closes the listener, then polls the accepted communicators:
+        each one with no dispatch in flight gets its withheld replies
+        flushed, the orderly-close frame, and a close — which also
+        unwinds its reader thread, blocked in recv, with a clean
+        ``channel-closed``.  Returns once every connection is gone or
+        the drain deadline passes (stragglers are force-closed by the
+        caller).
+        """
+        with self._lock:
+            if not self._running or self._draining:
+                return
+            self._draining = True
+        if self._listener is not None:
+            self._listener.close()
+        self._event("orb:drain", timeout=timeout)
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                active = list(self._active)
+            remaining = [c for c in active if not c.closed]
+            if not remaining:
+                return
+            for communicator in remaining:
+                if (getattr(communicator, "inflight", 0) == 0
+                        and getattr(communicator, "inflight_mp", 0) == 0):
+                    self._close_orderly(communicator)
+            if time.monotonic() >= deadline:
+                self._event("orb:drain-expired",
+                            remaining=len(remaining))
+                return
+            time.sleep(0.002)
+
+    def _close_orderly(self, communicator):
+        """Flush withheld replies, announce the close, close the socket."""
+        try:
+            communicator.flush_replies()
+            self.protocol.send_close(communicator.channel)
+        except (CommunicationError, OSError):
+            pass  # peer already gone; the close below still runs
+        communicator.close()
 
     def _dispatch_executor(self):
         with self._pool_lock:
@@ -701,6 +779,14 @@ class Orb:
             flight.attach(channel, self.protocol.name, "server")
         communicator = ObjectCommunicator(channel, self.protocol,
                                           observer=self.observer)
+        # Drain bookkeeping: ``inflight`` covers the serial path (only
+        # this reader thread writes it, plain stores), ``inflight_mp``
+        # the pipelined workers (reader increments, workers decrement,
+        # under the small lock).  ``stop(drain=...)`` only sends the
+        # orderly close to a connection with both at zero.
+        communicator.inflight = 0
+        communicator.inflight_mp = 0  # guarded-by: communicator.inflight_lock
+        communicator.inflight_lock = threading.Lock()
         with self._lock:
             self._active.add(communicator)
         try:
@@ -741,6 +827,13 @@ class Orb:
         object_key_exists = self._object_key_exists
         count = self._count
         observer = self.observer
+        admission = self._admission
+        admission_clock = (admission.policy.clock
+                           if admission is not None else None)
+        admission_admit = (admission.admit
+                           if admission is not None else None)
+        admission_finished = (admission.finished
+                              if admission is not None else None)
         while self._running and not communicator.closed:
             if not communicator.channel.has_buffered:
                 # The read-ahead backlog drained: nothing further can
@@ -788,6 +881,23 @@ class Orb:
                 # clock in _dispatch_and_reply.
                 self._drop_expired(communicator, call)
                 continue
+            if self._draining:
+                # Orderly drain: new work is handed straight back as a
+                # retryable shed; whatever was admitted before the drain
+                # started still finishes.
+                hint = (admission.shed_draining_one()
+                        if admission is not None else 0.05)
+                self._shed_call(communicator, call, hint,
+                                "server draining", "draining")
+                continue
+            admit_time = None
+            if admission is not None:
+                hint = admission_admit(call.operation)
+                if hint is not None:
+                    self._shed_call(communicator, call, hint,
+                                    "server overloaded", "admission")
+                    continue
+                admit_time = admission_clock()
             if (
                 window is not None
                 and not call.oneway
@@ -799,54 +909,124 @@ class Orb:
                 window.acquire()
                 if self._pipeline_gauge is not None:
                     self._pipeline_gauge.add(1)
+                with communicator.inflight_lock:
+                    communicator.inflight_mp += 1
                 try:
                     self._dispatch_executor().submit(
-                        self._dispatch_and_reply, communicator, call, window
+                        self._dispatch_and_reply, communicator, call,
+                        window, admit_time
                     )
                 except RuntimeError:  # pool shut down mid-stop
                     window.release()
                     if self._pipeline_gauge is not None:
                         self._pipeline_gauge.add(-1)
+                    with communicator.inflight_lock:
+                        communicator.inflight_mp -= 1
+                    if admit_time is not None:
+                        admission.finished(
+                            call.operation,
+                            admission.policy.clock() - admit_time)
                     return
                 continue
-            reply = self._handle_request(call)
-            if call.oneway:
-                if call.trace_span is not None:
-                    self._finish_server_span(call)
-                continue
+            communicator.inflight = 1  # plain store: reader thread only
             try:
-                if call.request_id is not None and communicator.channel.has_buffered:
-                    # More requests are already waiting: coalesce this
-                    # reply with theirs into one send (ids let the client
-                    # demultiplex, so grouping replies is safe).
-                    communicator.buffer_reply(reply)
-                    if call.trace_span is not None:
-                        self._finish_server_span(call, reply, coalesced=True)
-                    continue
-                communicator.reply(reply)
-            except CommunicationError as exc:
-                self._server_postmortem(communicator, exc)
+                alive = self._serve_inline(communicator, call)
+            finally:
+                communicator.inflight = 0
+                if admit_time is not None:
+                    # The serial path dispatches the moment it admits,
+                    # so the sojourn doubles as the service time.
+                    elapsed = admission_clock() - admit_time
+                    admission_finished(call.operation, elapsed,
+                                       service_time=elapsed)
+            if not alive:
                 return
-            except HeidiRmiError as exc:
-                # The reply itself failed to encode (e.g. a result value
-                # the marshaller rejects): report instead of dying.
-                communicator.reply_error(
-                    type(exc).__name__, str(exc), request_id=call.request_id
-                )
-            if call.trace_span is not None:
-                self._finish_server_span(call, reply)
 
-    def _dispatch_and_reply(self, communicator, call, window):
+    def _serve_inline(self, communicator, call):
+        """Dispatch one request on the reader thread; False ends the loop."""
+        reply = self._handle_request(call)
+        if call.oneway:
+            if call.trace_span is not None:
+                self._finish_server_span(call)
+            return True
+        try:
+            if call.request_id is not None and communicator.channel.has_buffered:
+                # More requests are already waiting: coalesce this
+                # reply with theirs into one send (ids let the client
+                # demultiplex, so grouping replies is safe).
+                communicator.buffer_reply(reply)
+                if call.trace_span is not None:
+                    self._finish_server_span(call, reply, coalesced=True)
+                return True
+            communicator.reply(reply)
+        except CommunicationError as exc:
+            self._server_postmortem(communicator, exc)
+            return False
+        except HeidiRmiError as exc:
+            # The reply itself failed to encode (e.g. a result value
+            # the marshaller rejects): report instead of dying.
+            communicator.reply_error(
+                type(exc).__name__, str(exc), request_id=call.request_id
+            )
+        if call.trace_span is not None:
+            self._finish_server_span(call, reply)
+        return True
+
+    def _shed_call(self, communicator, call, hint, message, reason):
+        """Answer one shed request with a typed ``Overloaded`` reply.
+
+        *hint* (seconds) rides the wire twice over: rendered into the
+        message as the ``ra=<ms>`` token (the text protocols' in-band
+        spelling) and stored on the Reply for encoders with an
+        out-of-band slot (GIOP's HDRA ServiceContext + TRANSIENT).
+        Shed oneways are simply dropped — there is nothing to answer.
+        """
+        if self.observer is not None:
+            self.observer.metrics.counter("overload.shed",
+                                          reason=reason).inc()
+        if self.trace is not None:
+            self._event("orb:shed", operation=call.operation, reason=reason)
+        if not call.oneway:
+            reply = Reply(
+                status=STATUS_ERROR,
+                repo_id=OVERLOADED_CATEGORY,
+                marshaller=self.protocol.new_marshaller(),
+            )
+            reply.retry_after = hint
+            reply.put_string(overload_message(hint, message))
+            reply.request_id = call.request_id
+            try:
+                communicator.reply(reply)
+            except CommunicationError:
+                pass  # peer already gone; nothing to shed to
+        if call.trace_span is not None:
+            call.trace_span.set("shed", reason)
+            self._finish_server_span(call)
+
+    def _dispatch_and_reply(self, communicator, call, window, admit_time=None):
         """Pipeline worker body: dispatch one read-ahead request."""
         span = call.trace_span
         if span is not None:
             # Time between read-off-the-wire and worker pickup.
             span.stage("queue")
+        admission = self._admission
+        service_started = None
         try:
             if call.deadline is not None and call.deadline.expired:
                 # Expired while queued for a pipeline worker.
                 self._drop_expired(communicator, call)
                 return
+            if admit_time is not None:
+                queue_age = admission.policy.clock() - admit_time
+                if admission.over_age(queue_age):
+                    # Out-waited the admission policy's max queue age:
+                    # the caller has most likely given up, and doing
+                    # the work anyway is the overload death spiral.
+                    self._shed_call(communicator, call,
+                                    admission.shed_aged(),
+                                    "queued past max age", "age")
+                    return
+                service_started = admission.policy.clock()
             reply = self._handle_request(call)
             try:
                 communicator.reply(reply)
@@ -861,6 +1041,15 @@ class Orb:
         except Exception:  # defensive: bug in the pipeline itself
             self._event("orb:server-loop-error", error=traceback.format_exc())
         finally:
+            if admit_time is not None:
+                now = admission.policy.clock()
+                admission.finished(
+                    call.operation, now - admit_time,
+                    service_time=(None if service_started is None
+                                  else now - service_started),
+                )
+            with communicator.inflight_lock:
+                communicator.inflight_mp -= 1
             window.release()
             if self._pipeline_gauge is not None:
                 self._pipeline_gauge.add(-1)
@@ -910,12 +1099,34 @@ class Orb:
             budget = self.default_deadline
         if budget is not None and not isinstance(budget, Deadline):
             budget = float(budget)
+        retry_budget = None
+        if policy is not None and policy.retry_budget is not None:
+            retry_budget = self._retry_budget_for(reference.bootstrap)
         plan = PolicyPlan(self, self._plan_epoch, budget, retry,
-                          self._breaker_for(reference.bootstrap))
+                          self._breaker_for(reference.bootstrap),
+                          retry_budget=retry_budget)
         # Store past the frozen-dataclass guard, exactly as
         # cached_property does.
         reference.__dict__["_hd_plan"] = plan
         return plan
+
+    def _retry_budget_for(self, bootstrap):
+        """This endpoint's RetryBudget (lazily built, breaker-style)."""
+        # race-ok: lock-free probe; a miss re-probes under the lock.
+        budget = self._retry_budgets.get(bootstrap)
+        if budget is None:
+            with self._lock:
+                budget = self._retry_budgets.get(bootstrap)
+                if budget is None:
+                    if len(self._retry_budgets) >= self._breaker_cap:
+                        # Endpoint churn outgrew the table: start over
+                        # (fresh full buckets — strictly permissive for
+                        # one burst) and invalidate cached plans.
+                        self._retry_budgets.clear()
+                        self._plan_epoch += 1
+                    budget = self.resilience.retry_budget.build()
+                    self._retry_budgets[bootstrap] = budget
+        return budget
 
     def _breaker_for(self, bootstrap):
         """This endpoint's CircuitBreaker (lazily built); None when the

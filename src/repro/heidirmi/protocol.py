@@ -19,11 +19,13 @@ with a request id, enabling pipelining and connection multiplexing)
 and :class:`repro.giop.iiop.GiopProtocol`.
 """
 
-from repro.heidirmi.errors import ProtocolError
+from repro.heidirmi.errors import CommunicationError, ProtocolError
 from repro.heidirmi.textwire import TextMarshaller
 from repro.wire import events as wire_events
 from repro.wire.correlation import RequestIdAllocator
 from repro.wire.text import (
+    BYE_FRAME,
+    BYE_LINE,
     Text2Wire,
     TextWire,
     encode_reply,
@@ -45,6 +47,23 @@ from repro.wire.text import (
 #: the isolation the chaos layer wants.
 _CLIENT_MACHINE = "_wire_client"
 _SERVER_MACHINE = "_wire_server"
+
+
+def close_received(role, detail):
+    """The blocking-API exception for an orderly close frame.
+
+    The *role* decides what the close means: a client that receives one
+    mid-wait lost nothing — the server is draining and explicitly hands
+    the call back as a retryable failure (``kind="draining"``, which the
+    default retry policy accepts and the flight recorder treats as
+    clean).  A server that receives one is just watching its peer leave
+    (``kind="peer-closed"``, routine, never a postmortem).
+    """
+    if role == "client":
+        return CommunicationError(
+            f"peer is draining: {detail}", kind="draining"
+        )
+    return CommunicationError(f"peer sent {detail}", kind="peer-closed")
 
 
 def pump_event(channel, machine):
@@ -155,6 +174,15 @@ class Protocol:
         """Read one reply; returns a readable Reply."""
         raise NotImplementedError
 
+    def send_close(self, channel):
+        """Send the protocol's orderly-close frame, if it has one.
+
+        Called by a draining server right before closing the socket
+        (text2 ``BYE``, GIOP CloseConnection).  The classic text
+        protocol has no close message — EOF is its only goodbye — so
+        the base implementation sends nothing.
+        """
+
     # -- shared pump plumbing ----------------------------------------------
 
     def _pump_request(self, channel):
@@ -162,6 +190,8 @@ class Protocol:
         event = pump_event(channel, machine)
         if type(event) is wire_events.WireViolation:
             raise ProtocolError(event.message)
+        if type(event) is wire_events.CloseReceived:
+            raise close_received("server", "an orderly close")
         return event.call
 
     def _pump_reply(self, channel):
@@ -169,6 +199,8 @@ class Protocol:
         event = pump_event(channel, machine)
         if type(event) is wire_events.WireViolation:
             raise ProtocolError(event.message)
+        if type(event) is wire_events.CloseReceived:
+            raise close_received("client", "an orderly close")
         return event.reply
 
 
@@ -199,6 +231,12 @@ class TextProtocol(Protocol):
     _parse_request_line = staticmethod(parse_request_line)
     _parse_reply_line = staticmethod(parse_reply_line)
 
+    #: The raw line that means "orderly close" (None for the classic
+    #: protocol, whose only goodbye is EOF; ``BYE`` for text2).  Checked
+    #: on the direct-parse paths below; the machine paths surface the
+    #: same condition as a CloseReceived event.
+    _close_line = None
+
     def recv_request(self, channel, object_exists=None):
         machine = getattr(channel, _SERVER_MACHINE, None)
         if machine is not None and (
@@ -207,8 +245,15 @@ class TextProtocol(Protocol):
             event = pump_line_event(channel, machine)
             if type(event) is wire_events.WireViolation:
                 raise ProtocolError(event.message)
+            if type(event) is wire_events.CloseReceived:
+                raise close_received("server", "BYE (orderly close)")
             return event.call
         raw = channel.recv_line()
+        if raw == self._close_line:
+            recorder = getattr(channel, "flight", None)
+            if recorder is not None:
+                recorder.record_close(raw, "server")
+            raise close_received("server", "BYE (orderly close)")
         line = raw.decode("ascii", errors="replace")
         recorder = getattr(channel, "flight", None)
         if recorder is None:
@@ -232,8 +277,15 @@ class TextProtocol(Protocol):
             event = pump_line_event(channel, machine)
             if type(event) is wire_events.WireViolation:
                 raise ProtocolError(event.message)
+            if type(event) is wire_events.CloseReceived:
+                raise close_received("client", "BYE (orderly close)")
             return event.reply
         raw = channel.recv_line()
+        if raw == self._close_line:
+            recorder = getattr(channel, "flight", None)
+            if recorder is not None:
+                recorder.record_close(raw, "client")
+            raise close_received("client", "BYE (orderly close)")
         line = raw.decode("ascii", errors="replace")
         recorder = getattr(channel, "flight", None)
         if recorder is None:
@@ -289,8 +341,14 @@ class Text2Protocol(TextProtocol):
 
     _parse_id = staticmethod(parse_request_id)
 
+    _close_line = BYE_LINE
+
     def send_reply(self, channel, reply):
         channel.send(encode_reply2(reply))
+
+    def send_close(self, channel):
+        """Send the ``BYE`` frame — text2's orderly-close message."""
+        channel.send(BYE_FRAME)
 
 
 _PROTOCOLS = {"text": TextProtocol, "text2": Text2Protocol}

@@ -106,6 +106,12 @@ class HdStub:
         if reply.is_exception:
             exc = self._hd_orb.rebuild_exception(reply)
             raise exc
+        if reply.repo_id == "Overloaded":
+            # The server shed the request at admission; surface the
+            # typed, retryable error carrying its retry-after hint.
+            from repro.resilience.overload import overload_error_from_reply
+
+            raise overload_error_from_reply(reply)
         message = reply.get_string() if not reply.at_end() else "remote error"
         if reply.repo_id == "DeadlineExceeded":
             # The server shed the request because its wire-propagated

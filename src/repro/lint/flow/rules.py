@@ -44,6 +44,8 @@ ALLOWED_ERROR_KINDS = frozenset({
     "frame-overflow",
     "deadline-exceeded",
     "circuit-open",
+    "overloaded",
+    "draining",
 })
 
 

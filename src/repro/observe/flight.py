@@ -47,9 +47,11 @@ DIR_OUT = "out"
 #: Bundle schema version (bumped on incompatible layout changes).
 BUNDLE_VERSION = 1
 
-#: CommunicationError kinds that mean an orderly local close, not a
-#: death worth a postmortem (``Orb.stop``, cache teardown).
-_CLEAN_KINDS = frozenset({"channel-closed"})
+#: CommunicationError kinds that mean an orderly close, not a death
+#: worth a postmortem: a local ``Orb.stop``/cache teardown
+#: ("channel-closed") or the peer's announced drain ("draining" — the
+#: BYE / GIOP CloseConnection handoff of a server winding down).
+_CLEAN_KINDS = frozenset({"channel-closed", "draining"})
 
 #: Lazy summary renderers for the direct-parse taps: the hot path
 #: stores the one or two scalars a summary interpolates (a tuple), and
@@ -64,6 +66,8 @@ _RENDERERS = {
         lambda s: f"ReplyReceived({s[0]!r}, id={s[1]})",
     "WireViolation":
         lambda s: f"WireViolation({s[0]!r})",
+    "CloseReceived":
+        lambda s: "CloseReceived()",
 }
 
 
@@ -222,6 +226,20 @@ class FlightRecorder:
         self._append((
             self._seq(), _monotonic(), DIR_IN, "client", "ReplyReceived",
             (reply.status, reply.request_id), raw, length,
+        ))
+
+    def record_close(self, raw, role):
+        """Direct-parse tap: an orderly-close line (text2 ``BYE``)."""
+        if type(raw) is bytearray:
+            raw += b"\n"
+        else:
+            raw = raw + b"\n"
+        length = len(raw)
+        if length > self._limit:
+            raw = raw[:self._limit]
+        self._append((
+            self._seq(), _monotonic(), DIR_IN, role, "CloseReceived",
+            (), raw, length,
         ))
 
     def record_violation(self, raw, message, role):

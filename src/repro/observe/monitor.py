@@ -93,10 +93,14 @@ class MonitorImpl:
         return snapshot
 
     def health(self):
+        orb = self._orb
+        with orb._lock:
+            draining = orb._draining
         return {
-            "status": "ok",
+            "status": "draining" if draining else "ok",
             "uptime_s": time.time() - self._started,
             "orb": self._orb_state(),
+            "resilience": self._resilience_state(draining),
         }
 
     def recent_errors(self):
@@ -104,6 +108,35 @@ class MonitorImpl:
         if flight is None:
             return []
         return flight.snapshot()["recent_errors"]
+
+    def _resilience_state(self, draining):
+        """Overload/drain/breaker/budget state for the health document.
+
+        Per-endpoint breaker fields are lock-free monitoring reads (the
+        breaker documents them as such); admission and budget state come
+        from their own locked ``snapshot()`` methods.
+        """
+        orb = self._orb
+        state = {"draining": draining}
+        admission = orb._admission
+        if admission is not None:
+            state["admission"] = admission.snapshot()
+        with orb._lock:
+            breakers = dict(orb._breakers)
+            budgets = dict(orb._retry_budgets)
+        state["breakers"] = {
+            bootstrap: {
+                "state": breaker.state,
+                "failure_rate": round(breaker.failure_rate, 3),
+                "overloaded": breaker.overloaded_count,
+            }
+            for bootstrap, breaker in sorted(breakers.items())
+        }
+        state["retry_budgets"] = {
+            bootstrap: budget.snapshot()
+            for bootstrap, budget in sorted(budgets.items())
+        }
+        return state
 
     def _orb_state(self):
         orb = self._orb

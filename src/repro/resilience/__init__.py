@@ -17,10 +17,17 @@ it lives in stubs or skeletons:
 - :class:`CircuitBreaker` / :class:`BreakerPolicy` — a per-endpoint
   closed/open/half-open breaker that sheds load fast and lets the
   connection cache evict and re-probe broken endpoints;
+- :class:`AdmissionPolicy` / :class:`AdmissionController` — server-side
+  overload control: bounded admission (max depth + max queue age), an
+  AIMD-adaptive concurrency limit, cost-aware shedding answered with
+  typed ``Overloaded`` replies carrying retry-after hints;
+- :class:`RetryBudgetPolicy` / :class:`RetryBudget` — per-endpoint
+  success-refilled token buckets consulted before every retry, so
+  retry storms are structurally impossible;
 - :class:`FaultPlan` / :class:`ChaosTransport` — a deterministic,
   seeded fault-injection harness that wraps any transport and injects
-  connect refusals, mid-frame disconnects, partial writes, delays and
-  garbage frames underneath any protocol.
+  connect refusals, mid-frame disconnects, partial writes, delays,
+  latency (``slow``) and garbage frames underneath any protocol.
 
 Everything is off by default: an ``Orb`` constructed without a
 ``resilience=`` policy (and without ``default_deadline=``) runs the
@@ -41,6 +48,12 @@ from repro.resilience.chaos import (
     install_chaos,
 )
 from repro.resilience.deadline import Deadline
+from repro.resilience.overload import (
+    AdmissionController,
+    AdmissionPolicy,
+    RetryBudget,
+    RetryBudgetPolicy,
+)
 from repro.resilience.policy import (
     DEFAULT_RETRYABLE_KINDS,
     ResiliencePolicy,
@@ -57,6 +70,10 @@ __all__ = [
     "BREAKER_CLOSED",
     "BREAKER_OPEN",
     "BREAKER_HALF_OPEN",
+    "AdmissionPolicy",
+    "AdmissionController",
+    "RetryBudgetPolicy",
+    "RetryBudget",
     "FaultPlan",
     "ChaosTransport",
     "ChaosChannel",

@@ -62,6 +62,9 @@ class CircuitBreaker:
             maxlen=self.policy.window)  # guarded-by: self._lock
         self._opened_at = None  # guarded-by: self._lock
         self._probes = 0  # guarded-by: self._lock
+        #: Calls the endpoint answered with a typed ``Overloaded``
+        #: shed — counted apart from hard failures (the peer is alive).
+        self.overloaded_count = 0  # race-ok: monitoring counter, lossy increment is benign
         self._lock = threading.Lock()
         #: Called as ``on_transition(old_state, new_state)`` after each
         #: state change, outside the breaker lock.
@@ -118,6 +121,32 @@ class CircuitBreaker:
             if self.state == BREAKER_HALF_OPEN:
                 transition = (self.state, BREAKER_CLOSED)
                 self.state = BREAKER_CLOSED
+                self._outcomes.clear()
+                self._probes = 0
+        if transition is not None:
+            self._notify(*transition)
+
+    def record_overloaded(self):
+        """The endpoint shed a call with a typed ``Overloaded`` reply.
+
+        Counted distinctly from hard failures: the server *answered* —
+        it is alive and applying back-pressure, and opening the circuit
+        on back-pressure would turn graceful degradation into a local
+        outage.  The count is visible to the monitor
+        (``overloaded_count``); the failure window is untouched.  A
+        half-open probe that comes back overloaded does re-open the
+        circuit, though — the endpoint asked for time, so the breaker
+        grants it a full reset_timeout instead of burning probes.
+        """
+        self.overloaded_count += 1  # race-ok: monitoring counter, lossy increment is benign
+        if self.state == BREAKER_CLOSED:
+            return
+        transition = None
+        with self._lock:
+            if self.state == BREAKER_HALF_OPEN:
+                transition = (self.state, BREAKER_OPEN)
+                self.state = BREAKER_OPEN
+                self._opened_at = self.policy.clock()
                 self._outcomes.clear()
                 self._probes = 0
         if transition is not None:

@@ -17,7 +17,10 @@ registered) and injects at three points:
   RST mid-write) and fixed delays;
 - **recv**: garbage frames — the reader gets bytes that never came from
   the peer, desynchronising the stream the way a corrupt or truncated
-  frame would.
+  frame would — and ``slow`` reads, which stall the reader for
+  ``slow_s`` before delivering the real bytes: the latency injection
+  that makes overload and deadline behaviour testable (queued work
+  aging out, AIMD limits clamping down) without a slow server.
 
 Because injection sits *below* the protocol, the same plan exercises
 text, text2 and GIOP alike, exclusive and multiplexed connections
@@ -39,7 +42,7 @@ from repro.heidirmi.transport import Transport, get_transport, register_transpor
 #: Faults drawn per category, in cumulative-probability order.
 _CONNECT_FAULTS = ("refuse", "timeout")
 _SEND_FAULTS = ("disconnect", "partial", "delay")
-_RECV_FAULTS = ("garbage",)
+_RECV_FAULTS = ("garbage", "slow")
 
 
 class FaultPlan:
@@ -60,8 +63,10 @@ class FaultPlan:
         disconnect=0.0,
         partial_write=0.0,
         garbage=0.0,
+        slow=0.0,
         delay=0.0,
         delay_s=0.001,
+        slow_s=0.02,
         script=None,
     ):
         self.seed = seed
@@ -71,9 +76,11 @@ class FaultPlan:
             "send": ((_SEND_FAULTS[0], disconnect),
                      (_SEND_FAULTS[1], partial_write),
                      (_SEND_FAULTS[2], delay)),
-            "recv": ((_RECV_FAULTS[0], garbage),),
+            "recv": ((_RECV_FAULTS[0], garbage),
+                     (_RECV_FAULTS[1], slow)),
         }
         self.delay_s = delay_s
+        self.slow_s = slow_s
         self.script = dict(script) if script else {}
         self._lock = threading.Lock()
         #: Injection counts by "category:fault", plus "category:events".
@@ -185,15 +192,21 @@ class ChaosChannel:
         self._inner.send(data)
 
     def recv_line(self):
-        if self._next("recv") == "garbage":
+        fault = self._next("recv")
+        if fault == "garbage":
             # Bytes the peer never sent; whatever really arrives next
             # stays buffered, so the stream is poisoned either way.
             return bytearray(b"\x7fchaos!garbage!frame")
+        if fault == "slow":
+            time.sleep(self._plan.slow_s)
         return self._inner.recv_line()
 
     def recv_exact(self, count):
-        if self._next("recv") == "garbage":
+        fault = self._next("recv")
+        if fault == "garbage":
             return b"\xff" * count
+        if fault == "slow":
+            time.sleep(self._plan.slow_s)
         return self._inner.recv_exact(count)
 
     def close(self):

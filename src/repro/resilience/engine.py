@@ -35,6 +35,7 @@ callback) and ``resilience.deadline_expired{side}``.
 
 from time import monotonic as _monotonic
 
+from repro.heidirmi.call import STATUS_ERROR
 from repro.heidirmi.errors import (
     CircuitOpenError,
     CommunicationError,
@@ -42,7 +43,8 @@ from repro.heidirmi.errors import (
 )
 from repro.resilience.breaker import BREAKER_CLOSED
 from repro.resilience.deadline import Deadline
-from repro.wire.headers import DL_PREFIX
+from repro.resilience.overload import overload_error_from_reply
+from repro.wire.headers import DL_PREFIX, OVERLOADED_CATEGORY
 
 _new_deadline = object.__new__
 
@@ -61,9 +63,10 @@ class PolicyPlan:
     """
 
     __slots__ = ("orb", "epoch", "budget", "fixed_deadline", "dl_token",
-                 "retry", "breaker")
+                 "retry", "breaker", "retry_budget")
 
-    def __init__(self, orb, epoch, budget, retry, breaker):
+    def __init__(self, orb, epoch, budget, retry, breaker,
+                 retry_budget=None):
         self.orb = orb
         self.epoch = epoch
         if isinstance(budget, Deadline):
@@ -86,6 +89,9 @@ class PolicyPlan:
                 self.dl_token = DL_PREFIX + str(ms)
         self.retry = retry
         self.breaker = breaker
+        #: Per-endpoint success-refilled :class:`RetryBudget` (shared by
+        #: every reference to the endpoint, like the breaker).
+        self.retry_budget = retry_budget
 
 
 def resolve_deadline(orb, deadline, call=None):
@@ -160,11 +166,30 @@ def resilient_invoke(orb, reference, call, deadline=None):
             raise exc
         try:
             reply = orb._invoke_once(reference, call)
+            if (
+                reply is not None
+                and reply.status == STATUS_ERROR
+                and reply.repo_id == OVERLOADED_CATEGORY
+            ):
+                # The server answered — but with a typed shed.  Surface
+                # it as an OverloadedError (carrying the retry-after
+                # hint) so it flows through the same retry machinery as
+                # a transport failure.
+                raise overload_error_from_reply(reply)
         except CommunicationError as exc:
-            if breaker is not None:
-                breaker.record_failure()
-            retry = plan.retry  # loaded only on the failure path
             kind = getattr(exc, "kind", "communication")
+            if breaker is not None:
+                if kind == "overloaded":
+                    # Back-pressure is not an outage: counted apart so
+                    # shedding cannot flip the breaker (except to
+                    # re-open a half-open probe — see the breaker).
+                    breaker.record_overloaded()
+                elif kind != "draining":
+                    # An orderly drain handed the call back before a
+                    # clean close; the endpoint is healthy, just going
+                    # away.  Not a breaker-visible failure either.
+                    breaker.record_failure()
+            retry = plan.retry  # loaded only on the failure path
             observer = orb.observer
             if isinstance(exc, DeadlineExceeded) and observer is not None:
                 observer.metrics.counter(
@@ -178,7 +203,22 @@ def resilient_invoke(orb, reference, call, deadline=None):
             ):
                 orb._finish_client_span(call, error=exc)
                 raise
+            retry_budget = plan.retry_budget
+            if retry_budget is not None and not retry_budget.take():
+                # The per-endpoint budget is spent: every retry from
+                # here on would be part of a storm, not a recovery.
+                if observer is not None:
+                    observer.metrics.counter(
+                        "resilience.budget_denied", kind=kind
+                    ).inc()
+                orb._finish_client_span(call, error=exc)
+                raise
             delay = retry.delay(attempt)
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None and retry_after > delay:
+                # The server's hint is a floor on the backoff — it knows
+                # its queue better than our jitter does.
+                delay = retry_after
             active = call.deadline
             if active is not None:
                 remaining = active.remaining()
@@ -213,6 +253,9 @@ def resilient_invoke(orb, reference, call, deadline=None):
                 breaker._outcomes.append(True)
             else:
                 breaker.record_success()
+        retry_budget = plan.retry_budget
+        if retry_budget is not None:
+            retry_budget.record_success()
         if call.trace_span is not None:
             orb._finish_client_span(call, reply=reply)
         return reply

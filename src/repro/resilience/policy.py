@@ -23,7 +23,11 @@ import time
 #: connection could succeed.  Deliberately excludes "deadline-exceeded"
 #: (the budget is gone), "circuit-open" (retrying defeats the breaker),
 #: "frame-overflow" and "peer-protocol-error" (deterministic failures a
-#: retry would only repeat).
+#: retry would only repeat).  "overloaded" (the server shed the call at
+#: admission — it never executed) and "draining" (the peer handed the
+#: pending call back before an orderly close) are retryable by design:
+#: both are the server explicitly saying "elsewhere or later", and the
+#: per-endpoint retry budget bounds how hard "later" can be hammered.
 DEFAULT_RETRYABLE_KINDS = frozenset(
     {
         "connect-refused",
@@ -33,6 +37,8 @@ DEFAULT_RETRYABLE_KINDS = frozenset(
         "peer-closed",
         "channel-closed",
         "reader-died",
+        "overloaded",
+        "draining",
     }
 )
 
@@ -77,7 +83,8 @@ class ResiliencePolicy:
     the pre-resilience hot path untouched.
     """
 
-    def __init__(self, retry=None, breaker=None, default_deadline=None):
+    def __init__(self, retry=None, breaker=None, default_deadline=None,
+                 retry_budget=None):
         #: :class:`RetryPolicy` applied to oneway/idempotent calls.
         self.retry = retry
         #: :class:`~repro.resilience.breaker.BreakerPolicy` — one
@@ -86,10 +93,16 @@ class ResiliencePolicy:
         #: Default deadline (seconds or :class:`Deadline` budget) for
         #: calls that do not carry one explicitly.
         self.default_deadline = default_deadline
+        #: :class:`~repro.resilience.overload.RetryBudgetPolicy` — one
+        #: success-refilled token bucket is built per endpoint from it
+        #: and consulted before *every* retry, so a dead or overloaded
+        #: endpoint structurally cannot be stormed.
+        self.retry_budget = retry_budget
 
     def __repr__(self):
         return (
             f"<ResiliencePolicy retry={self.retry is not None} "
             f"breaker={self.breaker is not None} "
-            f"default_deadline={self.default_deadline}>"
+            f"default_deadline={self.default_deadline} "
+            f"retry_budget={self.retry_budget is not None}>"
         )

@@ -46,6 +46,7 @@ from repro.heidirmi.transport import (
     Transport,
     register_transport,
 )
+from repro.wire.headers import OVERLOADED_CATEGORY, overload_message
 from repro.wire.correlation import is_channel_level_error
 from repro.wire.events import (
     NEED_DATA,
@@ -378,6 +379,38 @@ def _error_reply(protocol, category, message, request_id=None):
     return reply
 
 
+def _shed_reply(protocol, hint, message, request_id=None):
+    """A typed ``Overloaded`` shed reply with its retry-after hint.
+
+    The hint rides in-band as the leading ``ra=`` message token (what
+    the text protocols carry) *and* on the reply's ``retry_after`` slot
+    (what the GIOP encoder lifts into the HDRA ServiceContext).
+    """
+    reply = _error_reply(
+        protocol, OVERLOADED_CATEGORY, overload_message(hint, message),
+        request_id=request_id,
+    )
+    reply.retry_after = hint
+    return reply
+
+
+class _AioServerConn:
+    """Per-connection drain bookkeeping for :class:`AioOrbServer`.
+
+    Every field is read and written only from coroutines on the shared
+    loop, so plain attributes suffice (single-threaded by construction,
+    the same ``<serial:event-loop>`` discipline the client uses).
+    """
+
+    __slots__ = ("machine", "writer", "inflight", "closing")
+
+    def __init__(self, machine, writer):
+        self.machine = machine
+        self.writer = writer
+        self.inflight = 0  # guarded-by: <serial:event-loop>
+        self.closing = False  # guarded-by: <serial:event-loop>
+
+
 class AioOrbServer:
     """Serve an Orb's objects from coroutines instead of threads.
 
@@ -403,6 +436,8 @@ class AioOrbServer:
         self._host = host
         self._port = port
         self._server = None
+        self._conns = set()  # guarded-by: <serial:event-loop>
+        self._draining = False  # guarded-by: <serial:event-loop>
 
     # -- blocking facade ---------------------------------------------------
 
@@ -411,10 +446,22 @@ class AioOrbServer:
         self._server = _run(self._start_async())
         return self.address
 
-    def stop(self):
-        if self._server is not None:
-            _run(self._stop_async())
-            self._server = None
+    def stop(self, drain=None):
+        """Stop serving; with *drain* seconds, wind down in order.
+
+        ``drain`` mirrors ``Orb.stop(drain=...)``: stop accepting, shed
+        newly arriving requests as retryable ``draining`` handoffs,
+        let in-flight dispatches finish (up to the budget), then send
+        each connection the protocol's orderly-close frame before
+        closing it.  Without *drain* the stop is immediate, as before.
+        """
+        if self._server is None:
+            return
+        if drain is not None:
+            _run(self._drain_async(float(drain)))
+        _run(self._stop_async())
+        self._server = None
+        self._draining = False
 
     @property
     def address(self):
@@ -437,6 +484,46 @@ class AioOrbServer:
         self._server.close()
         await self._server.wait_closed()
 
+    async def _drain_async(self, timeout):
+        """Orderly wind-down on the loop: quiesce, close, announce."""
+        if self._draining:
+            return
+        self._draining = True
+        self._server.close()  # stop accepting; existing conns live on
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            for conn in list(self._conns):
+                if conn.inflight == 0:
+                    await self._close_orderly(conn)
+            if not self._conns:
+                return
+            if loop.time() >= deadline:
+                # Budget spent: close what is left, busy or not.
+                for conn in list(self._conns):
+                    await self._close_orderly(conn)
+                return
+            await asyncio.sleep(0.002)
+
+    async def _close_orderly(self, conn):
+        """Announce the close (BYE / CloseConnection) and hang up."""
+        if conn.closing:
+            return
+        conn.closing = True
+        self._conns.discard(conn)
+        emit_close = getattr(conn.machine, "emit_close", None)
+        try:
+            if emit_close is not None:
+                # Classic text has no close frame; EOF is the close.
+                conn.writer.write(emit_close())
+                await conn.writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        try:
+            conn.writer.close()
+        except Exception:
+            pass
+
     async def _serve_connection(self, reader, writer):
         _set_nodelay(writer)
         orb = self.orb
@@ -458,6 +545,8 @@ class AioOrbServer:
                 raw_write(data)
 
             writer.write = recording_write
+        conn = _AioServerConn(machine, writer)
+        self._conns.add(conn)
         loop = asyncio.get_running_loop()
         try:
             while True:
@@ -470,8 +559,14 @@ class AioOrbServer:
                     continue
                 kind = type(event)
                 if kind is RequestReceived:
+                    if self._draining:
+                        if not await self._shed_draining(
+                            machine, writer, event.call
+                        ):
+                            return
+                        continue
                     if not await self._serve_request(
-                        loop, machine, writer, event.call
+                        loop, machine, writer, conn, event.call
                     ):
                         return
                 elif kind is LocateRequested:
@@ -512,14 +607,33 @@ class AioOrbServer:
                     f"connection died: {exc}", kind="recv-failed"
                 ))
         finally:
+            self._conns.discard(conn)
             try:
                 writer.close()
             except Exception:
                 pass
 
-    async def _serve_request(self, loop, machine, writer, call):
+    async def _shed_draining(self, machine, writer, call):
+        """Refuse one request during drain; False ends the connection."""
+        if call.oneway:
+            return True
+        admission = self.orb._admission
+        hint = (admission.shed_draining_one() if admission is not None
+                else 0.05)
+        try:
+            writer.write(machine.emit_reply(_shed_reply(
+                self.orb.protocol, hint, "server draining",
+                request_id=call.request_id,
+            )))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    async def _serve_request(self, loop, machine, writer, conn, call):
         """Dispatch one request; False ends the connection."""
-        protocol = self.orb.protocol
+        orb = self.orb
+        protocol = orb.protocol
         if call.deadline is not None and call.deadline.expired:
             # The wire-propagated budget ran out in transit or in the
             # read queue; the client has stopped waiting.
@@ -532,12 +646,38 @@ class AioOrbServer:
                 )))
                 await writer.drain()
             return True
+        admission = orb._admission
+        admit_time = None
+        if admission is not None:
+            hint = admission.admit(call.operation)
+            if hint is not None:
+                if call.oneway:
+                    return True
+                try:
+                    writer.write(machine.emit_reply(_shed_reply(
+                        protocol, hint, "server overloaded",
+                        request_id=call.request_id,
+                    )))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return False
+                return True
+            admit_time = admission.policy.clock()
         # Skeleton/application code runs on executor threads — the
         # loop stays free to read other connections meanwhile, but
         # dispatch stays serial per connection (ordering guarantee).
-        reply = await loop.run_in_executor(
-            None, self.orb._handle_request, call
-        )
+        conn.inflight += 1
+        try:
+            reply = await loop.run_in_executor(
+                None, orb._handle_request, call
+            )
+        finally:
+            conn.inflight -= 1
+            if admit_time is not None:
+                elapsed = admission.policy.clock() - admit_time
+                # Serial dispatch: the sojourn *is* the service time.
+                admission.finished(call.operation, elapsed,
+                                   service_time=elapsed)
         if call.oneway:
             return True
         try:
@@ -713,8 +853,11 @@ class AioClientConnection:
                 self._resolve(future, reply)
             return  # orphaned reply (abandoned call): drop it
         if kind is CloseReceived:
+            # BYE / GIOP CloseConnection: the server announced an
+            # orderly drain.  Pending calls fail as retryable handoffs
+            # (kind "draining"), and the armed flight ring stays clean.
             raise CommunicationError(
-                "peer sent GIOP CloseConnection", kind="peer-closed"
+                "peer is draining: sent an orderly close", kind="draining"
             )
         if kind is WireViolation:
             if not self._multiplexed and self._fifo:

@@ -35,6 +35,7 @@ from repro.giop.messages import (
     REPLY_SYSTEM_EXCEPTION,
     REPLY_USER_EXCEPTION,
     SERVICE_CONTEXT_DEADLINE,
+    SERVICE_CONTEXT_RETRY_AFTER,
     SERVICE_CONTEXT_TRACE,
     LocateReplyHeader,
     LocateRequestHeader,
@@ -74,6 +75,14 @@ _STATUS_TO_GIOP = {
     STATUS_ERROR: REPLY_SYSTEM_EXCEPTION,
 }
 _GIOP_TO_STATUS = {value: key for key, value in _STATUS_TO_GIOP.items()}
+
+#: The CORBA spelling of an admission shed: a TRANSIENT system
+#: exception ("the request was not delivered, retrying may succeed").
+#: GIOP emission translates the cross-protocol ``Overloaded`` error
+#: category to this repository id (plus an HDRA retry-after
+#: ServiceContext); decode translates it back, so stubs and the
+#: resilient engine see one category on every protocol.
+TRANSIENT_REPO_ID = "IDL:omg.org/CORBA/TRANSIENT:1.0"
 
 
 # ---------------------------------------------------------------------------
@@ -121,15 +130,26 @@ def encode_reply(reply, request_id=None):
         request_id = reply.request_id
     if request_id is None:
         request_id = 0
+    repo_id = reply.repo_id
+    service_context = []
+    if repo_id == headers.OVERLOADED_CATEGORY and reply.status == STATUS_ERROR:
+        repo_id = TRANSIENT_REPO_ID
+        retry_after = getattr(reply, "retry_after", None)
+        if retry_after is not None:
+            service_context.append(ServiceContext(
+                SERVICE_CONTEXT_RETRY_AFTER,
+                headers.retry_after_context_data(retry_after),
+            ))
     header = ReplyHeader(
         request_id=request_id,
         reply_status=_STATUS_TO_GIOP[reply.status],
+        service_context=service_context,
     )
     encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
     header.encode(encoder)
     if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
         # CORBA: the exception body leads with its repository ID.
-        encoder.string(reply.repo_id)
+        encoder.string(repo_id)
     reply.replay_into(CdrMarshallerView(encoder))
     return frame_message(MSG_REPLY, encoder.data())
 
@@ -318,12 +338,22 @@ class GiopWire(WireMachine):
         repo_id = ""
         if status in (STATUS_EXCEPTION, STATUS_ERROR):
             repo_id = decoder.string()
-        return ReplyReceived(Reply(
+        reply = Reply(
             status=status,
             repo_id=repo_id,
             unmarshaller=CdrUnmarshaller(decoder),
             request_id=reply_header.request_id,
-        ))
+        )
+        if repo_id == TRANSIENT_REPO_ID:
+            # Translate the CORBA shed spelling back to the shared
+            # category; the retry-after hint rides the HDRA context.
+            reply.repo_id = headers.OVERLOADED_CATEGORY
+            for context in reply_header.service_context:
+                if context.context_id == SERVICE_CONTEXT_RETRY_AFTER:
+                    reply.retry_after = headers.parse_retry_after_context(
+                        context.context_data
+                    )
+        return ReplyReceived(reply)
 
     # -- emission ----------------------------------------------------------
 

@@ -18,6 +18,15 @@ a stringified object reference always starts with ``@``, so the scan is
 unambiguous and the tokens compose in either order.  GIOP carries the
 same two values as ServiceContext entries ("HDTC"/"HDDL") whose bodies
 reuse the validation here.
+
+The overload-shed reply adds a third token, ``ra=<ms>``: the server's
+*retry-after* hint, whole milliseconds, leading the message of a typed
+``Overloaded`` error reply (``RET ERR Overloaded`` / ``RET2 <id> ERR
+Overloaded``).  The hint rides *inside* the message string — one
+escaped token on the wire — so the reply grammar of all three
+protocols is untouched; GIOP carries the same value as a ServiceContext
+entry ("HDRA") on its TRANSIENT system-exception reply.  Peers that
+don't recognise the prefix see a human-readable message.
 """
 
 from time import monotonic
@@ -129,3 +138,63 @@ def trace_context_data(trace_context):
 def deadline_context_data(deadline):
     """The GIOP deadline ServiceContext body for a Deadline."""
     return str(deadline.remaining_ms()).encode("ascii")
+
+
+# -- retry-after (overloaded-reply) grammar ---------------------------------
+
+#: Prefix of the retry-after hint leading an ``Overloaded`` error
+#: reply's message (``ra=<ms>``, whole milliseconds).
+RA_PREFIX = "ra="
+
+#: The ERR category of a typed overload-shed reply, shared by all
+#: three protocols' reply decode paths (GIOP translates its TRANSIENT
+#: system exception back to this category).
+OVERLOADED_CATEGORY = "Overloaded"
+
+_RA_LEN = len(RA_PREFIX)
+
+
+def overload_message(retry_after, text):
+    """Render an overloaded-reply message, hint first.
+
+    *retry_after* is seconds (None omits the hint); the wire carries
+    whole milliseconds, floored to at least 1ms so a sub-millisecond
+    hint survives the round trip as a nonzero backoff floor.
+    """
+    if retry_after is None:
+        return text
+    ms = max(1, int(retry_after * 1000.0))
+    return f"{RA_PREFIX}{ms} {text}"
+
+
+def parse_overload_message(message):
+    """``"ra=<ms> <text>"`` → ``(retry_after_seconds, text)``.
+
+    Returns ``(None, message)`` when no well-formed hint leads the
+    message — a hintless shed is legal, and a mangled hint degrades to
+    prose rather than a protocol error (the reply already parsed).
+    """
+    if not message.startswith(RA_PREFIX):
+        return None, message
+    head, _, rest = message.partition(" ")
+    try:
+        ms = int(head[_RA_LEN:])
+    except ValueError:
+        return None, message
+    if ms < 0:
+        return None, message
+    return ms / 1000.0, rest
+
+
+def retry_after_context_data(retry_after):
+    """The GIOP retry-after ServiceContext body (ASCII whole ms)."""
+    return str(max(1, int(retry_after * 1000.0))).encode("ascii")
+
+
+def parse_retry_after_context(data):
+    """A GIOP retry-after ServiceContext body → seconds (None if bad)."""
+    try:
+        ms = int(data.decode("ascii"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    return ms / 1000.0 if ms >= 0 else None

@@ -17,6 +17,14 @@ Message shapes (one printable-ASCII line each, ``\\n``-terminated)::
     RET2 <id> OK <token>...
     RET2 <id> EXC <repo-id> <token>...
     RET2 <id> ERR <category> <message-token>
+    BYE
+
+``BYE`` is text2-only (the classic protocol signals close by EOF): an
+orderly-shutdown announcement, the text2 spelling of GIOP's
+CloseConnection.  A draining server sends it after its last reply so a
+multiplexed client can fail still-pending calls as retryable handoffs
+(kind ``draining``) instead of a channel death; either side may send
+it before closing.
 """
 
 from time import monotonic as _monotonic
@@ -37,6 +45,7 @@ from repro.heidirmi.textwire import (
 from repro.wire import headers
 from repro.wire.events import (
     NEED_DATA,
+    CloseReceived,
     ReplyReceived,
     RequestReceived,
     WireViolation,
@@ -381,6 +390,18 @@ class TextWire(WireMachine):
         return self._encode_reply(reply)
 
 
+#: The text2 orderly-close line (terminator excluded, like recv_line).
+BYE_LINE = b"BYE"
+
+#: The encoded close frame (what a draining peer actually sends).
+BYE_FRAME = b"BYE\n"
+
+
+def encode_close2():
+    """The text2 ``BYE`` frame (orderly-close announcement)."""
+    return BYE_FRAME
+
+
 class Text2Wire(TextWire):
     """State machine for the id-framed text2 protocol."""
 
@@ -390,3 +411,14 @@ class Text2Wire(TextWire):
     _parse_reply = staticmethod(parse_reply2_line)
     _encode_request = staticmethod(encode_request2)
     _encode_reply = staticmethod(encode_reply2)
+
+    def _event_for_line(self, raw):
+        # ``BYE`` is accepted in both roles (either side may announce an
+        # orderly close); one 3-byte compare on the per-line path.
+        if raw == BYE_LINE:
+            return CloseReceived()
+        return super()._event_for_line(raw)
+
+    def emit_close(self):
+        """The orderly-close frame this machine's peer will parse."""
+        return BYE_FRAME

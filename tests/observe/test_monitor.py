@@ -137,3 +137,104 @@ class TestMonitorRegistration:
         finally:
             client.stop()
             server.stop()
+
+
+class TestResilienceHealth:
+    """The health document's overload/drain/breaker/budget section."""
+
+    def test_admission_and_shed_counters_surface_remotely(self):
+        import threading
+        import time
+
+        from repro.observe import render_prometheus
+        from repro.resilience import AdmissionPolicy
+
+        from tests.resilience.rig import TYPE_ID, EchoImpl, registry
+
+        observer = Observer()
+        server = Orb(transport="tcp", protocol="text2", types=registry(),
+                     observer=observer, monitor=True,
+                     admission=AdmissionPolicy(max_queue_depth=1,
+                                               latency_target=60.0)).start()
+        client = Orb(transport="tcp", protocol="text2", types=registry(),
+                     multiplex=False)
+        try:
+            echo = client.resolve(
+                server.register(EchoImpl(), type_id=TYPE_ID).stringify()
+            )
+            # Occupy the single admission slot, then get shed.
+            slow = threading.Thread(
+                target=lambda: echo.echo("slow", delay_ms=300), daemon=True
+            )
+            slow.start()
+            time.sleep(0.1)
+            with pytest.raises(Exception):
+                echo.echo("excess")
+            slow.join(timeout=5)
+
+            host, port = server.address
+            stub = monitor_stub(client, host, port, transport="tcp")
+            health = stub.health()
+            assert health["status"] == "ok"
+            resilience = health["resilience"]
+            assert resilience["draining"] is False
+            admission = resilience["admission"]
+            assert admission["max_queue_depth"] == 1
+            assert admission["shed"]["depth"] == 1
+            assert admission["accepted"] >= 1
+            assert resilience["retry_budgets"] == {}
+            # The shed also landed in the metrics registry, so the
+            # Prometheus exposition carries it.
+            exposition = render_prometheus(observer.metrics)
+            assert 'overload_shed{reason="admission"} 1' in exposition
+        finally:
+            client.stop()
+            server.stop()
+
+    def test_draining_flag_flips_the_status(self):
+        from repro.observe.monitor import MonitorImpl
+
+        orb = Orb(transport="inproc", protocol="text2").start()
+        try:
+            impl = MonitorImpl(orb)
+            assert impl.health()["status"] == "ok"
+            with orb._lock:
+                orb._draining = True
+            health = impl.health()
+            assert health["status"] == "draining"
+            assert health["resilience"]["draining"] is True
+        finally:
+            with orb._lock:
+                orb._draining = False
+            orb.stop()
+
+    def test_breaker_and_budget_state_per_endpoint(self):
+        from repro.resilience import (
+            BreakerPolicy,
+            ResiliencePolicy,
+            RetryBudgetPolicy,
+            RetryPolicy,
+        )
+        from repro.observe.monitor import MonitorImpl
+
+        from tests.resilience.rig import make_pair, stop_pair
+
+        server, client, stub, _ = make_pair(
+            protocol="text2", client_kwargs={"resilience": ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=2),
+                breaker=BreakerPolicy(),
+                retry_budget=RetryBudgetPolicy(capacity=4),
+            )},
+        )
+        try:
+            assert stub.echo("ok") == "ack:ok"
+            resilience = MonitorImpl(client).health()["resilience"]
+            assert len(resilience["breakers"]) == 1
+            (breaker_state,) = resilience["breakers"].values()
+            assert breaker_state["state"] == "closed"
+            assert breaker_state["overloaded"] == 0
+            (budget_state,) = resilience["retry_budgets"].values()
+            assert budget_state["tokens"] == 4.0
+            assert budget_state["denied"] == 0
+        finally:
+            stop_pair(server, client)

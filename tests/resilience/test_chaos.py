@@ -1,5 +1,7 @@
 """The chaos harness itself: determinism, fault surfaces, correct kinds."""
 
+import time
+
 import pytest
 
 from repro.heidirmi.errors import CommunicationError
@@ -227,3 +229,27 @@ def test_same_plan_same_run_twice_is_identical():
     assert sum(1 for o in outcomes_a if o.startswith("!")) > 0, (
         "the 10% plan injected nothing in 60 calls — seed draw broken?"
     )
+
+
+def test_slow_fault_injects_latency_without_corruption():
+    plan = FaultPlan(script={("recv", 0): "slow"}, slow_s=0.15)
+    server, client, stub, _ = make_pair(plan=plan)
+    try:
+        started = time.monotonic()
+        assert stub.echo("x") == "ack:x"
+        # The scripted slow read stalled the reply, then delivered the
+        # real bytes untouched — latency injection, not corruption.
+        assert time.monotonic() - started >= 0.14
+        assert plan.stats["recv:slow"] == 1
+        assert plan.injected("recv") == 1
+    finally:
+        stop_pair(server, client)
+
+
+def test_slow_rate_draws_deterministically():
+    plan_a = FaultPlan(seed=5, slow=0.3)
+    plan_b = FaultPlan(seed=5, slow=0.3)
+    draws_a = [plan_a.decide("recv", 1, index) for index in range(40)]
+    draws_b = [plan_b.decide("recv", 1, index) for index in range(40)]
+    assert draws_a == draws_b
+    assert draws_a.count("slow") > 0

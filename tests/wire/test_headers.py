@@ -77,3 +77,32 @@ class TestEmission:
         assert headers.trace_context_data("a1-b2") == b"a1-b2"
         data = headers.deadline_context_data(Deadline.after(1.0))
         assert 0 < int(data) <= 1001
+
+
+class TestOverloadTokens:
+    def test_message_round_trip(self):
+        message = headers.overload_message(0.25, "server overloaded")
+        assert message == "ra=250 server overloaded"
+        assert headers.parse_overload_message(message) == (
+            0.25, "server overloaded"
+        )
+
+    def test_sub_millisecond_hint_floors_to_one_ms(self):
+        after, text = headers.parse_overload_message(
+            headers.overload_message(0.0001, "x")
+        )
+        assert after == 0.001
+        assert text == "x"
+
+    def test_hintless_and_mangled_messages_degrade_to_prose(self):
+        assert headers.parse_overload_message("plain") == (None, "plain")
+        assert headers.parse_overload_message("ra=abc x") == (None, "ra=abc x")
+        assert headers.parse_overload_message("ra=-5 x") == (None, "ra=-5 x")
+        assert headers.overload_message(None, "x") == "x"
+
+    def test_giop_service_context_round_trip(self):
+        data = headers.retry_after_context_data(0.25)
+        assert data == b"250"
+        assert headers.parse_retry_after_context(data) == 0.25
+        assert headers.parse_retry_after_context(b"junk") is None
+        assert headers.parse_retry_after_context(b"-3") is None
