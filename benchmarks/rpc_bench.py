@@ -908,6 +908,138 @@ def run_overload(transport="inproc", base_clients=2, loads=OVERLOAD_LOADS,
     }
 
 
+# ---------------------------------------------------------------------------
+# Wire-cost suite: bytes/call and calls/s through the zero-copy emitter
+# ---------------------------------------------------------------------------
+
+#: (protocol, mode) pairs the wire-cost suite measures: each protocol
+#: in the mode it is fastest in, so the numbers compare emission cost,
+#: not connection policy.
+WIRE_CONFIGURATIONS = (
+    ("text", "exclusive"),
+    ("text2", "multiplexed"),
+    ("giop", "multiplexed"),
+)
+
+
+def _frame_cost_call(protocol_name):
+    """The canonical bench call (echo of a short token) for one
+    protocol, shaped like the throughput suite's traffic."""
+    from repro.heidirmi.call import Call
+    from repro.heidirmi.protocol import get_protocol
+
+    protocol = get_protocol(protocol_name)
+    call = Call("@tcp:127.0.0.1:9999#7#IDL:Bench/Echo:1.0", "echo",
+                marshaller=protocol.new_marshaller(),
+                request_id=7 if protocol_name != "text" else None)
+    call.put_string("c0")
+    return call
+
+
+def _frame_cost_reply(protocol_name):
+    from repro.heidirmi.call import Reply, STATUS_OK
+    from repro.heidirmi.protocol import get_protocol
+
+    protocol = get_protocol(protocol_name)
+    reply = Reply(status=STATUS_OK, repo_id="",
+                  marshaller=protocol.new_marshaller(), request_id=7)
+    reply.put_string("c0")
+    return reply
+
+
+def measure_frame_costs():
+    """Bytes on the wire — and bytes *copied* — per canonical call.
+
+    Sans-I/O: frames are emitted straight from the wire machines.  Each
+    protocol is emitted twice with fresh same-shape calls so the repeat
+    column shows what the zero-copy emitter actually renders once the
+    memoized tails / interned frames are warm
+    (``BufferPlan.copied_bytes``).
+    """
+    from repro.wire import machine_for
+
+    costs = []
+    for protocol, _mode in WIRE_CONFIGURATIONS:
+        client = machine_for(protocol, "client")
+        server = machine_for(protocol, "server")
+        first = client.emit_request(_frame_cost_call(protocol))
+        first_copied = getattr(first, "copied_bytes", len(first))
+        repeat = client.emit_request(_frame_cost_call(protocol))
+        repeat_copied = getattr(repeat, "copied_bytes", len(repeat))
+        reply = server.emit_reply(_frame_cost_reply(protocol))
+        costs.append({
+            "protocol": protocol,
+            "request_bytes": len(repeat),
+            "reply_bytes": len(reply),
+            "round_trip_bytes": len(repeat) + len(reply),
+            "first_request_copied_bytes": first_copied,
+            "repeat_request_copied_bytes": repeat_copied,
+        })
+    return costs
+
+
+def run_wire_cost(transport="inproc", client_counts=(1, 16, 256),
+                  calls_total=3200, window=64, pipeline_workers=0,
+                  trials=3, pre_refactor=None):
+    """The wire-cost document: frame costs plus calls/s per protocol.
+
+    *calls_total* is split across the callers of each cell so every
+    client count moves the same number of messages.  *pre_refactor*
+    optionally embeds the recorded bytes-concatenation throughput
+    (GIOP multiplexed, 16 callers) that the zero-copy speedup claim is
+    stated against; the compare gate re-checks it on fresh runs.
+    """
+    results = []
+    for clients in client_counts:
+        calls_per_client = max(1, calls_total // clients)
+        for protocol, mode in WIRE_CONFIGURATIONS:
+            results.append(measure(
+                transport, protocol, mode, clients, calls_per_client,
+                window=window, pipeline_workers=pipeline_workers,
+                trials=trials,
+            ))
+    claim_clients = 16 if 16 in client_counts else max(client_counts)
+    claim = {
+        "clients": claim_clients,
+        "rates": {
+            f"{protocol}_{mode}_calls_per_sec": next(
+                row["calls_per_sec"] for row in results
+                if row["protocol"] == protocol and row["mode"] == mode
+                and row["clients"] == claim_clients
+            )
+            for protocol, mode in WIRE_CONFIGURATIONS
+        },
+    }
+    if pre_refactor is not None:
+        giop_rate = claim["rates"]["giop_multiplexed_calls_per_sec"]
+        claim["pre_refactor"] = dict(
+            pre_refactor,
+            zero_copy_speedup=round(
+                giop_rate / pre_refactor["giop_multiplexed_calls_per_sec"],
+                2,
+            ),
+        )
+    return {
+        "benchmark": "wire_cost",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "params": {
+            "transport": transport,
+            "client_counts": list(client_counts),
+            "calls_total": calls_total,
+            "window": window,
+            "pipeline_workers": pipeline_workers,
+            "trials": trials,
+        },
+        "frame_costs": measure_frame_costs(),
+        "results": results,
+        "claim": claim,
+    }
+
+
 def write_spans(spans, path):
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:

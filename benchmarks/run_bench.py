@@ -56,6 +56,23 @@ silently stop degrading gracefully::
     PYTHONPATH=src python benchmarks/run_bench.py --overload \
         --compare BENCH_overload.json
 
+With ``--wire-cost`` it runs the emission-cost suite — bytes per call
+(and bytes *copied* per call, the zero-copy figure of merit) for each
+protocol, plus calls/s for text vs text2 vs GIOP at 1/16/256
+concurrent callers — writing ``BENCH_wire.json``::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --wire-cost \
+        --pre-refactor-rate 18516.9
+
+Combining ``--wire-cost --compare`` gates the zero-copy refactor: exit
+3 if any multiplexed GIOP row lost more than ``--tolerance`` against
+the recorded baseline, or if the claim row falls below
+``--speedup-floor`` (default 1.3) times the pre-refactor rate embedded
+in the baseline.  CI runs this so emission cannot quietly grow a copy::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --wire-cost \
+        --compare BENCH_wire.json
+
 Combining ``--trace --compare`` gates the flight recorder instead:
 exit 3 if recorder-on throughput on the multiplexed text2 axis falls
 more than ``--tolerance`` (default 5%) behind recorder-off.  CI runs
@@ -78,6 +95,7 @@ from rpc_bench import (  # noqa: E402
     run_matrix,
     run_overload,
     run_traced,
+    run_wire_cost,
     write_document,
     write_spans,
 )
@@ -115,6 +133,31 @@ def main(argv=None):
                         help="run the overload suite instead: goodput "
                              "and accepted p99 at 1x/4x/16x load with "
                              "shedding on/off to BENCH_overload.json")
+    parser.add_argument("--wire-cost", action="store_true",
+                        help="run the wire-cost suite instead: bytes "
+                             "and copied-bytes per call plus calls/s "
+                             "for text/text2/giop at 1/16/256 callers "
+                             "to BENCH_wire.json")
+    parser.add_argument("--wire-calls", type=int, default=3200,
+                        help="total calls per wire-cost cell, split "
+                             "across its callers (default 3200)")
+    parser.add_argument("--pre-refactor-rate", type=float, default=None,
+                        help="recorded pre-zero-copy GIOP multiplexed "
+                             "calls/s at 16 callers; embedded into the "
+                             "wire-cost document as the speedup claim "
+                             "reference")
+    parser.add_argument("--speedup-floor", type=float, default=1.3,
+                        help="min fresh-GIOP-vs-pre-refactor speedup "
+                             "the --wire-cost --compare gate requires "
+                             "when the baseline embeds a pre-refactor "
+                             "rate (default 1.3, noise-discounted by "
+                             "--wire-tolerance)")
+    parser.add_argument("--wire-tolerance", type=float, default=0.12,
+                        help="allowed fractional throughput loss for "
+                             "--wire-cost --compare (default 0.12: raw "
+                             "calls/s swings ~15%% between runs on one "
+                             "box, while losing the zero-copy path "
+                             "costs 25%%+)")
     parser.add_argument("--goodput-floor", type=float, default=70.0,
                         help="min percent of baseline goodput the 16x "
                              "shed-on cell must retain for --overload "
@@ -156,6 +199,8 @@ def main(argv=None):
         return _main_faults(args)
     if args.overload:
         return _main_overload(args)
+    if args.wire_cost:
+        return _main_wire(args)
 
     baseline = None
     if args.compare is not None:
@@ -538,6 +583,167 @@ def compare_faults(document, overhead_tolerance, success_floor,
             f"re-measuring ({attempt + 1}/{retries})"
         )
         regressions = violations(remeasure())
+    return regressions
+
+
+def _main_wire(args):
+    pre_refactor = None
+    if args.pre_refactor_rate is not None:
+        pre_refactor = {
+            "giop_multiplexed_calls_per_sec": args.pre_refactor_rate,
+            "clients": 16,
+            "method": "recorded before the BufferPlan refactor "
+                      "(bytes-concatenation emission)",
+        }
+    document = run_wire_cost(
+        transport=args.transport,
+        calls_total=args.wire_calls,
+        window=args.window,
+        pipeline_workers=args.workers,
+        trials=args.trials,
+        pre_refactor=pre_refactor,
+    )
+    out = args.out
+    if out is None:
+        if args.compare is not None:
+            # The gate must not clobber the recorded document it gates
+            # against; park the fresh numbers with the bench scratch.
+            out = os.path.join(REPO_ROOT, "benchmarks", "out",
+                               "BENCH_wire.fresh.json")
+        else:
+            out = os.path.join(REPO_ROOT, "BENCH_wire.json")
+    path = write_document(document, out)
+    print(f"wrote {path}")
+    for cost in document["frame_costs"]:
+        print(
+            f"  {cost['protocol']:6s} request={cost['request_bytes']:>4d}B "
+            f"reply={cost['reply_bytes']:>3d}B "
+            f"copied on repeat={cost['repeat_request_copied_bytes']:>3d}B "
+            f"(first {cost['first_request_copied_bytes']}B)"
+        )
+    for result in document["results"]:
+        print(
+            f"  {result['protocol']:6s} {result['mode']:11s} "
+            f"clients={result['clients']:<4d} "
+            f"{result['calls_per_sec']:>10,.1f} calls/s"
+        )
+    claim = document["claim"]
+    pre = claim.get("pre_refactor")
+    if pre is not None:
+        print(
+            f"claim: zero-copy GIOP at {claim['clients']} callers is "
+            f"{pre['zero_copy_speedup']}x the pre-refactor emitter "
+            f"({claim['rates']['giop_multiplexed_calls_per_sec']:,.1f} "
+            f"vs {pre['giop_multiplexed_calls_per_sec']:,.1f} calls/s)"
+        )
+    if args.compare is not None:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        regressions = compare_wire(
+            baseline, document, args.wire_tolerance, args.speedup_floor,
+            remeasure=lambda clients, calls_per_client: run_wire_row(
+                args, clients, calls_per_client),
+        )
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 3
+        print(f"compare: within {args.wire_tolerance:.0%} of "
+              f"{args.compare}")
+    return 0
+
+
+def run_wire_row(args, clients, calls_per_client):
+    """Re-measure one guarded (multiplexed GIOP) wire-cost row."""
+    from rpc_bench import measure
+
+    return measure(
+        args.transport, "giop", "multiplexed", clients, calls_per_client,
+        window=args.window, pipeline_workers=args.workers,
+        # Extra trials: the retry exists to separate noise from a real
+        # regression, and best-of-more discriminates better.
+        trials=args.trials + 2,
+    )
+
+
+#: Extra best-of-trials rounds a failing guarded wire row gets before
+#: the gate declares a regression; same rationale as COMPARE_RETRIES.
+WIRE_COMPARE_RETRIES = 2
+
+
+def compare_wire(baseline, document, tolerance, speedup_floor,
+                 remeasure=None):
+    """Regression report for the zero-copy emission gate.
+
+    Two checks, both on the multiplexed GIOP axis (the path the
+    BufferPlan refactor exists to speed up): every (clients,) row is
+    held to *tolerance* against the recorded baseline, and — when the
+    baseline embeds the pre-refactor rate — the fresh claim-row rate
+    must stay at least *speedup_floor* times it, discounted by the
+    same *tolerance* (raw calls/s on a single box swings between runs
+    far more than a real regression needs to; the discount keeps the
+    absolute floor meaningful without flapping).  Failing rows are
+    re-measured up to :data:`WIRE_COMPARE_RETRIES` times via
+    *remeasure(clients, calls_per_client)*.  Returns human-readable
+    regression lines, empty when the gate holds.
+    """
+
+    def guarded_rows(doc):
+        return {
+            row["clients"]: row
+            for row in doc.get("results", ())
+            if row["protocol"] == "giop" and row["mode"] == "multiplexed"
+        }
+
+    pre = (baseline.get("claim", {}) or {}).get("pre_refactor")
+    claim_clients = baseline.get("claim", {}).get("clients")
+    calls_total = document["params"]["calls_total"]
+    old_rows = guarded_rows(baseline)
+    new_rows = guarded_rows(document)
+    regressions = []
+    for clients, old_row in sorted(old_rows.items()):
+        new_row = new_rows.get(clients)
+        if new_row is None:
+            regressions.append(
+                f"multiplexed giop @{clients} callers: row missing from "
+                f"the fresh run (baseline "
+                f"{old_row['calls_per_sec']:,.1f} calls/s)"
+            )
+            continue
+        new_rate = new_row["calls_per_sec"]
+        floor = old_row["calls_per_sec"] * (1.0 - tolerance)
+        if pre is not None and clients == claim_clients:
+            # The absolute zero-copy claim: never fall back to the
+            # bytes-concatenation emitter's throughput.  Noise-discount
+            # it by the same tolerance as the relative check — losing
+            # the zero-copy path costs far more than the discount.
+            floor = max(
+                floor,
+                pre["giop_multiplexed_calls_per_sec"]
+                * speedup_floor * (1.0 - tolerance),
+            )
+        retries = WIRE_COMPARE_RETRIES if remeasure is not None else 0
+        for attempt in range(retries):
+            if new_rate >= floor:
+                break
+            print(
+                f"compare: multiplexed giop @{clients} callers below "
+                f"floor ({new_rate:,.1f} < {floor:,.1f} calls/s), "
+                f"re-measuring ({attempt + 1}/{retries})"
+            )
+            fresh = remeasure(clients, max(1, calls_total // clients))
+            new_rate = max(new_rate, fresh["calls_per_sec"])
+        if new_rate < floor:
+            regressions.append(
+                f"multiplexed giop @{clients} callers: "
+                f"{new_rate:,.1f} calls/s below the gate floor "
+                f"{floor:,.1f} (baseline {old_row['calls_per_sec']:,.1f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    if not old_rows:
+        regressions.append(
+            "baseline document has no multiplexed giop rows to guard"
+        )
     return regressions
 
 

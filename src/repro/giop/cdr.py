@@ -25,13 +25,20 @@ BIG_ENDIAN = 0
 
 
 class CdrEncoder:
-    """Appends CDR-encoded values to a growing buffer."""
+    """Appends CDR-encoded values to a growing buffer.
 
-    def __init__(self, little_endian=True, start_align=0):
+    *buffer* lets an emitter lease the backing ``bytearray`` from a
+    send pool (and reserve a frame-header gap in it before the first
+    CDR write) instead of allocating per message; alignment counts the
+    pre-filled bytes, so a 12-byte gap with ``start_align=0`` aligns
+    exactly like an empty buffer with ``start_align=12``.
+    """
+
+    def __init__(self, little_endian=True, start_align=0, buffer=None):
         self.little_endian = little_endian
         self._prefix = "<" if little_endian else ">"
         self._start = start_align
-        self._data = bytearray()
+        self._data = bytearray() if buffer is None else buffer
 
     def _align(self, boundary):
         position = self._start + len(self._data)
@@ -129,7 +136,13 @@ class CdrDecoder:
     """Pulls CDR-encoded values off a byte buffer."""
 
     def __init__(self, data, little_endian=True, start_align=0):
-        self._data = memoryview(bytes(data))
+        # Zero-copy: decode straight out of whatever buffer the caller
+        # holds (a wire machine's consume view, a recv buffer slice).
+        # The caller guarantees the bytes behind the view are stable
+        # for the decoder's lifetime — receive buffers reallocate
+        # instead of resizing while views are outstanding.
+        self._data = (data if isinstance(data, memoryview)
+                      else memoryview(data))
         self.little_endian = little_endian
         self._prefix = "<" if little_endian else ">"
         self._start = start_align

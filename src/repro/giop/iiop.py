@@ -41,7 +41,12 @@ from repro.giop.messages import (  # noqa: F401 (re-exported for callers)
     read_message,
 )
 from repro.heidirmi.errors import CommunicationError, ProtocolError
-from repro.heidirmi.protocol import Protocol, channel_machine, pump_event
+from repro.heidirmi.protocol import (
+    Protocol,
+    channel_machine,
+    pump_event,
+    send_frame,
+)
 from repro.wire.correlation import RequestIdAllocator
 from repro.wire.events import (
     CancelReceived,
@@ -93,14 +98,14 @@ def pump_giop_event(channel, machine):
     except ProtocolError as exc:
         event = WireViolation(str(exc))
         if machine.tap is not None:
-            machine.tap.record_in(header_bytes, event, machine.role)
+            machine.tap.record_in(bytes(header_bytes), event, machine.role)
         return event
     if header.message_size > MAX_MESSAGE_SIZE:
         event = WireViolation(
             f"implausible GIOP message size {header.message_size}"
         )
         if machine.tap is not None:
-            machine.tap.record_in(header_bytes, event, machine.role)
+            machine.tap.record_in(bytes(header_bytes), event, machine.role)
         return event
     return machine.feed_message(
         header, channel.recv_exact(header.message_size),
@@ -139,7 +144,7 @@ class GiopProtocol(Protocol):
     def send_request(self, channel, call):
         if call.request_id is None:
             call.request_id = self.next_request_id()
-        channel.send(encode_request(call))
+        send_frame(channel, encode_request(call))
         if not getattr(channel, "_multiplexed", False):
             # Serial (one-call-in-flight) clients verify the next reply
             # against this; a demultiplexing communicator correlates by
@@ -219,7 +224,7 @@ class GiopProtocol(Protocol):
             # pipelined servers always set reply.request_id (replies may
             # leave out of order, so a per-channel stash would cross-wire).
             request_id = getattr(channel, "_giop_pending_reply_id", 0)
-        channel.send(_encode_reply(reply, request_id=request_id))
+        send_frame(channel, _encode_reply(reply, request_id=request_id))
 
     def recv_reply(self, channel):
         machine = channel_machine(channel, "client", self.machine_class)

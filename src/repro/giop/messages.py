@@ -12,6 +12,7 @@ Request and Reply headers follow the OMG 1.0 layout, including the
 service-context sequence and (for requests) the requesting principal.
 """
 
+import struct
 from dataclasses import dataclass, field
 
 from repro.giop.cdr import CdrDecoder, CdrEncoder
@@ -217,13 +218,30 @@ class LocateReplyHeader:
 
 
 def frame_message(message_type, body, little_endian=True):
-    """A complete GIOP message: header + body bytes."""
-    header = MessageHeader(
-        message_type=message_type,
-        message_size=len(body),
-        little_endian=little_endian,
+    """A complete GIOP message as contiguous bytes.
+
+    Convenience for tests and cold paths; the hot emitters reserve a
+    header gap in a pooled buffer and :func:`fill_giop_header` it in
+    place instead of paying this join.
+    """
+    framed = bytearray(GIOP_HEADER_SIZE)
+    framed += body
+    fill_giop_header(framed, message_type, little_endian=little_endian)
+    return bytes(framed)
+
+
+def fill_giop_header(buffer, message_type, little_endian=True):
+    """Patch the 12-byte GIOP header into *buffer*'s reserved gap.
+
+    *buffer* is a mutable frame whose first :data:`GIOP_HEADER_SIZE`
+    bytes were left as a gap while the body was marshalled behind
+    them; the message size is whatever follows the gap.
+    """
+    struct.pack_into(
+        "<4sBBBBI" if little_endian else ">4sBBBBI", buffer, 0,
+        GIOP_MAGIC, 1, 0, 1 if little_endian else 0, message_type,
+        len(buffer) - GIOP_HEADER_SIZE,
     )
-    return header.encode() + body
 
 
 def read_message(channel):

@@ -36,17 +36,28 @@ from repro.heidirmi.errors import (
     HeidiRmiError,
     ProtocolError,
 )
+from repro.wire.bufferplan import BufferPlan
 from repro.wire.correlation import CorrelationTable, is_channel_level_error
 
 
 class _SendBuffer:
     """A channel-shaped sink that records bytes instead of sending them."""
 
+    #: Coalescing copies every frame into one burst anyway, so a
+    #: BufferPlan is appended segment-by-segment (no contiguous join)
+    #: and its pooled segments recycled immediately.
+    accepts_plans = True
+
     def __init__(self):
         self.data = bytearray()
 
     def send(self, payload):
-        self.data += payload
+        if type(payload) is BufferPlan:
+            for segment in payload.segments():
+                self.data += segment
+            payload.recycle()
+        else:
+            self.data += payload
 
 
 class _BulkCollector:

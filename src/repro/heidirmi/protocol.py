@@ -22,6 +22,7 @@ and :class:`repro.giop.iiop.GiopProtocol`.
 from repro.heidirmi.errors import CommunicationError, ProtocolError
 from repro.heidirmi.textwire import TextMarshaller
 from repro.wire import events as wire_events
+from repro.wire.bufferplan import BufferPlan
 from repro.wire.correlation import RequestIdAllocator
 from repro.wire.text import (
     BYE_FRAME,
@@ -47,6 +48,22 @@ from repro.wire.text import (
 #: the isolation the chaos layer wants.
 _CLIENT_MACHINE = "_wire_client"
 _SERVER_MACHINE = "_wire_server"
+
+
+def send_frame(channel, data):
+    """Flush one emitted frame to *channel*.
+
+    Emitters return scatter-gather :class:`BufferPlan` objects.  Sinks
+    that can flush a plan without joining it (the blocking channel's
+    ``sendmsg`` path, the asyncio writer's ``writelines`` path, the
+    communicator's coalescing buffers) advertise ``accepts_plans``;
+    anything else — test sinks, third-party channels — receives the
+    joined contiguous bytes, exactly what the pre-plan protocols sent.
+    """
+    if type(data) is BufferPlan and \
+            not getattr(channel, "accepts_plans", False):
+        data = data.to_bytes()
+    channel.send(data)
 
 
 def close_received(role, detail):
@@ -214,7 +231,7 @@ class TextProtocol(Protocol):
         return TextMarshaller()
 
     def send_request(self, channel, call):
-        channel.send(encode_request(call))
+        send_frame(channel, encode_request(call))
 
     # The receive side mirrors the send side: one blocking ``recv_line``
     # (the channel is the line-demarcating buffer) handed straight to
@@ -267,7 +284,7 @@ class TextProtocol(Protocol):
         return call
 
     def send_reply(self, channel, reply):
-        channel.send(encode_reply(reply))
+        send_frame(channel, encode_reply(reply))
 
     def recv_reply(self, channel):
         machine = getattr(channel, _CLIENT_MACHINE, None)
@@ -337,14 +354,14 @@ class Text2Protocol(TextProtocol):
     def send_request(self, channel, call):
         if not call.oneway and call.request_id is None:
             call.request_id = self.next_request_id()
-        channel.send(encode_request2(call))
+        send_frame(channel, encode_request2(call))
 
     _parse_id = staticmethod(parse_request_id)
 
     _close_line = BYE_LINE
 
     def send_reply(self, channel, reply):
-        channel.send(encode_reply2(reply))
+        send_frame(channel, encode_reply2(reply))
 
     def send_close(self, channel):
         """Send the ``BYE`` frame — text2's orderly-close message."""

@@ -19,6 +19,7 @@ import time
 import weakref
 
 from repro.heidirmi.errors import CommunicationError, DeadlineExceeded
+from repro.wire.bufferplan import BufferPlan
 
 #: Default budget for connection establishment, in seconds.  Only
 #: covers the connect itself; overridable per Orb/ConnectionCache
@@ -98,6 +99,10 @@ class Channel:
     #: class-level-None idiom as ``meter``.
     flight = None
 
+    #: This channel can flush a scatter-gather BufferPlan without
+    #: joining it (``socket.sendmsg``); see ``protocol.send_frame``.
+    accepts_plans = True
+
     def __init__(self, sock, peer="?"):
         self._sock = sock
         # Receive buffer: a growable bytearray with a consumed-prefix
@@ -161,12 +166,16 @@ class Channel:
             raise CommunicationError(
                 f"channel to {self.peer} is closed", kind="channel-closed"
             )
+        plan = data if type(data) is BufferPlan else None
         try:
             with self._send_lock:
-                # Plain blocking sendall even when deadlined: if the
+                # Plain blocking send even when deadlined: if the
                 # budget runs out mid send, the watchdog shuts the
                 # socket down under us and the OSError maps below.
-                self._sock.sendall(data)
+                if plan is not None:
+                    self._flush_plan(plan)
+                else:
+                    self._sock.sendall(data)
         except OSError as exc:
             expired = self._expired
             self.close()
@@ -180,7 +189,39 @@ class Channel:
         if self.meter is not None:
             self.meter.sent(len(data))
         if self.flight is not None:
-            self.flight.record_out(data)
+            # The flight ring stores frames by reference; hand it
+            # contiguous immutable bytes, never pooled segments.
+            self.flight.record_out(
+                plan.to_bytes() if plan is not None else data)
+        if plan is not None:
+            # The frame is on the wire (sendall semantics) and every
+            # hook has run: the plan's owned segments go back to the
+            # pool.  Borrowed segments are untouched by recycling.
+            plan.recycle()
+
+    def _flush_plan(self, plan):
+        """Flush a BufferPlan's segments with one scatter-gather send.
+
+        ``sendmsg`` may stop short (signal, partial socket buffer);
+        the loop drops fully-sent segments and trims the split one, so
+        the plan itself is never copied into a contiguous join.
+        """
+        sendmsg = getattr(self._sock, "sendmsg", None)
+        if sendmsg is None:
+            self._sock.sendall(plan.to_bytes())
+            return
+        views = [memoryview(segment) for segment in plan.segments()]
+        remaining = len(plan)
+        while remaining > 0:
+            sent = sendmsg(views)
+            remaining -= sent
+            if remaining <= 0:
+                break
+            while views and sent >= len(views[0]):
+                sent -= len(views[0])
+                views.pop(0)
+            if sent:
+                views[0] = views[0][sent:]
 
     def _fill(self):
         try:
@@ -210,7 +251,17 @@ class Channel:
             )
         if self.meter is not None:
             self.meter.received(len(chunk))
-        self._buffer += chunk
+        try:
+            self._buffer += chunk
+        except BufferError:
+            # A zero-copy recv_exact view is still alive, pinning the
+            # buffer against resize.  Reallocate: copy the unconsumed
+            # remainder into a fresh buffer and leave the old one to
+            # the outstanding views.
+            fresh = bytearray(memoryview(self._buffer)[self._start:])
+            fresh += chunk
+            self._buffer = fresh
+            self._start = 0
 
     def wait_readable(self, timeout):
         """Block until a recv would not block, at most *timeout* seconds.
@@ -243,11 +294,20 @@ class Channel:
         return len(self._buffer) > self._start
 
     def _compact(self):
+        # Each resize falls back to reallocation when outstanding
+        # recv_exact views pin the current buffer (BufferError).
         if self._start == len(self._buffer):
-            self._buffer.clear()
+            try:
+                self._buffer.clear()
+            except BufferError:
+                self._buffer = bytearray()
             self._start = 0
         elif self._start > _COMPACT_THRESHOLD:
-            del self._buffer[: self._start]
+            try:
+                del self._buffer[: self._start]
+            except BufferError:
+                self._buffer = bytearray(
+                    memoryview(self._buffer)[self._start:])
             self._start = 0
 
     def recv_line(self):
@@ -266,7 +326,9 @@ class Channel:
             self._fill()
         buffer = self._buffer
         line = buffer[self._start : index]
-        # Inline _compact(): this runs once per message.
+        # Inline _compact(): this runs once per message.  (Line reads
+        # never hand out views of the buffer, so resizing cannot raise
+        # here; only recv_exact pins the buffer.)
         start = index + 1
         if start == len(buffer):
             buffer.clear()
@@ -281,10 +343,17 @@ class Channel:
         return line
 
     def recv_exact(self, count):
-        """Read exactly *count* bytes."""
+        """Read exactly *count* bytes, as a read-only view.
+
+        The view aliases the receive buffer — zero copies between the
+        socket and the CDR decoder.  It stays valid indefinitely: if
+        the buffer must grow or compact while views are outstanding,
+        it reallocates and the old storage lives on behind them.
+        """
         while len(self._buffer) - self._start < count:
             self._fill()
-        data = bytes(self._buffer[self._start : self._start + count])
+        data = memoryview(self._buffer).toreadonly()[
+            self._start : self._start + count]
         self._start += count
         self._compact()
         return data

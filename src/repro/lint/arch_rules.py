@@ -1,16 +1,32 @@
-"""Architecture rules: the sans-I/O layering contract (ARCH001).
+"""Architecture rules: layering (ARCH001) and emission (ARCH002).
 
 The wire machines in :mod:`repro.wire` are pure byte/event transducers;
-the whole design collapses if one of them quietly grows a socket.  This
-pass statically walks every module under ``src/repro/wire/`` — except
-``wire/aio``, which *is* the sanctioned I/O front-end — and reports an
-``ARCH001`` error for any import of an I/O facility:
+the whole design collapses if one of them quietly grows a socket.  The
+ARCH001 pass statically walks every module under ``src/repro/wire/`` —
+except ``wire/aio``, which *is* the sanctioned I/O front-end — and
+reports an error for any import of an I/O facility:
 
 - the stdlib I/O modules ``socket``, ``selectors``, ``asyncio``;
 - the blocking transport layer ``repro.heidirmi.transport``.
 
-The check is AST-based (no execution), so it also catches imports
-hidden inside functions or ``try`` blocks.
+ARCH002 guards the zero-copy emission contract: after the BufferPlan
+refactor, frames in the wire/marshal hot paths are assembled from
+pooled segments and borrowed fragments, never by gluing byte strings
+together (each ``+`` or ``b"".join`` re-copies the frame).  The pass
+flags, in every wire module except ``aio``/``bufferplan`` and in the
+CDR marshal layer (``repro.giop`` ``cdr``/``cdrmarshal``/``messages``):
+
+- ``join`` called on a bytes literal (``b"".join(parts)``);
+- ``+`` with a bytes-literal operand (``header + b"\\n"``);
+- ``+`` with an operand that is a call to an emission accessor
+  (``.encode(...)``, ``.data()``, ``.tobytes()``, ``.to_bytes()``,
+  ``.payload()``) — the classic encode-then-concatenate shape.
+
+In-place ``+=`` into a bytearray is the sanctioned way to build a
+segment, so augmented assignment is deliberately not flagged.
+
+Both checks are AST-based (no execution), so they also catch
+violations hidden inside functions or ``try`` blocks.
 """
 
 import ast
@@ -26,6 +42,20 @@ BANNED_MODULES = ("repro.heidirmi.transport",)
 
 #: Files under wire/ allowed to perform I/O (the asyncio front-end).
 EXEMPT_FILES = ("aio.py",)
+
+#: Files under wire/ exempt from the ARCH002 emission check: the plan
+#: module owns the one sanctioned join (``to_bytes``), and the I/O
+#: front-end is outside the sans-I/O hot path.
+EMISSION_EXEMPT_FILES = ("aio.py", "bufferplan.py")
+
+#: Modules under repro.giop that belong to the marshal hot path and
+#: are therefore also covered by ARCH002.
+EMISSION_GIOP_FILES = ("cdr.py", "cdrmarshal.py", "messages.py")
+
+#: Attribute calls whose result is emitted frame material; adding one
+#: to anything is the encode-then-concatenate shape ARCH002 exists to
+#: catch.
+_EMISSION_ACCESSORS = ("encode", "data", "tobytes", "to_bytes", "payload")
 
 
 def default_wire_dir():
@@ -129,4 +159,107 @@ def lint_wire_layering(wire_dir=None, preparsed=None):
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
         diagnostics.extend(lint_wire_source(source, filename=path, tree=tree))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# ARCH002: no bytes-concatenation emission in the hot paths
+# ---------------------------------------------------------------------------
+
+
+def _is_bytes_literal(node):
+    return isinstance(node, ast.Constant) and isinstance(node.value, bytes)
+
+
+def _is_emission_accessor_call(node):
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _EMISSION_ACCESSORS
+    )
+
+
+def lint_emission_source(source, filename="<wire>", tree=None):
+    """ARCH002 findings for one hot-path module's source text."""
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=filename)
+        except SyntaxError as exc:
+            return [Diagnostic(
+                code="ARCH002",
+                severity=Severity.ERROR,
+                message=f"cannot parse module: {exc.msg}",
+                span=Span(file=filename, line=exc.lineno or 0),
+                source="arch",
+            )]
+    diagnostics = []
+    for node in ast.walk(tree):
+        what = None
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute) and func.attr == "join"
+                    and _is_bytes_literal(func.value)):
+                what = "joins byte strings into a frame"
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            if (_is_bytes_literal(node.left)
+                    or _is_bytes_literal(node.right)):
+                what = "concatenates a bytes literal into a frame"
+            elif (_is_emission_accessor_call(node.left)
+                    or _is_emission_accessor_call(node.right)):
+                what = "concatenates encoded frame material"
+        if what is None:
+            continue
+        diagnostics.append(Diagnostic(
+            code="ARCH002",
+            severity=Severity.ERROR,
+            message=(
+                f"wire/marshal hot path {what}: emit through a "
+                "BufferPlan (pooled owned segments + borrowed "
+                "fragments) instead of copying bytes"
+            ),
+            span=Span(file=filename, line=node.lineno),
+            source="arch",
+        ))
+    return diagnostics
+
+
+def default_marshal_dir():
+    """The installed location of the repro.giop marshal package."""
+    import repro
+
+    return os.path.join(os.path.dirname(repro.__file__), "giop")
+
+
+def lint_emission_paths(wire_dir=None, marshal_dir=None, preparsed=None):
+    """ARCH002 findings across the wire and CDR-marshal hot paths.
+
+    Covers every module under *wire_dir* except
+    :data:`EMISSION_EXEMPT_FILES`, plus the :data:`EMISSION_GIOP_FILES`
+    marshal modules under *marshal_dir*.  *preparsed* shares ASTs with
+    a combined ``--arch --concurrency`` run, as for ARCH001.
+    """
+    if wire_dir is None:
+        wire_dir = default_wire_dir()
+    if marshal_dir is None:
+        marshal_dir = default_marshal_dir()
+    paths = [
+        os.path.join(wire_dir, name)
+        for name in sorted(os.listdir(wire_dir))
+        if name.endswith(".py") and name not in EMISSION_EXEMPT_FILES
+    ]
+    paths.extend(
+        os.path.join(marshal_dir, name)
+        for name in EMISSION_GIOP_FILES
+        if os.path.isfile(os.path.join(marshal_dir, name))
+    )
+    diagnostics = []
+    for path in paths:
+        tree = None
+        if preparsed:
+            tree = preparsed.get(os.path.abspath(path))
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        diagnostics.extend(
+            lint_emission_source(source, filename=path, tree=tree)
+        )
     return diagnostics

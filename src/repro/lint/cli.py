@@ -22,7 +22,7 @@ import ast as python_ast
 import os
 import sys
 
-from repro.lint.arch_rules import lint_wire_layering
+from repro.lint.arch_rules import lint_emission_paths, lint_wire_layering
 from repro.lint.diagnostics import Severity, Span
 from repro.lint.formats import render_json, render_sarif, render_text
 from repro.lint.idl_rules import lint_idl_source
@@ -61,9 +61,11 @@ def build_arg_parser():
     )
     parser.add_argument(
         "--arch", action="store_true",
-        help="check the sans-I/O layering contract (ARCH001): no module "
+        help="check the architecture contracts: ARCH001 (no module "
              "under repro.wire except wire/aio may import socket, "
-             "selectors, asyncio, or the blocking transport",
+             "selectors, asyncio, or the blocking transport) and "
+             "ARCH002 (no bytes-concatenation frame assembly in the "
+             "wire/marshal hot paths outside the BufferPlan module)",
     )
     parser.add_argument(
         "--concurrency", action="store_true",
@@ -141,6 +143,7 @@ def main(argv=None):
                 for module in program.modules.values()
             }
         diagnostics.extend(lint_wire_layering(preparsed=preparsed))
+        diagnostics.extend(lint_emission_paths(preparsed=preparsed))
 
     if (not args.targets and not args.mapping and not args.arch
             and not args.concurrency):

@@ -67,6 +67,8 @@ CODES = {
     # -- architecture / layering ------------------------------------------
     "ARCH001": "sans-I/O wire module imports an I/O facility "
                "(socket/selectors/asyncio/transport)",
+    "ARCH002": "wire/marshal hot path assembles frames by bytes "
+               "concatenation or join instead of a BufferPlan",
     # -- concurrency / flow analysis ---------------------------------------
     "CON000": "flow pass administrative finding (unparseable module or "
               "stale baseline entry)",

@@ -149,7 +149,21 @@ class MetricsRegistry:
 
     def __init__(self):
         self._instruments = {}
+        self._collect_hooks = []
         self._lock = threading.Lock()
+
+    def add_collect_hook(self, hook):
+        """Run *hook(registry)* at the start of every :meth:`snapshot`.
+
+        For state whose truth lives outside the registry (pool sizes,
+        cache hit counters): the hook refreshes the mirroring gauges,
+        so every consumer of ``snapshot()`` — the monitor object, the
+        Prometheus exposition, postmortem bundles — sees current
+        values without the owning code pushing on its hot path.
+        """
+        with self._lock:
+            if hook not in self._collect_hooks:
+                self._collect_hooks.append(hook)
 
     def _get(self, kind, factory, name, labels):
         key = (name, tuple(sorted(labels.items())))
@@ -184,6 +198,10 @@ class MetricsRegistry:
 
     def snapshot(self):
         """All instruments as plain data: {name: [{labels, ...state}]}."""
+        with self._lock:
+            hooks = list(self._collect_hooks)
+        for hook in hooks:
+            hook(self)
         with self._lock:
             items = list(self._instruments.items())
         result = {}

@@ -23,6 +23,7 @@ import time
 from repro.heidirmi.objref import ObjectReference
 from repro.heidirmi.skeleton import HdSkel
 from repro.heidirmi.stub import HdStub
+from repro.wire.bufferplan import wire_buffer_stats
 
 #: Repository ID of the monitor interface (examples/orbmonitor.idl).
 MONITOR_TYPE_ID = "IDL:ORBMonitor/Monitor:1.0"
@@ -153,6 +154,9 @@ class MonitorImpl:
             "active_connections": active,
             "stats": stats,
             "connection_cache": dict(orb.connections.stats),
+            # Process-wide (the pool and intern cache are shared by
+            # every Orb in the process, not partitioned per instance).
+            "wire_buffers": wire_buffer_stats(),
         }
 
 

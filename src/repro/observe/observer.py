@@ -15,6 +15,21 @@ from repro.observe.context import TraceContext
 from repro.observe.export import InMemoryExporter, JsonLinesExporter
 from repro.observe.metrics import ChannelMeter, MetricsRegistry
 from repro.observe.span import Span
+from repro.wire.bufferplan import wire_buffer_stats
+
+
+def _collect_wire_buffers(registry):
+    """Mirror the send-pool / frame-intern counters into *registry*.
+
+    Registered as a collect hook on every Observer's registry, so each
+    ``snapshot()`` (and therefore each Prometheus scrape and monitor
+    poll) reads the live process-wide pool state.  Hits and misses are
+    monotonic but published as gauges: the counters are owned by the
+    wire layer and only mirrored here.
+    """
+    for store, counters in wire_buffer_stats().items():
+        for name, value in counters.items():
+            registry.gauge(f"wire.{store}.{name}").set(value)
 
 
 class Observer:
@@ -23,6 +38,7 @@ class Observer:
     def __init__(self, exporter=None, metrics=None, flight=None):
         self.exporter = exporter if exporter is not None else InMemoryExporter()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.add_collect_hook(_collect_wire_buffers)
         #: Optional ``repro.observe.flight.FlightControl``: when set,
         #: every channel of an Orb built with this observer carries a
         #: per-channel wire-event ring, and abnormal channel deaths

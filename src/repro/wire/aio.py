@@ -46,6 +46,7 @@ from repro.heidirmi.transport import (
     Transport,
     register_transport,
 )
+from repro.wire.bufferplan import BufferPlan
 from repro.wire.headers import OVERLOADED_CATEGORY, overload_message
 from repro.wire.correlation import is_channel_level_error
 from repro.wire.events import (
@@ -110,6 +111,19 @@ def _set_nodelay(writer):
             pass
 
 
+def _write_frame(writer, data):
+    """Queue one emitted frame — bytes or a BufferPlan — on *writer*.
+
+    Plans go through ``writelines`` so the stream layer sees the
+    scatter-gather segments directly; their pooled segments are never
+    recycled on aio paths (the transport may hold them past drain).
+    """
+    if type(data) is BufferPlan:
+        writer.writelines(data.segments())
+    else:
+        writer.write(data)
+
+
 # ---------------------------------------------------------------------------
 # Blocking facade: Channel/Listener/Transport over the loop
 # ---------------------------------------------------------------------------
@@ -140,7 +154,7 @@ class AioChannel(Channel):
         self._deadline = expires_at
 
     async def _send_async(self, data):
-        self._writer.write(data)
+        _write_frame(self._writer, data)
         await self._writer.drain()
 
     async def _fill_async(self):
@@ -185,7 +199,13 @@ class AioChannel(Channel):
         if self.meter is not None:
             self.meter.sent(len(data))
         if self.flight is not None:
-            self.flight.record_out(data)
+            # The flight ring stores frames by reference: contiguous
+            # immutable bytes, never a plan's pooled segments.
+            self.flight.record_out(
+                data.to_bytes() if type(data) is BufferPlan else data)
+        # No recycle: asyncio's transport may still reference the
+        # plan's segments after drain() returns (write buffering), so
+        # aio paths let the garbage collector reclaim them instead.
 
     def _fill(self):
         timeout = self._remaining("recv")
@@ -402,11 +422,15 @@ class _AioServerConn:
     the same ``<serial:event-loop>`` discipline the client uses).
     """
 
-    __slots__ = ("machine", "writer", "inflight", "closing")
+    __slots__ = ("machine", "writer", "write", "inflight", "closing")
 
-    def __init__(self, machine, writer):
+    def __init__(self, machine, writer, write):
         self.machine = machine
         self.writer = writer
+        #: Frame writer (bytes or BufferPlan): plain scatter-gather
+        #: queueing, or the flight-recording wrapper when a recorder
+        #: is armed on this connection.
+        self.write = write
         self.inflight = 0  # guarded-by: <serial:event-loop>
         self.closing = False  # guarded-by: <serial:event-loop>
 
@@ -538,14 +562,18 @@ class AioOrbServer:
             peer = f"{peername[0]}:{peername[1]}" if peername else "?"
             recorder = control.new_recorder(protocol.name, "server", peer)
             machine.tap = recorder
-            raw_write = writer.write
 
-            def recording_write(data):
+            def write(data):
+                # The ring stores frames by reference: record the
+                # contiguous immutable form, send the same bytes.
+                if type(data) is BufferPlan:
+                    data = data.to_bytes()
                 recorder.record_out(data)
-                raw_write(data)
-
-            writer.write = recording_write
-        conn = _AioServerConn(machine, writer)
+                writer.write(data)
+        else:
+            def write(data):
+                _write_frame(writer, data)
+        conn = _AioServerConn(machine, writer, write)
         self._conns.add(conn)
         loop = asyncio.get_running_loop()
         try:
@@ -560,14 +588,10 @@ class AioOrbServer:
                 kind = type(event)
                 if kind is RequestReceived:
                     if self._draining:
-                        if not await self._shed_draining(
-                            machine, writer, event.call
-                        ):
+                        if not await self._shed_draining(conn, event.call):
                             return
                         continue
-                    if not await self._serve_request(
-                        loop, machine, writer, conn, event.call
-                    ):
+                    if not await self._serve_request(loop, conn, event.call):
                         return
                 elif kind is LocateRequested:
                     from repro.giop.messages import (
@@ -580,7 +604,7 @@ class AioOrbServer:
                         if orb._object_key_exists(event.object_key)
                         else LOCATE_UNKNOWN_OBJECT
                     )
-                    writer.write(
+                    write(
                         machine.emit_locate_reply(event.request_id, status)
                     )
                     await writer.drain()
@@ -595,7 +619,7 @@ class AioOrbServer:
                         return
                     # Same telnet-forgiveness as the blocking server:
                     # report the parse failure, keep the connection.
-                    writer.write(machine.emit_reply(_error_reply(
+                    write(machine.emit_reply(_error_reply(
                         protocol, "Protocol", event.message
                     )))
                     await writer.drain()
@@ -613,7 +637,7 @@ class AioOrbServer:
             except Exception:
                 pass
 
-    async def _shed_draining(self, machine, writer, call):
+    async def _shed_draining(self, conn, call):
         """Refuse one request during drain; False ends the connection."""
         if call.oneway:
             return True
@@ -621,24 +645,25 @@ class AioOrbServer:
         hint = (admission.shed_draining_one() if admission is not None
                 else 0.05)
         try:
-            writer.write(machine.emit_reply(_shed_reply(
+            conn.write(conn.machine.emit_reply(_shed_reply(
                 self.orb.protocol, hint, "server draining",
                 request_id=call.request_id,
             )))
-            await writer.drain()
+            await conn.writer.drain()
         except (ConnectionError, OSError):
             return False
         return True
 
-    async def _serve_request(self, loop, machine, writer, conn, call):
+    async def _serve_request(self, loop, conn, call):
         """Dispatch one request; False ends the connection."""
         orb = self.orb
         protocol = orb.protocol
+        machine, writer = conn.machine, conn.writer
         if call.deadline is not None and call.deadline.expired:
             # The wire-propagated budget ran out in transit or in the
             # read queue; the client has stopped waiting.
             if not call.oneway:
-                writer.write(machine.emit_reply(_error_reply(
+                conn.write(machine.emit_reply(_error_reply(
                     protocol,
                     "DeadlineExceeded",
                     f"request {call.operation!r} expired before dispatch",
@@ -654,7 +679,7 @@ class AioOrbServer:
                 if call.oneway:
                     return True
                 try:
-                    writer.write(machine.emit_reply(_shed_reply(
+                    conn.write(machine.emit_reply(_shed_reply(
                         protocol, hint, "server overloaded",
                         request_id=call.request_id,
                     )))
@@ -688,7 +713,7 @@ class AioOrbServer:
                 request_id=call.request_id,
             ))
         try:
-            writer.write(data)
+            conn.write(data)
             await writer.drain()
         except (ConnectionError, OSError):
             return False
@@ -764,8 +789,9 @@ class AioClientConnection:
                 self._arm_deadline(call, future)
         data = self._machine.emit_request(call)
         if self._flight is not None:
-            self._flight.record_out(data)
-        self._writer.write(data)
+            self._flight.record_out(
+                data.to_bytes() if type(data) is BufferPlan else data)
+        _write_frame(self._writer, data)
         await self._writer.drain()
         if future is None:
             return None

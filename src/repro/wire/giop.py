@@ -21,10 +21,13 @@ MessageError (6)    violation                violation
 ==================  =======================  =======================
 """
 
+import struct
+
 from repro.giop.cdrmarshal import CdrMarshallerView, CdrUnmarshaller
 from repro.giop.cdr import CdrDecoder, CdrEncoder
 from repro.giop.messages import (
     GIOP_HEADER_SIZE,
+    fill_giop_header,
     MSG_CANCEL_REQUEST,
     MSG_CLOSE_CONNECTION,
     MSG_LOCATE_REPLY,
@@ -54,6 +57,7 @@ from repro.heidirmi.call import (
 )
 from repro.heidirmi.errors import MarshalError, ProtocolError
 from repro.wire import headers
+from repro.wire.bufferplan import FRAME_CACHE, SEND_POOL, BufferPlan
 from repro.wire.events import (
     NEED_DATA,
     CancelReceived,
@@ -86,16 +90,118 @@ TRANSIENT_REPO_ID = "IDL:omg.org/CORBA/TRANSIENT:1.0"
 
 
 # ---------------------------------------------------------------------------
-# Emission: pure Call/Reply -> framed message bytes
+# Emission: pure Call/Reply -> framed BufferPlan
 # ---------------------------------------------------------------------------
+
+#: The reserved gap a pooled frame starts with; the real header is
+#: patched in place once the body length is known.
+_HEADER_GAP = bytes(GIOP_HEADER_SIZE)
+
+#: Byte offset of the Request/Reply header's request id when the
+#: service-context sequence is empty: 12-byte GIOP header, then the
+#: ulong context count.  Interned frames are split just past the id so
+#: repeats patch a fresh 20-byte prefix and borrow the immutable rest.
+_REQUEST_ID_OFFSET = GIOP_HEADER_SIZE + 4
+_INTERN_SPLIT = _REQUEST_ID_OFFSET + 4
+
+
+def _framed_plan(message_type, build_body):
+    """One pooled owned segment: header gap, CDR body, patched header."""
+    frame = SEND_POOL.acquire()
+    frame += _HEADER_GAP
+    build_body(CdrEncoder(buffer=frame))
+    fill_giop_header(frame, message_type)
+    return BufferPlan().append_owned(frame)
+
+
+def _interned_plan(key, message_type, request_id, build_body):
+    """A plan over the interned frame for *key*, request id patched.
+
+    The cache stores each frame split at :data:`_INTERN_SPLIT`: repeats
+    copy only the 20-byte prefix into a pooled segment, overwrite the
+    request id in place, and borrow the cached immutable tail — the
+    body is never re-encoded or re-copied.  Only valid for frames with
+    no service contexts (the id offset is fixed) emitted in the
+    encoder's native little-endian order.
+    """
+    entry = FRAME_CACHE.get(key)
+    if entry is None:
+        frame = SEND_POOL.acquire()
+        frame += _HEADER_GAP
+        build_body(CdrEncoder(buffer=frame))
+        fill_giop_header(frame, message_type)
+        entry = (bytes(memoryview(frame)[:_INTERN_SPLIT]),
+                 bytes(memoryview(frame)[_INTERN_SPLIT:]))
+        SEND_POOL.release(frame)
+        FRAME_CACHE.put(key, entry)
+    head, tail = entry
+    # The prefix is 20 bytes: a direct bytearray copy beats a pool
+    # round-trip (two lock acquisitions) at this size.  It is still an
+    # owned segment — recycle() feeds it back to the pool as scratch.
+    prefix = bytearray(head)
+    struct.pack_into("<I", prefix, _REQUEST_ID_OFFSET, request_id)
+    return BufferPlan().append_owned(prefix).append_borrowed(tail)
+
+
+def _intern_key(kind, marshalled, *shape):
+    """An intern key, or ``None`` when the call shape is uncacheable.
+
+    *marshalled* must be a recording marshaller whose operations are
+    all hashable — a mutable argument (e.g. a ``bytearray`` payload)
+    makes the shape unhashable and the frame uninternable, which is
+    also what keeps later caller mutations from reaching a cached
+    frame.
+    """
+    operations = getattr(marshalled, "_operations", None)
+    if operations is None:
+        return None
+    key = (kind, *shape, tuple(operations))
+    try:
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+def _encode_request_body(encoder, call, service_context):
+    RequestHeader(
+        request_id=call.request_id,
+        object_key=call.target.encode("utf-8"),
+        operation=call.operation,
+        response_expected=not call.oneway,
+        service_context=service_context,
+    ).encode(encoder)
+    call.replay_into(CdrMarshallerView(encoder))
+
+
+def _encode_reply_body(encoder, reply, repo_id, request_id, service_context):
+    ReplyHeader(
+        request_id=request_id,
+        reply_status=_STATUS_TO_GIOP[reply.status],
+        service_context=service_context,
+    ).encode(encoder)
+    if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
+        # CORBA: the exception body leads with its repository ID.
+        encoder.string(repo_id)
+    reply.replay_into(CdrMarshallerView(encoder))
 
 
 def encode_request(call):
-    """A framed GIOP Request for *call* (request_id must be set for
-    two-ways; GIOP frames an id on oneways too, so any id works there)."""
+    """A framed GIOP Request plan for *call* (request_id must be set
+    for two-ways; GIOP frames an id on oneways too, so any id works
+    there)."""
     request_id = call.request_id
     if request_id is None:
         raise ProtocolError("GIOP request needs a request id")
+    if call.trace_context is None and call.deadline is None:
+        # No service contexts → fixed id offset → internable.
+        key = _intern_key("request", call._m, call.target, call.operation,
+                          call.oneway)
+        if key is not None:
+            return _interned_plan(
+                key, MSG_REQUEST, request_id,
+                lambda encoder: _encode_request_body(encoder, call, []),
+            )
     service_context = []
     if call.trace_context is not None:
         # GIOP's native extension point: the trace context travels
@@ -111,21 +217,15 @@ def encode_request(call):
             SERVICE_CONTEXT_DEADLINE,
             headers.deadline_context_data(call.deadline),
         ))
-    header = RequestHeader(
-        request_id=request_id,
-        object_key=call.target.encode("utf-8"),
-        operation=call.operation,
-        response_expected=not call.oneway,
-        service_context=service_context,
+    return _framed_plan(
+        MSG_REQUEST,
+        lambda encoder: _encode_request_body(encoder, call, service_context),
     )
-    encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
-    header.encode(encoder)
-    call.replay_into(CdrMarshallerView(encoder))
-    return frame_message(MSG_REQUEST, encoder.data())
 
 
 def encode_reply(reply, request_id=None):
-    """A framed GIOP Reply echoing *request_id* (default: the reply's)."""
+    """A framed GIOP Reply plan echoing *request_id* (default: the
+    reply's)."""
     if request_id is None:
         request_id = reply.request_id
     if request_id is None:
@@ -140,18 +240,19 @@ def encode_reply(reply, request_id=None):
                 SERVICE_CONTEXT_RETRY_AFTER,
                 headers.retry_after_context_data(retry_after),
             ))
-    header = ReplyHeader(
-        request_id=request_id,
-        reply_status=_STATUS_TO_GIOP[reply.status],
-        service_context=service_context,
+    if not service_context:
+        key = _intern_key("reply", reply._m, reply.status, repo_id)
+        if key is not None:
+            return _interned_plan(
+                key, MSG_REPLY, request_id,
+                lambda encoder: _encode_reply_body(
+                    encoder, reply, repo_id, request_id, []),
+            )
+    return _framed_plan(
+        MSG_REPLY,
+        lambda encoder: _encode_reply_body(
+            encoder, reply, repo_id, request_id, service_context),
     )
-    encoder = CdrEncoder(start_align=GIOP_HEADER_SIZE)
-    header.encode(encoder)
-    if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
-        # CORBA: the exception body leads with its repository ID.
-        encoder.string(repo_id)
-    reply.replay_into(CdrMarshallerView(encoder))
-    return frame_message(MSG_REPLY, encoder.data())
 
 
 def encode_locate_request(request_id, object_key):
@@ -170,8 +271,12 @@ def encode_locate_reply(request_id, locate_status):
     return frame_message(MSG_LOCATE_REPLY, encoder.data())
 
 
+#: CloseConnection has no body, so the frame is a 12-byte constant.
+_CLOSE_FRAME = frame_message(MSG_CLOSE_CONNECTION, b"")
+
+
 def encode_close():
-    return frame_message(MSG_CLOSE_CONNECTION, b"")
+    return _CLOSE_FRAME
 
 
 # ---------------------------------------------------------------------------
@@ -255,7 +360,9 @@ class GiopWire(WireMachine):
         except (ProtocolError, MarshalError) as exc:
             event = WireViolation(str(exc))
         if self.tap is not None and raw_header is not None:
-            self.tap.record_in(raw_header + body, event, self.role)
+            record = bytearray(raw_header)
+            record += body
+            self.tap.record_in(record, event, self.role)
         return event
 
     def _unexpected(self, message_type):

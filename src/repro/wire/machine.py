@@ -19,6 +19,7 @@ stateless for the text protocols and nearly so for GIOP, so one machine
 can both emit and parse its direction of a full-duplex connection.
 """
 
+from repro.wire.bufferplan import BufferPlan
 from repro.wire.events import NEED_DATA
 
 #: Compact the receive buffer once this much consumed prefix accumulates
@@ -59,12 +60,17 @@ class WireMachine:
     # -- feeding -----------------------------------------------------------
 
     def receive_data(self, data):
-        """Buffer *data* without parsing (pump-style drivers)."""
-        self._buffer += data
+        """Buffer *data* without parsing (pump-style drivers).
+
+        *data* may be bytes-like or a :class:`BufferPlan` (a loopback
+        driver feeding an emitted frame straight back); plan segments
+        are buffered in wire order without an intermediate join.
+        """
+        self._append(data)
 
     def feed_bytes(self, data):
         """Buffer *data* and return every now-complete event."""
-        self._buffer += data
+        self._append(data)
         events = []
         while True:
             event = self.next_event()
@@ -97,7 +103,7 @@ class WireMachine:
         parse of an empty buffer that a feed-then-poll loop would pay
         on every frame.
         """
-        self._buffer += data
+        self._append(data)
         event = self._parse_one()
         if event is not NEED_DATA:
             if self.tap is not None:
@@ -132,17 +138,55 @@ class WireMachine:
     def _available(self):
         return len(self._buffer) - self._start
 
+    def _append(self, data):
+        if type(data) is BufferPlan:
+            for segment in data.segments():
+                self._append_bytes(segment)
+        else:
+            self._append_bytes(data)
+
+    def _append_bytes(self, data):
+        try:
+            self._buffer += data
+        except BufferError:
+            # A decoder still holds zero-copy views into the buffer (a
+            # consumed GIOP body being unmarshalled lazily), so the
+            # bytearray cannot resize.  Move the unparsed remainder to
+            # a fresh buffer; the old one stays alive behind the
+            # outstanding views until they are dropped.
+            keep = min(self._tap_mark, self._start)
+            fresh = bytearray(memoryview(self._buffer)[keep:])
+            fresh += data
+            self._start -= keep
+            self._tap_mark -= keep
+            self._buffer = fresh
+
     def _consume(self, count):
-        data = bytes(self._buffer[self._start:self._start + count])
+        """Consume *count* bytes as a read-only view — no copy.
+
+        The view aliases the machine's buffer; appends and compaction
+        reallocate rather than resize while such views are alive (see
+        :meth:`_append_bytes`), so the bytes behind a view never move
+        out from under a decoder.
+        """
+        data = memoryview(self._buffer).toreadonly()[
+            self._start:self._start + count]
         self._start += count
         return data
 
     def _compact(self):
         if self._start == len(self._buffer):
-            self._buffer.clear()
+            try:
+                self._buffer.clear()
+            except BufferError:
+                self._buffer = bytearray()
             self._start = 0
         elif self._start > _COMPACT_THRESHOLD:
-            del self._buffer[:self._start]
+            try:
+                del self._buffer[:self._start]
+            except BufferError:
+                self._buffer = bytearray(
+                    memoryview(self._buffer)[self._start:])
             self._start = 0
 
     # -- to be provided by protocol machines -------------------------------

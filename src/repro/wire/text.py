@@ -43,6 +43,7 @@ from repro.heidirmi.textwire import (
     unescape_token,
 )
 from repro.wire import headers
+from repro.wire.bufferplan import BufferPlan
 from repro.wire.events import (
     NEED_DATA,
     CloseReceived,
@@ -74,24 +75,26 @@ def _escape_header(text):
 
 
 # ---------------------------------------------------------------------------
-# Emission: pure Call/Reply -> bytes
+# Emission: pure Call/Reply -> BufferPlan
 # ---------------------------------------------------------------------------
 
 
 def _request_tail(call):
-    """The target/operation/args tail, memoized on the call.
+    """The encoded target/operation/args tail, memoized on the call.
 
     The tail is the expensive, attempt-invariant part of a request line;
-    caching it on the Call means a retry re-enqueues the marshalled
-    frame verbatim — only the verb/id/header prefix (fresh request id,
-    refreshed ``dl=`` remaining) is rebuilt per attempt.
+    caching its encoded bytes (terminator included) on the Call means a
+    retry re-enqueues the marshalled frame verbatim — only the
+    verb/id/header prefix (fresh request id, refreshed ``dl=``
+    remaining) is rebuilt per attempt.  Plans borrow the tail, so the
+    bytes are shared across attempts without a copy.
     """
     tail = call._wire_tail
     if tail is None:
-        tail = " ".join(
+        tail = (" ".join(
             [_escape_header(call.target), _escape_header(call.operation)]
             + call._m.tokens()
-        )
+        ) + "\n").encode("ascii")
         call._wire_tail = tail
     return tail
 
@@ -122,32 +125,58 @@ def _deadline_token(call):
     return headers.DL_PREFIX + str(ms)
 
 
-def encode_request(call):
-    """Classic ``CALL``/``ONEWAY`` line for *call*."""
-    # Build the line in one pass at the token level; going through
-    # payload() would encode and re-decode the same bytes.
-    pieces = ["ONEWAY" if call.oneway else "CALL"]
+def _request_plan(pieces, call):
+    """Shared CALL/CALL2 assembly: render the attempt-specific verb /
+    id / ``ctx=`` / ``dl=`` prefix into an owned gap segment leased
+    from the pool, then borrow the memoized tail.
+
+    Both request grammars differ only in their verb pieces, so this is
+    the one place header tokens are chosen (full ``headers`` frame for
+    traced calls, engine-stamped or freshly computed ``dl=`` token for
+    the deadline-only fast path).
+    """
     if call.trace_context is not None:
         pieces += headers.header_tokens(call)
     elif call.deadline is not None:
         # The engine-stamped token avoids even the helper frame here.
         token = call._dl_token
         pieces.append(token if token is not None else _deadline_token(call))
-    pieces.append(_request_tail(call))
-    return (" ".join(pieces) + "\n").encode("ascii")
+    # Short prefixes: a direct bytearray copy beats a pool round-trip
+    # (two lock acquisitions); recycle() still pools it afterwards.
+    prefix = bytearray(" ".join(pieces).encode("ascii"))
+    prefix += b" "
+    plan = BufferPlan()
+    plan.append_owned(prefix)
+    plan.append_borrowed(_request_tail(call))
+    return plan
 
 
-def encode_reply(reply):
-    """Classic ``RET`` line for *reply*."""
-    pieces = ["RET", reply.status]
+def _reply_plan(pieces, reply):
+    """Shared RET/RET2 assembly: exception identifier, then the
+    marshalled result tokens, rendered into one owned segment (replies
+    are not retried, so nothing is worth borrowing)."""
     if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
         pieces.append(escape_token(reply.repo_id))
     pieces += reply._m.tokens()
-    return (" ".join(pieces) + "\n").encode("ascii")
+    line = bytearray(" ".join(pieces).encode("ascii"))
+    line += b"\n"
+    return BufferPlan().append_owned(line)
+
+
+def encode_request(call):
+    """Classic ``CALL``/``ONEWAY`` plan for *call*."""
+    # Build the line in one pass at the token level; going through
+    # payload() would encode and re-decode the same bytes.
+    return _request_plan(["ONEWAY" if call.oneway else "CALL"], call)
+
+
+def encode_reply(reply):
+    """Classic ``RET`` plan for *reply*."""
+    return _reply_plan(["RET", reply.status], reply)
 
 
 def encode_request2(call):
-    """``CALL2 <id>``/``ONEWAY2`` line for *call*.
+    """``CALL2 <id>``/``ONEWAY2`` plan for *call*.
 
     Two-way calls must already carry a request id (the communicator or
     machine allocates one); oneways never do — nothing correlates back.
@@ -158,25 +187,14 @@ def encode_request2(call):
         if call.request_id is None:
             raise ProtocolError("text2 two-way request needs a request id")
         pieces = ["CALL2", str(call.request_id)]
-    if call.trace_context is not None:
-        pieces += headers.header_tokens(call)
-    elif call.deadline is not None:
-        # The engine-stamped token avoids even the helper frame here.
-        token = call._dl_token
-        pieces.append(token if token is not None else _deadline_token(call))
-    pieces.append(_request_tail(call))
-    return (" ".join(pieces) + "\n").encode("ascii")
+    return _request_plan(pieces, call)
 
 
 def encode_reply2(reply):
-    """``RET2 <id>`` line for *reply* (id 0 = reserved channel error)."""
+    """``RET2 <id>`` plan for *reply* (id 0 = reserved channel error)."""
     request_id = (reply.request_id if reply.request_id is not None
                   else 0)
-    pieces = ["RET2", str(request_id), reply.status]
-    if reply.status in (STATUS_EXCEPTION, STATUS_ERROR):
-        pieces.append(escape_token(reply.repo_id))
-    pieces += reply._m.tokens()
-    return (" ".join(pieces) + "\n").encode("ascii")
+    return _reply_plan(["RET2", str(request_id), reply.status], reply)
 
 
 # ---------------------------------------------------------------------------
@@ -365,11 +383,10 @@ class TextWire(WireMachine):
             # line is a fresh buffer it never reuses (the ``recv_line``
             # contract), so a mutable one grows in place — the recorder
             # takes ownership either way.
-            if isinstance(raw, bytearray):
-                raw += b"\n"
-                self.tap.record_in(raw, event, self.role)
-            else:
-                self.tap.record_in(raw + b"\n", event, self.role)
+            if not isinstance(raw, bytearray):
+                raw = bytearray(raw)
+            raw += b"\n"
+            self.tap.record_in(raw, event, self.role)
         return event
 
     def _event_for_line(self, raw):

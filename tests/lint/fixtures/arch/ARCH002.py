@@ -1,0 +1,15 @@
+"""Seeded ARCH002 violations: frames glued together by copying bytes."""
+
+HEADER = b"GIOP"
+
+
+def emit_framed(body):
+    return b"".join([HEADER, body])
+
+
+def emit_terminated(line):
+    return line + b"\n"
+
+
+def emit_encoded(encoder, tail):
+    return encoder.data() + tail

@@ -1,0 +1,33 @@
+"""Clean twin: the same frames assembled through a BufferPlan.
+
+In-place ``+=`` into a pooled bytearray segment is the sanctioned way
+to build owned frame material; nothing here re-copies a frame.
+"""
+
+from repro.wire.bufferplan import SEND_POOL, BufferPlan
+
+HEADER = b"GIOP"
+
+
+def emit_framed(body):
+    frame = SEND_POOL.acquire()
+    frame += HEADER
+    frame += body
+    return BufferPlan().append_owned(frame)
+
+
+def emit_terminated(line):
+    segment = SEND_POOL.acquire()
+    segment += line
+    segment += b"\n"
+    return BufferPlan().append_owned(segment)
+
+
+def emit_encoded(encoder, tail):
+    return BufferPlan().append_owned(encoder.data_segment()) \
+        .append_borrowed(tail)
+
+
+def tokens_may_join(pieces):
+    # Text tokens are str until the single encode into a segment.
+    return " ".join(pieces).encode("ascii")

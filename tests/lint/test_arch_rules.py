@@ -1,12 +1,17 @@
-"""ARCH001: the sans-I/O layering contract for repro.wire."""
+"""ARCH001/ARCH002: layering and emission contracts for the wire core."""
 
 import os
 
 from repro.lint.arch_rules import (
+    lint_emission_paths,
+    lint_emission_source,
     lint_wire_layering,
     lint_wire_source,
 )
 from repro.lint.cli import main
+from repro.lint.formats import render_text
+
+ARCH_FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "arch")
 
 
 class TestWireSource:
@@ -73,12 +78,97 @@ class TestWireLayering:
         assert os.path.basename(findings[0].span.file) == "bad.py"
 
 
+class TestEmissionSource:
+    def test_bytes_join_flagged(self):
+        findings = lint_emission_source(
+            'def f(parts):\n    return b"".join(parts)\n'
+        )
+        assert [d.code for d in findings] == ["ARCH002"]
+        assert findings[0].span.line == 2
+
+    def test_bytes_literal_concat_flagged(self):
+        findings = lint_emission_source(
+            'def f(line):\n    return line + b"\\n"\n'
+        )
+        assert [d.code for d in findings] == ["ARCH002"]
+
+    def test_encoded_concat_flagged(self):
+        # encode-then-concatenate, the classic pre-BufferPlan shape.
+        for accessor in ("encode()", "data()", "to_bytes()", "tobytes()",
+                         "payload()"):
+            findings = lint_emission_source(
+                f"def f(x, tail):\n    return x.{accessor} + tail\n"
+            )
+            assert [d.code for d in findings] == ["ARCH002"], accessor
+
+    def test_augmented_append_is_sanctioned(self):
+        # += into a pooled bytearray segment is how owned material is
+        # built; the rule must not flag it.
+        source = (
+            "def f(segment, body):\n"
+            '    segment += b"\\x00" * 12\n'
+            "    segment += body\n"
+            "    return segment\n"
+        )
+        assert lint_emission_source(source) == []
+
+    def test_str_join_not_flagged(self):
+        # Text tokens stay str until the single encode into a segment.
+        assert lint_emission_source(
+            'def f(pieces):\n    return " ".join(pieces)\n'
+        ) == []
+
+    def test_plain_name_concat_not_flagged(self):
+        # Adding two opaque names is not provably frame assembly.
+        assert lint_emission_source("def f(a, b):\n    return a + b\n") == []
+
+
+class TestEmissionFixtures:
+    def _lint_fixture(self, name):
+        with open(os.path.join(ARCH_FIXTURES, name), "r",
+                  encoding="utf-8") as handle:
+            source = handle.read()
+        return lint_emission_source(source, filename=name)
+
+    def test_seeded_fixture_matches_golden(self):
+        diagnostics = self._lint_fixture("ARCH002.py")
+        with open(os.path.join(ARCH_FIXTURES, "ARCH002.py.expected"), "r",
+                  encoding="utf-8") as handle:
+            expected = handle.read()
+        assert render_text(diagnostics) == expected
+
+    def test_clean_twin_has_zero_findings(self):
+        assert self._lint_fixture("ARCH002_clean.py") == []
+
+
+class TestEmissionPaths:
+    def test_shipped_hot_paths_are_clean(self):
+        """The refactored wire/marshal core satisfies its own contract."""
+        assert lint_emission_paths() == []
+
+    def test_violating_tree(self, tmp_path):
+        (tmp_path / "bad.py").write_text('X = b"a" + b"b"\n')
+        (tmp_path / "good.py").write_text("import struct\n")
+        (tmp_path / "bufferplan.py").write_text(
+            'JOINED = b"".join([b"a", b"b"])\n'
+        )
+        (tmp_path / "aio.py").write_text('Y = b"x" + b"y"\n')
+        findings = lint_emission_paths(
+            str(tmp_path), marshal_dir=str(tmp_path)
+        )
+        # Only bad.py is reported: bufferplan owns the sanctioned
+        # join, and aio is outside the sans-I/O hot path.
+        assert [d.code for d in findings] == ["ARCH002"]
+        assert os.path.basename(findings[0].span.file) == "bad.py"
+
+
 class TestCli:
     def test_arch_flag_passes_on_clean_repo(self, capsys):
         assert main(["--arch"]) == 0
         # With --arch alone the default lint-every-pack pass is skipped.
         out = capsys.readouterr().out
         assert "ARCH001" not in out
+        assert "ARCH002" not in out
 
     def test_arch_flag_composes_with_json_format(self, capsys):
         assert main(["--arch", "--format", "json"]) == 0

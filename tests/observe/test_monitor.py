@@ -62,6 +62,25 @@ class TestMonitorOverTheOrb:
         assert "metrics" in snapshot
         assert snapshot["flight"]["bundles_written"] == 0
 
+    def test_health_reports_wire_buffer_stats(self):
+        # The zero-copy emission layer's send pool and frame-intern
+        # cache surface through health, so an operator can see pool
+        # reuse and intern hit rates from a plain remote call.
+        server, client, stub = make_monitored(protocol="giop")
+        try:
+            # The health call itself rides the GIOP emitter, so the
+            # counters are live by the time the reply is decoded.
+            buffers = stub.health()["orb"]["wire_buffers"]
+        finally:
+            client.stop()
+            server.stop()
+        for store in ("send_pool", "frame_cache"):
+            counters = buffers[store]
+            for key in ("size", "hits", "misses", "evictions"):
+                assert counters[key] >= 0
+        assert buffers["send_pool"]["hits"] + \
+            buffers["send_pool"]["misses"] > 0
+
     @pytest.mark.parametrize("protocol_name", ("text", "text2", "giop"))
     def test_every_protocol_serves_the_monitor(self, protocol_name):
         server, client, stub = make_monitored(protocol=protocol_name)

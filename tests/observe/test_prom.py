@@ -57,6 +57,21 @@ class TestRender:
             sample_registry()
         )
 
+    def test_observer_exposition_carries_wire_buffer_stats(self):
+        # An Observer's registry mirrors the send-pool and frame-intern
+        # counters via a collect hook, so every scrape sees live pool
+        # state without the wire layer pushing metrics on its hot path.
+        from repro.observe import Observer
+        from repro.wire.bufferplan import FRAME_CACHE, SEND_POOL
+
+        SEND_POOL.release(SEND_POOL.acquire())
+        expected_hits = FRAME_CACHE.stats()["hits"]
+        expected_size = SEND_POOL.stats()["size"]
+        text = render_prometheus(Observer().metrics)
+        assert f"wire_send_pool_size {expected_size}" in text
+        assert f"wire_frame_cache_hits {expected_hits}" in text
+        assert "# TYPE wire_frame_cache_evictions gauge" in text
+
     def test_metric_names_are_sanitized(self):
         registry = MetricsRegistry()
         registry.counter("wire.bytes-sent").inc()
